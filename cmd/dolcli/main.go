@@ -1,0 +1,308 @@
+// Command dolcli builds and queries secure XML stores from the shell.
+//
+// Usage:
+//
+//	dolcli build -xml doc.xml -policy rules.acl -store DIR
+//	dolcli query -store DIR -user NAME -mode read -xpath '//item[name]'
+//	dolcli query -store DIR -admin -xpath '//item'
+//	dolcli grant  -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
+//	dolcli revoke -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
+//	dolcli export -store DIR -user NAME -mode read [-o view.xml]
+//	dolcli stats -store DIR
+//
+// The policy file is line-oriented:
+//
+//	user  alice
+//	group doctors
+//	member doctors alice          # member <group> <subject>
+//	mode  read                    # (read and write are pre-registered)
+//	grant doctors read /hospital  # grant <subject> <mode> <xpath>
+//	revoke doctors read //billing
+//	grant-local ...               # non-cascading variants
+//	revoke-local ...
+//	default permit                # open world
+//
+// Blank lines and lines starting with # are ignored.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dolxml/securexml"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = build(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "grant":
+		err = setAccess(os.Args[2:], true)
+	case "revoke":
+		err = setAccess(os.Args[2:], false)
+	case "export":
+		err = export(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dolcli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dolcli {build|query|grant|revoke|export|stats} [flags]")
+	os.Exit(2)
+}
+
+func build(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	xmlPath := fs.String("xml", "", "XML document to secure")
+	policyPath := fs.String("policy", "", "policy rules file")
+	storeDir := fs.String("store", "", "output store directory")
+	fs.Parse(args)
+	if *xmlPath == "" || *storeDir == "" {
+		return fmt.Errorf("build requires -xml and -store")
+	}
+	f, err := os.Open(*xmlPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b := securexml.NewBuilder().LoadXML(f)
+	if *policyPath != "" {
+		pf, err := os.Open(*policyPath)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := applyPolicy(b, pf.Name(), pf); err != nil {
+			return err
+		}
+	}
+	s, err := b.Seal(securexml.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.Save(*storeDir); err != nil {
+		return err
+	}
+	st, err := s.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored %d nodes on %d pages; %d transitions, %d codebook entries\n",
+		st.Nodes, st.StructurePages, st.Transitions, st.CodebookEntries)
+	return nil
+}
+
+// applyPolicy parses the line-oriented policy format into builder calls.
+func applyPolicy(b *securexml.Builder, name string, r *os.File) error {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func() error {
+			return fmt.Errorf("%s:%d: malformed directive %q", name, lineNo, line)
+		}
+		switch fields[0] {
+		case "user":
+			if len(fields) != 2 {
+				return bad()
+			}
+			b.AddUser(fields[1])
+		case "group":
+			if len(fields) != 2 {
+				return bad()
+			}
+			b.AddGroup(fields[1])
+		case "member":
+			if len(fields) != 3 {
+				return bad()
+			}
+			b.AddMember(fields[1], fields[2])
+		case "mode":
+			if len(fields) != 2 {
+				return bad()
+			}
+			b.AddMode(fields[1])
+		case "grant", "revoke", "grant-local", "revoke-local":
+			if len(fields) != 4 {
+				return bad()
+			}
+			subject, mode, xpath := fields[1], fields[2], fields[3]
+			switch fields[0] {
+			case "grant":
+				b.Grant(subject, mode, xpath)
+			case "revoke":
+				b.Revoke(subject, mode, xpath)
+			case "grant-local":
+				b.GrantLocal(subject, mode, xpath)
+			case "revoke-local":
+				b.RevokeLocal(subject, mode, xpath)
+			}
+		case "default":
+			if len(fields) != 2 || fields[1] != "permit" {
+				return bad()
+			}
+			b.PermitByDefault()
+		default:
+			return bad()
+		}
+	}
+	return sc.Err()
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	user := fs.String("user", "", "querying user")
+	mode := fs.String("mode", "read", "action mode")
+	xpath := fs.String("xpath", "", "twig query")
+	admin := fs.Bool("admin", false, "bypass access control")
+	pruned := fs.Bool("pruned", false, "use the pruned-subtree (Gabillon-Bruno) semantics")
+	fs.Parse(args)
+	if *storeDir == "" || *xpath == "" {
+		return fmt.Errorf("query requires -store and -xpath")
+	}
+	s, err := securexml.Open(*storeDir, securexml.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	var matches []securexml.Match
+	switch {
+	case *admin:
+		matches, err = s.QueryUnrestricted(*xpath)
+	case *pruned:
+		matches, err = s.QueryPruned(*user, *mode, *xpath)
+	default:
+		if *user == "" {
+			return fmt.Errorf("query requires -user (or -admin)")
+		}
+		matches, err = s.Query(*user, *mode, *xpath)
+	}
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if m.Value != "" {
+			fmt.Printf("node %d <%s> %q\n", m.Node, m.Tag, m.Value)
+		} else {
+			fmt.Printf("node %d <%s>\n", m.Node, m.Tag)
+		}
+	}
+	fmt.Printf("%d answers\n", len(matches))
+	return nil
+}
+
+// setAccess applies an accessibility update to a persisted store: the
+// §3.4 in-place updates, exposed on the command line. Targets come from an
+// unrestricted XPath evaluation; by default the whole subtree of each
+// match is updated.
+func setAccess(args []string, allowed bool) error {
+	fs := flag.NewFlagSet("grant/revoke", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	subject := fs.String("subject", "", "subject to update")
+	mode := fs.String("mode", "read", "action mode")
+	xpath := fs.String("xpath", "", "target selector")
+	nodeOnly := fs.Bool("node-only", false, "update only the matched nodes, not their subtrees")
+	fs.Parse(args)
+	if *storeDir == "" || *subject == "" || *xpath == "" {
+		return fmt.Errorf("grant/revoke require -store, -subject and -xpath")
+	}
+	s, err := securexml.Open(*storeDir, securexml.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	targets, err := s.QueryUnrestricted(*xpath)
+	if err != nil {
+		return err
+	}
+	for _, m := range targets {
+		if err := s.SetAccess(*subject, *mode, m.Node, allowed, !*nodeOnly); err != nil {
+			return err
+		}
+	}
+	if err := s.Save(*storeDir); err != nil {
+		return err
+	}
+	verb := "revoked"
+	if allowed {
+		verb = "granted"
+	}
+	fmt.Printf("%s %s/%s on %d targets\n", verb, *subject, *mode, len(targets))
+	return nil
+}
+
+// export writes the user's authorized (pruned-subtree) view as XML.
+func export(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	user := fs.String("user", "", "user whose view to export")
+	mode := fs.String("mode", "read", "action mode")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *storeDir == "" || *user == "" {
+		return fmt.Errorf("export requires -store and -user")
+	}
+	s, err := securexml.Open(*storeDir, securexml.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	var w *os.File = os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	return s.ExportVisible(*user, *mode, w)
+}
+
+func stats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("stats requires -store")
+	}
+	s, err := securexml.Open(*storeDir, securexml.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	st, err := s.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nodes:            %d\n", st.Nodes)
+	fmt.Printf("structure pages:  %d\n", st.StructurePages)
+	fmt.Printf("transitions:      %d (1 per %.1f nodes)\n", st.Transitions, float64(st.Nodes)/float64(st.Transitions))
+	fmt.Printf("codebook entries: %d (%d bytes)\n", st.CodebookEntries, st.CodebookBytes)
+	fmt.Printf("directory bytes:  %d\n", st.DirectoryBytes)
+	fmt.Printf("modes:            %s\n", strings.Join(s.Modes(), ", "))
+	fmt.Printf("subjects:         %d\n", len(s.Subjects()))
+	return nil
+}

@@ -1,0 +1,43 @@
+// Command xmlgen emits a deterministic XMark-like auction document.
+//
+// Usage:
+//
+//	xmlgen [-nodes N] [-seed S] [-o file]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"dolxml/internal/xmark"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 100000, "approximate node count")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := xmark.Generate(xmark.Scaled(*seed, *nodes))
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := doc.WriteXML(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d nodes\n", doc.Len())
+}

@@ -1,0 +1,92 @@
+// Dissemination: the paper's conclusion (§7) notes that DOL's document-
+// order layout makes one-pass algorithms on streaming XML securable and
+// suits selective dissemination. This example shows both forms:
+//
+//  1. Store-side: ExportVisible materializes each subscriber's authorized
+//     (pruned-subtree) view directly from the physical store.
+//
+//  2. Stream-side: dissem.Filter trims a flowing XML document to a
+//     subject's view in a single pass with O(depth) memory.
+//
+//     go run ./examples/dissemination
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/dissem"
+	"dolxml/internal/dol"
+	"dolxml/internal/xmltree"
+	"dolxml/securexml"
+)
+
+const feed = `<newsfeed>
+  <public><story>Local team wins</story><story>Weather sunny</story></public>
+  <business><story>Quarterly numbers</story><analysis>Deep dive</analysis></business>
+  <internal><draft>Unpublished investigation</draft></internal>
+</newsfeed>`
+
+func main() {
+	// --- Store-side dissemination.
+	store, err := securexml.NewBuilder().
+		LoadXMLString(feed).
+		AddGroup("subscribers").
+		AddGroup("premium").
+		AddUser("sam").
+		AddUser("pat").
+		AddMember("subscribers", "sam").
+		AddMember("premium", "pat").
+		AddMember("subscribers", "pat").
+		Grant("subscribers", "read", "/newsfeed").
+		Revoke("subscribers", "read", "//business").
+		Revoke("subscribers", "read", "//internal").
+		Grant("premium", "read", "//business").
+		Seal(securexml.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	for _, user := range []string{"sam", "pat"} {
+		var out strings.Builder
+		if err := store.ExportVisible(user, "read", &out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s's authorized view:\n  %s\n\n", user, out.String())
+	}
+
+	// --- Stream-side dissemination: build a labeling once, then filter
+	// the raw stream per subscriber in one pass.
+	doc := xmltree.MustParseString(feed)
+	m := acl.NewMatrix(doc.Len(), 2) // subject 0 = basic, 1 = premium
+	for n := 0; n < doc.Len(); n++ {
+		m.Set(xmltree.NodeID(n), 1, true) // premium sees all
+	}
+	// Basic sees everything outside business and internal.
+	deny := map[string]bool{"business": true, "internal": true, "draft": true, "analysis": true}
+	for n := 0; n < doc.Len(); n++ {
+		inDenied := false
+		for v := xmltree.NodeID(n); v != xmltree.InvalidNode; v = doc.Parent(v) {
+			if deny[doc.Tag(v)] {
+				inDenied = true
+			}
+		}
+		m.Set(xmltree.NodeID(n), 0, !inDenied)
+	}
+	lab := dol.FromMatrix(m)
+	fmt.Printf("stream labeling: %d transitions, %d codebook entries for %d nodes\n\n",
+		lab.NumTransitions(), lab.Codebook().Len(), doc.Len())
+
+	for s, name := range []string{"basic", "premium"} {
+		var out strings.Builder
+		err := dissem.Filter(strings.NewReader(feed), &out,
+			dissem.SubjectAccess(lab, acl.SubjectID(s)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s stream:\n  %s\n\n", name, strings.Join(strings.Fields(out.String()), " "))
+	}
+}

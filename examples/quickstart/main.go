@@ -1,0 +1,77 @@
+// Quickstart: secure a small document with rule-based policies, then run
+// twig queries as different users.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dolxml/securexml"
+)
+
+const doc = `<hospital>
+  <ward name="A">
+    <patient id="p1"><name>Ann</name><diagnosis>flu</diagnosis><billing><amount>100</amount></billing></patient>
+    <patient id="p2"><name>Bob</name><diagnosis>cold</diagnosis><billing><amount>50</amount></billing></patient>
+  </ward>
+  <ward name="B">
+    <patient id="p3"><name>Cid</name><diagnosis>cough</diagnosis><billing><amount>75</amount></billing></patient>
+  </ward>
+</hospital>`
+
+func main() {
+	store, err := securexml.NewBuilder().
+		LoadXMLString(doc).
+		AddGroup("doctors").
+		AddGroup("billing").
+		AddUser("dave").
+		AddUser("betty").
+		AddUser("alice").
+		AddMember("doctors", "dave").
+		AddMember("billing", "betty").
+		// Doctors read everything except billing records.
+		Grant("doctors", "read", "/hospital").
+		Revoke("doctors", "read", "//billing").
+		// Billing staff read the tree but not medical details.
+		Grant("billing", "read", "/hospital").
+		Revoke("billing", "read", "//diagnosis").
+		// Nurse alice reads ward A only.
+		Grant("alice", "read", `/hospital/ward[@name='A']`).
+		Seal(securexml.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	show := func(user, xpath string) {
+		matches, err := store.Query(user, "read", xpath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %-22s ->", user, xpath)
+		for _, m := range matches {
+			if m.Value != "" {
+				fmt.Printf(" <%s>%s", m.Tag, m.Value)
+			} else {
+				fmt.Printf(" <%s:%d>", m.Tag, m.Node)
+			}
+		}
+		fmt.Printf("  (%d answers)\n", len(matches))
+	}
+
+	fmt.Println("Secure twig queries (Cho et al. semantics):")
+	show("dave", "//patient/name")
+	show("dave", "//billing/amount")
+	show("betty", "//billing/amount")
+	show("betty", "//diagnosis")
+	show("alice", "//patient/name")
+
+	st, err := store.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDOL encoding: %d nodes, %d transition nodes, %d codebook entries (%d bytes)\n",
+		st.Nodes, st.Transitions, st.CodebookEntries, st.CodebookBytes)
+}

@@ -1,0 +1,116 @@
+// Updates: demonstrates the paper's §3.4 update operations on a sealed
+// store — node and subtree accessibility changes, structural inserts,
+// deletes and moves — and verifies Proposition 1 (each update adds at most
+// two transition nodes) as it goes.
+//
+//	go run ./examples/updates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dolxml/securexml"
+)
+
+const doc = `<library>
+  <shelf topic="databases">
+    <book><title>Transaction Processing</title></book>
+    <book><title>Readings in DB Systems</title></book>
+  </shelf>
+  <shelf topic="security">
+    <book><title>Applied Cryptography</title></book>
+  </shelf>
+</library>`
+
+func transitions(s *securexml.Store) int {
+	st, err := s.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.Transitions
+}
+
+func main() {
+	store, err := securexml.NewBuilder().
+		LoadXMLString(doc).
+		AddUser("reader").
+		Grant("reader", "read", "/library").
+		Seal(securexml.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	count := func(label string) {
+		ms, err := store.Query("reader", "read", "//book")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-46s -> reader sees %d books, %d transition nodes\n",
+			label, len(ms), transitions(store))
+	}
+	checkProp1 := func(before int, op string) {
+		after := transitions(store)
+		if after > before+2 {
+			log.Fatalf("Proposition 1 violated by %s: %d -> %d", op, before, after)
+		}
+	}
+
+	count("initial state")
+
+	// Revoke one shelf's subtree (accessibility update).
+	shelves, err := store.QueryUnrestricted("//shelf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := transitions(store)
+	if err := store.SetAccess("reader", "read", shelves[1].Node, false, true); err != nil {
+		log.Fatal(err)
+	}
+	checkProp1(before, "subtree revoke")
+	count("after revoking the security shelf")
+
+	// Insert a new book (structural update; inherits the shelf's ACL).
+	before = transitions(store)
+	if err := store.InsertXML(shelves[0].Node, securexml.InvalidNode,
+		"<book><title>The DOL Paper</title></book>"); err != nil {
+		log.Fatal(err)
+	}
+	checkProp1(before, "insert")
+	count("after inserting a book into databases")
+
+	// Move a book between shelves: its ACL travels with it, so it stays
+	// readable even though the target shelf is revoked... no: moving INTO
+	// the revoked shelf keeps the book's own accessible label.
+	books, err := store.QueryUnrestricted("//book")
+	if err != nil {
+		log.Fatal(err)
+	}
+	shelves, _ = store.QueryUnrestricted("//shelf")
+	before = transitions(store)
+	if err := store.Move(books[0].Node, shelves[1].Node, securexml.InvalidNode); err != nil {
+		log.Fatal(err)
+	}
+	count("after moving a book to the revoked shelf")
+
+	// Delete a subtree.
+	books, _ = store.QueryUnrestricted("//book")
+	before = transitions(store)
+	if err := store.Delete(books[len(books)-1].Node); err != nil {
+		log.Fatal(err)
+	}
+	checkProp1(before, "delete")
+	count("after deleting the last book")
+
+	// Subject updates are codebook-only.
+	if err := store.AddUserLike("reader2", "reader"); err != nil {
+		log.Fatal(err)
+	}
+	ms, err := store.Query("reader2", "read", "//book")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-46s -> reader2 sees %d books (cloned rights, no page writes)\n",
+		"after AddUserLike(reader2, reader)", len(ms))
+}

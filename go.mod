@@ -1,0 +1,3 @@
+module dolxml
+
+go 1.22

@@ -1,0 +1,206 @@
+package acl
+
+import (
+	"fmt"
+	"sort"
+
+	"dolxml/internal/xmltree"
+)
+
+// Effect is the sign of an authorization rule.
+type Effect int
+
+// Rule effects: Permit grants access, Deny revokes it.
+const (
+	Deny Effect = iota
+	Permit
+)
+
+func (e Effect) String() string {
+	if e == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// ConflictPolicy selects among conflicting rules attached to the same node
+// for the same subject, following the policy families of Jajodia et al.
+type ConflictPolicy int
+
+// Supported conflict-resolution policies.
+const (
+	// DenyOverrides: any applicable deny wins (the common closed default).
+	DenyOverrides ConflictPolicy = iota
+	// PermitOverrides: any applicable permit wins.
+	PermitOverrides
+	// LastRuleWins: rules are applied in definition order; later rules
+	// override earlier ones.
+	LastRuleWins
+)
+
+// Rule is one authorization statement: subject gets effect on the target
+// node, optionally cascading to the target's whole subtree. Cascading rules
+// propagate with Most-Specific-Override semantics: a node is governed by
+// the rule whose target is its nearest ancestor-or-self.
+type Rule struct {
+	Subject SubjectID
+	Mode    Mode
+	Target  xmltree.NodeID
+	Effect  Effect
+	// Cascade propagates the effect to all descendants of Target until
+	// overridden by a more specific rule.
+	Cascade bool
+}
+
+// Policy is an ordered collection of rules plus the defaults that govern
+// unlabeled nodes.
+type Policy struct {
+	// DefaultEffect applies to (subject, node) pairs no rule covers.
+	// The closed-world assumption is Deny.
+	DefaultEffect Effect
+	// Conflicts selects among same-node conflicting rules.
+	Conflicts ConflictPolicy
+	rules     []Rule
+}
+
+// NewPolicy returns an empty closed-world (deny by default) policy with
+// DenyOverrides conflict resolution.
+func NewPolicy() *Policy {
+	return &Policy{DefaultEffect: Deny, Conflicts: DenyOverrides}
+}
+
+// Add appends a rule.
+func (p *Policy) Add(r Rule) { p.rules = append(p.rules, r) }
+
+// Grant is shorthand for adding a cascading permit rule.
+func (p *Policy) Grant(s SubjectID, mode Mode, target xmltree.NodeID) {
+	p.Add(Rule{Subject: s, Mode: mode, Target: target, Effect: Permit, Cascade: true})
+}
+
+// Revoke is shorthand for adding a cascading deny rule.
+func (p *Policy) Revoke(s SubjectID, mode Mode, target xmltree.NodeID) {
+	p.Add(Rule{Subject: s, Mode: mode, Target: target, Effect: Deny, Cascade: true})
+}
+
+// Rules returns the policy's rules in definition order (a copy).
+func (p *Policy) Rules() []Rule {
+	out := make([]Rule, len(p.rules))
+	copy(out, p.rules)
+	return out
+}
+
+// Len returns the number of rules.
+func (p *Policy) Len() int { return len(p.rules) }
+
+// Materialize computes the net effect of the policy over doc for one action
+// mode, producing the accessibility matrix that DOL encodes. Rules for
+// other modes are ignored. numSubjects fixes the matrix's subject
+// dimension.
+//
+// Semantics: for each subject, a node's accessibility is decided by
+//  1. non-cascading rules targeting the node itself, if any;
+//  2. otherwise the nearest ancestor-or-self cascading rule
+//     (Most-Specific-Override, as in the paper's synthetic workload §5);
+//  3. otherwise the policy default.
+//
+// Conflicts within a tier are resolved by p.Conflicts.
+func (p *Policy) Materialize(doc *xmltree.Document, mode Mode, numSubjects int) (*Matrix, error) {
+	for i, r := range p.rules {
+		if !doc.Valid(r.Target) {
+			return nil, fmt.Errorf("acl: rule %d targets invalid node %d", i, r.Target)
+		}
+		if int(r.Subject) < 0 || int(r.Subject) >= numSubjects {
+			return nil, fmt.Errorf("acl: rule %d subject %d outside [0,%d)", i, r.Subject, numSubjects)
+		}
+	}
+	m := NewMatrix(doc.Len(), numSubjects)
+
+	// Group rule indices by (target, subject) for this mode.
+	type key struct {
+		target  xmltree.NodeID
+		subject SubjectID
+	}
+	local := make(map[key][]int)   // non-cascading
+	cascade := make(map[key][]int) // cascading
+	subjectsSeen := map[SubjectID]bool{}
+	for i, r := range p.rules {
+		if r.Mode != mode {
+			continue
+		}
+		k := key{r.Target, r.Subject}
+		if r.Cascade {
+			cascade[k] = append(cascade[k], i)
+		} else {
+			local[k] = append(local[k], i)
+		}
+		subjectsSeen[r.Subject] = true
+	}
+
+	resolve := func(idxs []int) (Effect, bool) {
+		if len(idxs) == 0 {
+			return Deny, false
+		}
+		switch p.Conflicts {
+		case DenyOverrides:
+			for _, i := range idxs {
+				if p.rules[i].Effect == Deny {
+					return Deny, true
+				}
+			}
+			return Permit, true
+		case PermitOverrides:
+			for _, i := range idxs {
+				if p.rules[i].Effect == Permit {
+					return Permit, true
+				}
+			}
+			return Deny, true
+		default: // LastRuleWins
+			return p.rules[idxs[len(idxs)-1]].Effect, true
+		}
+	}
+
+	// Materialize subject by subject with an explicit DFS carrying the
+	// inherited cascading effect.
+	subjects := make([]SubjectID, 0, len(subjectsSeen))
+	for s := range subjectsSeen {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+
+	defaultOn := p.DefaultEffect == Permit
+	for s := SubjectID(0); int(s) < numSubjects; s++ {
+		if !subjectsSeen[s] {
+			if defaultOn {
+				for n := 0; n < doc.Len(); n++ {
+					m.Set(xmltree.NodeID(n), s, true)
+				}
+			}
+			continue
+		}
+		type frame struct {
+			node      xmltree.NodeID
+			inherited Effect
+		}
+		stack := []frame{{doc.Root(), p.DefaultEffect}}
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			inherited := fr.inherited
+			if eff, ok := resolve(cascade[key{fr.node, s}]); ok {
+				inherited = eff
+			}
+			nodeEff := inherited
+			if eff, ok := resolve(local[key{fr.node, s}]); ok {
+				nodeEff = eff
+			}
+			if nodeEff == Permit {
+				m.Set(fr.node, s, true)
+			}
+			for c := doc.FirstChild(fr.node); c != xmltree.InvalidNode; c = doc.NextSibling(c) {
+				stack = append(stack, frame{c, inherited})
+			}
+		}
+	}
+	return m, nil
+}

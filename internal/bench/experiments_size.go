@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/cam"
+	"dolxml/internal/dol"
+	"dolxml/internal/synthacl"
+	"dolxml/internal/xmark"
+	"dolxml/internal/xmltree"
+)
+
+// Fig4a reproduces Figure 4(a): the ratio of CAM labels to DOL transition
+// nodes for a single subject on an XMark document with synthetic access
+// controls, as the accessibility ratio sweeps 10–90 % at propagation
+// ratios 10 %, 30 % and 50 %.
+//
+// Paper shape: ratios below 1 (CAM smaller) everywhere; ≈ 0.53 at low
+// accessibility; CAM's curve is asymmetric (its node count peaks near 60 %
+// accessibility) while DOL's transition count is symmetric around 50 %.
+func Fig4a(cfg Config) *Table {
+	doc := xmark.Generate(xmark.Scaled(cfg.Seed, cfg.XMarkNodes))
+	props := []float64{0.1, 0.3, 0.5}
+	t := &Table{
+		ID:    "fig4a",
+		Title: fmt.Sprintf("CAM labels / DOL transition nodes, single subject (XMark, %d nodes)", doc.Len()),
+		Columns: []string{"access%", "ratio@prop10%", "ratio@prop30%", "ratio@prop50%",
+			"camNodes@30%", "dolNodes@30%"},
+	}
+	for acc := 0.1; acc < 0.95; acc += 0.1 {
+		row := []string{fmt.Sprintf("%.0f", acc*100)}
+		var cam30, dol30 int
+		for _, prop := range props {
+			a := synthacl.Synthetic(doc, synthacl.SynthConfig{
+				Seed:               cfg.Seed + int64(acc*1000) + int64(prop*10000),
+				PropagationRatio:   prop,
+				AccessibilityRatio: acc,
+			})
+			c := cam.Build(doc, a)
+			l := dol.FromAccessibleSet(a, doc.Len())
+			ratio := float64(c.Len()) / float64(l.NumTransitions())
+			row = append(row, fmt.Sprintf("%.3f", ratio))
+			if prop == 0.3 {
+				cam30, dol30 = c.Len(), l.NumTransitions()
+			}
+		}
+		row = append(row, fmt.Sprintf("%d", cam30), fmt.Sprintf("%d", dol30))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: ratio ≈ 0.53 at 10% accessibility, approaching 1 as accessibility grows",
+		"paper: DOL peaks at 50% accessibility, CAM peaks near 60% (asymmetric)")
+	return t
+}
+
+// Fig4b reproduces Figure 4(b): average per-user CAM labels vs DOL
+// transition nodes for each action mode of the LiveLink-like system.
+//
+// Paper shape: DOL has at most 20–25 % more nodes than CAM in the worst
+// mode and is comparable elsewhere.
+func Fig4b(cfg Config) *Table {
+	data := synthacl.LiveLink(cfg.LiveLink)
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	t := &Table{
+		ID:      "fig4b",
+		Title:   fmt.Sprintf("per-user CAM labels vs DOL transitions by action mode (LiveLink-like, %d items, %d subjects)", data.Doc.Len(), data.Dir.Len()),
+		Columns: []string{"mode", "avgCAM", "avgDOL", "DOL/CAM"},
+	}
+	for mode, m := range data.Matrices {
+		var sumCAM, sumDOL float64
+		for k := 0; k < cfg.SampledUsers; k++ {
+			u := data.Users[rng.Intn(len(data.Users))]
+			col := m.Column(u)
+			sumCAM += float64(cam.Build(data.Doc, col).Len())
+			sumDOL += float64(dol.FromAccessibleSet(col, data.Doc.Len()).NumTransitions())
+		}
+		avgCAM := sumCAM / float64(cfg.SampledUsers)
+		avgDOL := sumDOL / float64(cfg.SampledUsers)
+		t.AddRow(fmt.Sprintf("%d", mode+1),
+			fmt.Sprintf("%.1f", avgCAM),
+			fmt.Sprintf("%.1f", avgDOL),
+			fmt.Sprintf("%.3f", avgDOL/avgCAM))
+	}
+	t.Notes = append(t.Notes,
+		"paper: DOL within 20-25% of CAM in the worst modes, comparable elsewhere")
+	return t
+}
+
+// subjectCounts returns a roughly geometric ladder of subset sizes up to
+// total.
+func subjectCounts(total int) []int {
+	var out []int
+	for _, c := range []int{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 8639} {
+		if c < total {
+			out = append(out, c)
+		}
+	}
+	return append(out, total)
+}
+
+// scalingPoint builds a DOL over a random subject subset and reports its
+// codebook entries and transition count.
+func scalingPoint(m *acl.Matrix, rng *rand.Rand, count int) (entries, transitions int) {
+	perm := rng.Perm(m.NumSubjects())
+	subjects := make([]acl.SubjectID, count)
+	for i := 0; i < count; i++ {
+		subjects[i] = acl.SubjectID(perm[i])
+	}
+	sub := m.SelectSubjects(subjects)
+	l := dol.FromMatrix(sub)
+	return l.Codebook().Len(), l.NumTransitions()
+}
+
+func scalingTable(id, title, metric string, m *acl.Matrix, seed int64, worst func(s int) string, pick func(e, tr int) int) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"subjects", metric, "worst-case bound"},
+	}
+	for _, c := range subjectCounts(m.NumSubjects()) {
+		e, tr := scalingPoint(m, rng, c)
+		t.AddRow(fmt.Sprintf("%d", c), fmt.Sprintf("%d", pick(e, tr)), worst(c))
+	}
+	return t
+}
+
+// Fig5 reproduces Figures 5(a) and 5(b): codebook entries as a function of
+// the number of subjects, for the LiveLink-like and Unix-filesystem-like
+// datasets.
+//
+// Paper shape: far below the exponential worst case min(|D|, 2^S) — about
+// 40 K entries at 8639 LiveLink subjects, about 855 entries for 247 Unix
+// subjects.
+func Fig5(cfg Config) []*Table {
+	ll := synthacl.LiveLink(cfg.LiveLink)
+	fs := synthacl.UnixFS(cfg.UnixFS)
+	worst := func(D int) func(int) string {
+		return func(s int) string {
+			if s >= 31 {
+				return fmt.Sprintf("%d", D)
+			}
+			b := 1 << uint(s)
+			if b > D {
+				b = D
+			}
+			return fmt.Sprintf("%d", b)
+		}
+	}
+	pickE := func(e, _ int) int { return e }
+	a := scalingTable("fig5a",
+		fmt.Sprintf("codebook entries vs subjects (LiveLink-like, %d items)", ll.Doc.Len()),
+		"codebookEntries", ll.Matrices[0], cfg.Seed+5, worst(ll.Doc.Len()), pickE)
+	a.Notes = append(a.Notes, "paper: ~40000 entries at 8639 subjects — far below min(|D|, 2^S)")
+	b := scalingTable("fig5b",
+		fmt.Sprintf("codebook entries vs subjects (UnixFS-like, %d files)", fs.Doc.Len()),
+		"codebookEntries", fs.Matrices[synthacl.UnixRead], cfg.Seed+6, worst(fs.Doc.Len()), pickE)
+	b.Notes = append(b.Notes, "paper: ~855 entries for 247 subjects")
+	return []*Table{a, b}
+}
+
+// Fig6 reproduces Figures 6(a) and 6(b): transition nodes as a function of
+// the number of subjects.
+//
+// Paper shape: slow growth — all 8639 LiveLink subjects need only ~4x the
+// transitions of a single subject; 247 Unix subjects only ~2x the count at
+// 50 subjects; density below 1 transition per 100 nodes in both systems.
+func Fig6(cfg Config) []*Table {
+	ll := synthacl.LiveLink(cfg.LiveLink)
+	fs := synthacl.UnixFS(cfg.UnixFS)
+	noBound := func(int) string { return "-" }
+	pickT := func(_, tr int) int { return tr }
+	a := scalingTable("fig6a",
+		fmt.Sprintf("transition nodes vs subjects (LiveLink-like, %d items)", ll.Doc.Len()),
+		"transitions", ll.Matrices[0], cfg.Seed+7, noBound, pickT)
+	a.Notes = append(a.Notes,
+		"paper: all subjects ≈ 4x a single subject's transitions; density < 1/100")
+	b := scalingTable("fig6b",
+		fmt.Sprintf("transition nodes vs subjects (UnixFS-like, %d files)", fs.Doc.Len()),
+		"transitions", fs.Matrices[synthacl.UnixRead], cfg.Seed+8, noBound, pickT)
+	b.Notes = append(b.Notes,
+		"paper: 247 subjects ≈ 2x the transitions of 50 subjects")
+	return []*Table{a, b}
+}
+
+// Storage reproduces the §5.1.1 storage comparison: DOL vs per-user CAMs
+// for a single subject and for the full subject population.
+//
+// Paper shape: single subject — DOL ~600 transitions vs CAM ~450 labels;
+// all 8639 subjects — DOL 188K transitions vs CAM 18.8M labels (three
+// orders of magnitude); total bytes ~4 MB codebook + ~400 KB codes for DOL
+// vs 46.6 MB for CAM even with unrealistically small 10-byte pointers.
+func Storage(cfg Config) *Table {
+	data := synthacl.LiveLink(cfg.LiveLink)
+	m := data.Matrices[0]
+	doc := data.Doc
+	S := m.NumSubjects()
+
+	t := &Table{
+		ID:      "storage",
+		Title:   fmt.Sprintf("DOL vs per-user CAM storage (LiveLink-like mode 1, %d items, %d subjects)", doc.Len(), S),
+		Columns: []string{"configuration", "DOL", "CAM"},
+	}
+
+	// Single subject: the first user.
+	u := data.Users[0]
+	col := m.Column(u)
+	dol1 := dol.FromAccessibleSet(col, doc.Len())
+	cam1 := cam.Build(doc, col)
+	t.AddRow("single-user label count",
+		fmt.Sprintf("%d transitions", dol1.NumTransitions()),
+		fmt.Sprintf("%d labels", cam1.Len()))
+
+	// All subjects: one multi-subject DOL vs one CAM per subject.
+	lab := dol.FromMatrix(m)
+	camTotal := 0
+	for s := 0; s < S; s++ {
+		camTotal += cam.Build(doc, m.Column(acl.SubjectID(s))).Len()
+	}
+	t.AddRow("all-subject label count",
+		fmt.Sprintf("%d transitions", lab.NumTransitions()),
+		fmt.Sprintf("%d labels", camTotal))
+
+	// Bytes, with the paper's §5.1.1 accounting: 2-byte codes per DOL
+	// transition, one bit per subject per codebook entry; CAM charged 2
+	// accessibility bits plus an (unrealistically low) 10-byte pointer
+	// budget per label.
+	dolBytes := lab.Codebook().Bytes() + 2*lab.NumTransitions()
+	camBytes := camTotal * 11
+	t.AddRow("total bytes",
+		fmt.Sprintf("%d (codebook %d + codes %d)", dolBytes, lab.Codebook().Bytes(), 2*lab.NumTransitions()),
+		fmt.Sprintf("%d", camBytes))
+	t.AddRow("codebook entries", fmt.Sprintf("%d", lab.Codebook().Len()), "-")
+	t.AddRow("transition density",
+		fmt.Sprintf("1 per %.0f nodes", float64(doc.Len())/float64(lab.NumTransitions())), "-")
+	t.Notes = append(t.Notes,
+		"paper: three orders of magnitude between all-subject DOL transitions and total CAM labels",
+		"paper: density below 1 transition per 100 nodes")
+	return t
+}
+
+// WorstCase reproduces the §2.1 analysis: with independent, uncorrelated
+// subjects the codebook grows exponentially toward min(|D|, 2^S) and the
+// number of non-transition nodes shrinks as D(1−T/D)^S.
+func WorstCase(cfg Config) *Table {
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	D := cfg.XMarkNodes / 5
+	if D < 2000 {
+		D = 2000
+	}
+	t := &Table{
+		ID:      "worstcase",
+		Title:   fmt.Sprintf("uncorrelated subjects (%d nodes): exponential codebook growth", D),
+		Columns: []string{"subjects", "codebookEntries", "min(D,2^S)", "nonTransitions", "D(1-T/D)^S"},
+	}
+	// Per-subject labelings with locality but *independent* run
+	// boundaries (geometric runs, mean runLen): each node resamples its
+	// bit with probability 1/runLen, so transition positions are
+	// independent across subjects, matching the paper's analysis.
+	const runLen = 16
+	for _, S := range []int{1, 2, 4, 8, 12, 16} {
+		m := acl.NewMatrix(D, S)
+		singleT := 0
+		for s := 0; s < S; s++ {
+			cur := rng.Intn(2) == 1
+			for n := 0; n < D; n++ {
+				if n > 0 && rng.Float64() < 1.0/runLen {
+					next := rng.Intn(2) == 1
+					if next != cur {
+						singleT++
+					}
+					cur = next
+				}
+				if cur {
+					m.Set(xmltree.NodeID(n), acl.SubjectID(s), true)
+				}
+			}
+		}
+		lab := dol.FromMatrix(m)
+		bound := D
+		if S < 31 && 1<<uint(S) < D {
+			bound = 1 << uint(S)
+		}
+		// Average single-subject transition count, measured.
+		T1 := float64(singleT) / float64(S)
+		predicted := float64(D) * math.Pow(1-T1/float64(D), float64(S))
+		t.AddRow(fmt.Sprintf("%d", S),
+			fmt.Sprintf("%d", lab.Codebook().Len()),
+			fmt.Sprintf("%d", bound),
+			fmt.Sprintf("%d", D-lab.NumTransitions()),
+			fmt.Sprintf("%.0f", predicted))
+	}
+	t.Notes = append(t.Notes,
+		"paper §2.1: with independent subjects the non-transition count shrinks exponentially",
+		"compare with fig5/fig6: correlated real-world subjects avoid this blow-up")
+	return t
+}

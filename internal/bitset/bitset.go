@@ -1,0 +1,348 @@
+// Package bitset provides dynamic bit vectors used throughout the DOL
+// implementation to represent per-node access control lists: bit i is set
+// when subject i may access the node under the action mode at hand.
+//
+// The representation is a little-endian slice of 64-bit words. A Bitset of
+// length n owns bits [0, n); out-of-range reads return false and
+// out-of-range writes grow the vector. The zero value is an empty, usable
+// bitset.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a growable bit vector. The zero value is empty and ready to use.
+type Bitset struct {
+	words []uint64
+	n     int // logical length in bits
+}
+
+// New returns a bitset with logical length n, all bits clear.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a bitset of length n with exactly the given bits set.
+// Indices at or beyond n grow the bitset.
+func FromIndices(n int, idx ...int) *Bitset {
+	b := New(n)
+	for _, i := range idx {
+		b.Set(i)
+	}
+	return b
+}
+
+// Len reports the logical length of the bitset in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// grow extends the logical length to at least n bits.
+func (b *Bitset) grow(n int) {
+	if n <= b.n {
+		return
+	}
+	need := (n + wordBits - 1) / wordBits
+	for len(b.words) < need {
+		b.words = append(b.words, 0)
+	}
+	b.n = n
+}
+
+// Resize sets the logical length to n bits, clearing any bits at or beyond n.
+func (b *Bitset) Resize(n int) {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	if n < b.n {
+		need := (n + wordBits - 1) / wordBits
+		b.words = b.words[:need]
+		if rem := n % wordBits; rem != 0 && need > 0 {
+			b.words[need-1] &= (1 << uint(rem)) - 1
+		}
+		b.n = n
+		return
+	}
+	b.grow(n)
+}
+
+// Set sets bit i, growing the bitset if necessary.
+func (b *Bitset) Set(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	b.grow(i + 1)
+	b.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i. Clearing beyond the current length grows the bitset.
+func (b *Bitset) Clear(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	b.grow(i + 1)
+	b.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// SetTo sets bit i to v.
+func (b *Bitset) SetTo(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// Test reports whether bit i is set. Out-of-range indices read as false.
+func (b *Bitset) Test(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether b and o have identical logical length and bits.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	return b.EqualBits(o)
+}
+
+// EqualBits reports whether b and o have the same set bits, ignoring
+// logical length. Two bitsets of different lengths whose set bits coincide
+// compare equal under EqualBits but not under Equal.
+func (b *Bitset) EqualBits(o *Bitset) bool {
+	long, short := b.words, o.words
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// CopyFrom overwrites b with the contents of o.
+func (b *Bitset) CopyFrom(o *Bitset) {
+	b.words = append(b.words[:0], o.words...)
+	b.n = o.n
+}
+
+// Key returns a compact string usable as a map key identifying the set of
+// bits (independent of logical length: trailing zero words are dropped).
+// DOL codebooks key their entries by this value.
+func (b *Bitset) Key() string {
+	w := b.words
+	for len(w) > 0 && w[len(w)-1] == 0 {
+		w = w[:len(w)-1]
+	}
+	var sb strings.Builder
+	sb.Grow(len(w) * 8)
+	for _, word := range w {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(word >> uint(8*i))
+		}
+		sb.Write(buf[:])
+	}
+	return sb.String()
+}
+
+// And sets b to the bitwise AND of b and o, keeping b's logical length.
+func (b *Bitset) And(o *Bitset) {
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] &= o.words[i]
+		} else {
+			b.words[i] = 0
+		}
+	}
+}
+
+// Or sets b to the bitwise OR of b and o, growing b if o is longer.
+func (b *Bitset) Or(o *Bitset) {
+	b.grow(o.n)
+	for i := range o.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// AndNot clears every bit of b that is set in o.
+func (b *Bitset) AndNot(o *Bitset) {
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] &^= o.words[i]
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (b *Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for w := i / wordBits; w < len(b.words); w++ {
+		word := b.words[w]
+		if w == i/wordBits {
+			word &= ^uint64(0) << uint(i%wordBits)
+		}
+		if word != 0 {
+			idx := w*wordBits + bits.TrailingZeros64(word)
+			if idx >= b.n {
+				return -1
+			}
+			return idx
+		}
+	}
+	return -1
+}
+
+// Indices returns the indices of all set bits in increasing order.
+func (b *Bitset) Indices() []int {
+	idx := make([]int, 0, b.Count())
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// RemoveBit deletes bit position i, shifting all higher bits down by one and
+// shrinking the logical length. It is used when a subject is deleted from a
+// DOL codebook.
+func (b *Bitset) RemoveBit(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: RemoveBit(%d) out of range [0,%d)", i, b.n))
+	}
+	w, off := i/wordBits, uint(i%wordBits)
+	low := b.words[w] & ((1 << off) - 1)
+	high := b.words[w] >> (off + 1) << off
+	b.words[w] = low | high
+	for j := w + 1; j < len(b.words); j++ {
+		b.words[j-1] |= (b.words[j] & 1) << (wordBits - 1)
+		b.words[j] >>= 1
+	}
+	b.Resize(b.n - 1)
+}
+
+// String renders the bitset as a left-to-right bit string ("10110"),
+// bit 0 first; useful in tests and debugging.
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Test(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse builds a bitset from a String-formatted bit string. It accepts only
+// '0' and '1' characters.
+func Parse(s string) (*Bitset, error) {
+	b := New(len(s))
+	for i, c := range s {
+		switch c {
+		case '1':
+			b.Set(i)
+		case '0':
+		default:
+			return nil, fmt.Errorf("bitset: invalid character %q at %d", c, i)
+		}
+	}
+	return b, nil
+}
+
+// MarshalBinary encodes the bitset as 4 bytes of little-endian length
+// followed by the word data.
+func (b *Bitset) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4+len(b.words)*8)
+	putU32(out, uint32(b.n))
+	for i, w := range b.words {
+		putU64(out[4+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes data produced by MarshalBinary.
+func (b *Bitset) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("bitset: truncated header (%d bytes)", len(data))
+	}
+	n := int(getU32(data))
+	words := (n + wordBits - 1) / wordBits
+	if len(data) < 4+8*words {
+		return fmt.Errorf("bitset: truncated body: need %d bytes, have %d", 4+8*words, len(data))
+	}
+	b.n = n
+	b.words = make([]uint64, words)
+	for i := range b.words {
+		b.words[i] = getU64(data[4+8*i:])
+	}
+	return nil
+}
+
+func putU32(p []byte, v uint32) {
+	p[0], p[1], p[2], p[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(p []byte) uint32 {
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+func putU64(p []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		p[i] = byte(v >> uint(8*i))
+	}
+}
+
+func getU64(p []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p[i]) << uint(8*i)
+	}
+	return v
+}

@@ -1,0 +1,399 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var b Bitset
+	if b.Len() != 0 {
+		t.Fatalf("zero value Len = %d, want 0", b.Len())
+	}
+	if b.Test(0) || b.Test(100) {
+		t.Fatal("zero value should have no bits set")
+	}
+	b.Set(5)
+	if !b.Test(5) {
+		t.Fatal("Set(5) not visible")
+	}
+	if b.Len() != 6 {
+		t.Fatalf("Len after Set(5) = %d, want 6", b.Len())
+	}
+}
+
+func TestSetClearTest(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count after clear = %d, want 7", got)
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	b := New(10)
+	b.SetTo(3, true)
+	b.SetTo(4, true)
+	b.SetTo(3, false)
+	if b.Test(3) || !b.Test(4) {
+		t.Fatalf("SetTo sequence wrong: %s", b)
+	}
+}
+
+func TestOutOfRangeReads(t *testing.T) {
+	b := New(8)
+	if b.Test(-1) || b.Test(8) || b.Test(1000) {
+		t.Fatal("out-of-range Test should be false")
+	}
+}
+
+func TestGrowViaSet(t *testing.T) {
+	b := New(0)
+	b.Set(200)
+	if b.Len() != 201 {
+		t.Fatalf("Len = %d, want 201", b.Len())
+	}
+	if b.Count() != 1 || !b.Test(200) {
+		t.Fatal("bit 200 lost after grow")
+	}
+}
+
+func TestResizeShrinkClearsBits(t *testing.T) {
+	b := New(128)
+	b.Set(100)
+	b.Set(10)
+	b.Resize(50)
+	if b.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", b.Len())
+	}
+	if b.Test(100) {
+		t.Fatal("bit 100 should be gone")
+	}
+	b.Resize(128)
+	if b.Test(100) {
+		t.Fatal("bit 100 must not reappear after re-grow")
+	}
+	if !b.Test(10) {
+		t.Fatal("bit 10 lost")
+	}
+}
+
+func TestResizeWithinWordClearsHighBits(t *testing.T) {
+	b := New(64)
+	b.Set(40)
+	b.Set(20)
+	b.Resize(30)
+	b.Resize(64)
+	if b.Test(40) {
+		t.Fatal("bit 40 survived shrink within word")
+	}
+	if !b.Test(20) {
+		t.Fatal("bit 20 lost")
+	}
+}
+
+func TestEqualAndEqualBits(t *testing.T) {
+	a := FromIndices(10, 1, 3)
+	b := FromIndices(10, 1, 3)
+	c := FromIndices(200, 1, 3)
+	d := FromIndices(10, 1, 4)
+	if !a.Equal(b) {
+		t.Fatal("identical bitsets not Equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("different lengths should not be Equal")
+	}
+	if !a.EqualBits(c) {
+		t.Fatal("same bits different length should be EqualBits")
+	}
+	if a.EqualBits(d) {
+		t.Fatal("different bits should not be EqualBits")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(10, 2)
+	b := a.Clone()
+	b.Set(5)
+	if a.Test(5) {
+		t.Fatal("Clone shares storage")
+	}
+	if !b.Test(2) {
+		t.Fatal("Clone lost bit")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromIndices(10, 2, 9)
+	b := FromIndices(300, 100)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatalf("CopyFrom mismatch: %s vs %s", b, a)
+	}
+	if b.Test(100) {
+		t.Fatal("stale bit after CopyFrom")
+	}
+}
+
+func TestKeyIgnoresTrailingZeros(t *testing.T) {
+	a := FromIndices(10, 1, 3)
+	b := FromIndices(500, 1, 3)
+	if a.Key() != b.Key() {
+		t.Fatal("Key should be independent of logical length")
+	}
+	c := FromIndices(10, 1, 4)
+	if a.Key() == c.Key() {
+		t.Fatal("different bit patterns must have different keys")
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	a := FromIndices(8, 0, 1, 2)
+	b := FromIndices(8, 1, 2, 3)
+
+	and := a.Clone()
+	and.And(b)
+	if got, want := and.String(), "01100000"; got != want {
+		t.Errorf("And = %s, want %s", got, want)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if got, want := or.String(), "11110000"; got != want {
+		t.Errorf("Or = %s, want %s", got, want)
+	}
+
+	an := a.Clone()
+	an.AndNot(b)
+	if got, want := an.String(), "10000000"; got != want {
+		t.Errorf("AndNot = %s, want %s", got, want)
+	}
+}
+
+func TestAndWithShorter(t *testing.T) {
+	a := FromIndices(200, 1, 100, 150)
+	b := FromIndices(8, 1)
+	a.And(b)
+	if a.Count() != 1 || !a.Test(1) {
+		t.Fatalf("And with shorter operand wrong: count=%d", a.Count())
+	}
+}
+
+func TestNextSetAndIndices(t *testing.T) {
+	b := FromIndices(200, 3, 64, 130)
+	if got := b.NextSet(0); got != 3 {
+		t.Errorf("NextSet(0) = %d, want 3", got)
+	}
+	if got := b.NextSet(4); got != 64 {
+		t.Errorf("NextSet(4) = %d, want 64", got)
+	}
+	if got := b.NextSet(131); got != -1 {
+		t.Errorf("NextSet(131) = %d, want -1", got)
+	}
+	idx := b.Indices()
+	want := []int{3, 64, 130}
+	if len(idx) != len(want) {
+		t.Fatalf("Indices = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestNextSetRespectsLogicalLength(t *testing.T) {
+	b := New(10)
+	b.Set(5)
+	b.Resize(3)
+	if got := b.NextSet(0); got != -1 {
+		t.Fatalf("NextSet found bit beyond logical length: %d", got)
+	}
+}
+
+func TestRemoveBit(t *testing.T) {
+	// bits: 1 0 1 1 0 1 -> remove index 2 -> 1 0 1 0 1
+	b, err := Parse("101101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RemoveBit(2)
+	if got, want := b.String(), "10101"; got != want {
+		t.Fatalf("RemoveBit = %s, want %s", got, want)
+	}
+}
+
+func TestRemoveBitAcrossWords(t *testing.T) {
+	b := New(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	b.RemoveBit(0)
+	if b.Len() != 129 {
+		t.Fatalf("Len = %d, want 129", b.Len())
+	}
+	if !b.Test(63) || !b.Test(128) || b.Test(0) {
+		t.Fatalf("RemoveBit shift wrong: %v", b.Indices())
+	}
+}
+
+func TestRemoveBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(5).RemoveBit(5)
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("10x"); err == nil {
+		t.Fatal("Parse should reject non-binary characters")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{"", "0", "1", "10110", "0000000001"}
+	for _, s := range cases {
+		b, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := b.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	b := FromIndices(100, 0, 50, 99)
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Bitset
+	if err := c.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(&c) {
+		t.Fatalf("round trip mismatch: %s vs %s", b, &c)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var b Bitset
+	if err := b.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("want error on truncated header")
+	}
+	if err := b.UnmarshalBinary([]byte{200, 0, 0, 0, 1}); err == nil {
+		t.Fatal("want error on truncated body")
+	}
+}
+
+// Property: RemoveBit(i) behaves like deleting position i from the bit string.
+func TestRemoveBitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		b := New(n)
+		ref := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				b.Set(i)
+				ref[i] = true
+			}
+		}
+		i := rng.Intn(n)
+		b.RemoveBit(i)
+		ref = append(ref[:i], ref[i+1:]...)
+		if b.Len() != len(ref) {
+			return false
+		}
+		for j, v := range ref {
+			if b.Test(j) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marshal/unmarshal is the identity.
+func TestMarshalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		data, err := b.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var c Bitset
+		if err := c.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return b.Equal(&c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective on bit patterns (modulo trailing zeros) for
+// random pairs.
+func TestKeyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(128)
+		b := New(128)
+		for i := 0; i < 128; i++ {
+			if rng.Intn(2) == 1 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 1 {
+				b.Set(i)
+			}
+		}
+		return (a.Key() == b.Key()) == a.EqualBits(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	bs := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bs.Set(i % 4096)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	bs := FromIndices(8639, 1, 100, 5000, 8000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = bs.Key()
+	}
+}

@@ -1,0 +1,285 @@
+// Package dol implements Document Ordered Labeling, the core contribution
+// of the paper: a compact multi-subject encoding of fine-grained XML access
+// controls consisting of (1) a list of transition nodes — nodes whose
+// access control list differs from their document-order predecessor — and
+// (2) a codebook dictionary of the distinct access control lists, with each
+// transition node storing only a small code referencing the codebook (§2).
+//
+// Labeling is the logical form used for the paper's compression experiments
+// (Figures 4–6). SecureStore is the physical form (§3): transition codes
+// embedded in NoK structure blocks, a per-block header carrying the initial
+// code and a change bit, and the codebook held in memory — giving access
+// checks that cost no I/O beyond the structure pages the query evaluator
+// loads anyway, plus whole-page skipping for fully inaccessible pages.
+package dol
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/bitset"
+)
+
+// Code indexes a codebook entry. Codes are embedded at transition nodes in
+// the physical representation.
+type Code = uint32
+
+// Codebook is the in-memory dictionary of distinct access control lists
+// appearing in a secured tree (§2.1). Entries are reference counted so that
+// updates can garbage-collect lists that no longer occur.
+type Codebook struct {
+	numSubjects int
+	entries     []*bitset.Bitset // code -> ACL; nil for freed codes
+	refs        []int
+	index       map[string]Code // ACL key -> code
+	free        []Code          // freed codes available for reuse
+}
+
+// NewCodebook returns an empty codebook over numSubjects subjects.
+func NewCodebook(numSubjects int) *Codebook {
+	return &Codebook{
+		numSubjects: numSubjects,
+		index:       make(map[string]Code),
+	}
+}
+
+// NumSubjects returns the subject dimension of the codebook.
+func (cb *Codebook) NumSubjects() int { return cb.numSubjects }
+
+// Len returns the number of live entries — the paper's "number of codebook
+// entries" metric (Figure 5).
+func (cb *Codebook) Len() int { return len(cb.entries) - len(cb.free) }
+
+// Intern returns the code for the given ACL, adding a new entry (with
+// reference count zero) if it has not been seen. The caller owns acquiring
+// references via Retain.
+func (cb *Codebook) Intern(a *bitset.Bitset) Code {
+	key := a.Key()
+	if c, ok := cb.index[key]; ok {
+		return c
+	}
+	stored := a.Clone()
+	stored.Resize(cb.numSubjects)
+	var c Code
+	if n := len(cb.free); n > 0 {
+		c = cb.free[n-1]
+		cb.free = cb.free[:n-1]
+		cb.entries[c] = stored
+		cb.refs[c] = 0
+	} else {
+		c = Code(len(cb.entries))
+		cb.entries = append(cb.entries, stored)
+		cb.refs = append(cb.refs, 0)
+	}
+	cb.index[key] = c
+	return c
+}
+
+// Retain increments the reference count of code c.
+func (cb *Codebook) Retain(c Code) {
+	cb.refs[c]++
+}
+
+// Release decrements the reference count of code c, freeing the entry when
+// it reaches zero.
+func (cb *Codebook) Release(c Code) {
+	if cb.refs[c] <= 0 {
+		panic(fmt.Sprintf("dol: release of unreferenced code %d", c))
+	}
+	cb.refs[c]--
+	if cb.refs[c] == 0 {
+		delete(cb.index, cb.entries[c].Key())
+		cb.entries[c] = nil
+		cb.free = append(cb.free, c)
+	}
+}
+
+// Refs returns the reference count of code c (0 for freed codes).
+func (cb *Codebook) Refs(c Code) int { return cb.refs[c] }
+
+// ACL returns the access control list for code c. The returned bitset is
+// shared; callers must not modify it.
+func (cb *Codebook) ACL(c Code) *bitset.Bitset {
+	if int(c) >= len(cb.entries) || cb.entries[c] == nil {
+		panic(fmt.Sprintf("dol: lookup of dead code %d", c))
+	}
+	return cb.entries[c]
+}
+
+// Accessible reports whether subject s is granted by code c — "the s-th bit
+// in that codebook entry" (§3.3).
+func (cb *Codebook) Accessible(c Code, s acl.SubjectID) bool {
+	return cb.ACL(c).Test(int(s))
+}
+
+// AccessibleAny reports whether any subject of the effective set (user plus
+// transitive groups) is granted by code c.
+func (cb *Codebook) AccessibleAny(c Code, effective *bitset.Bitset) bool {
+	row := cb.ACL(c).Clone()
+	row.And(effective)
+	return row.Any()
+}
+
+// Bytes estimates the storage footprint of the codebook: one bit per
+// subject per live entry, as in the paper's 4 MB-for-LiveLink arithmetic
+// (§5.1.1).
+func (cb *Codebook) Bytes() int {
+	perEntry := (cb.numSubjects + 7) / 8
+	return cb.Len() * perEntry
+}
+
+// AddSubject appends a new subject column with no access anywhere (§3.4:
+// adding a subject is a codebook-only operation). It returns the new
+// subject's ID.
+func (cb *Codebook) AddSubject() acl.SubjectID {
+	s := acl.SubjectID(cb.numSubjects)
+	cb.numSubjects++
+	for _, e := range cb.entries {
+		if e != nil {
+			e.Resize(cb.numSubjects)
+		}
+	}
+	// Keys are unchanged: the new column is all zeroes and Key ignores
+	// trailing zero bits.
+	return s
+}
+
+// AddSubjectLike appends a new subject whose rights everywhere match those
+// of existing subject like (§3.4). No embedded codes change.
+func (cb *Codebook) AddSubjectLike(like acl.SubjectID) (acl.SubjectID, error) {
+	if int(like) < 0 || int(like) >= cb.numSubjects {
+		return acl.InvalidSubject, fmt.Errorf("dol: AddSubjectLike(%d) out of range", like)
+	}
+	s := cb.AddSubject()
+	for c, e := range cb.entries {
+		if e == nil {
+			continue
+		}
+		if e.Test(int(like)) {
+			delete(cb.index, e.Key())
+			e.Set(int(s))
+			cb.index[e.Key()] = Code(c)
+		}
+	}
+	return s, nil
+}
+
+// RemoveSubject deletes subject s's column. Distinct entries may collapse
+// to equal ACLs afterwards; they are kept as duplicate codes (still
+// correct) and reclaimed lazily, mirroring the paper's lazy redundancy
+// correction (§3.4). The caller must renumber its SubjectIDs: subjects
+// above s shift down by one.
+func (cb *Codebook) RemoveSubject(s acl.SubjectID) error {
+	if int(s) < 0 || int(s) >= cb.numSubjects {
+		return fmt.Errorf("dol: RemoveSubject(%d) out of range", s)
+	}
+	cb.numSubjects--
+	cb.index = make(map[string]Code, len(cb.entries))
+	for c, e := range cb.entries {
+		if e == nil {
+			continue
+		}
+		e.RemoveBit(int(s))
+		key := e.Key()
+		// First live code with a given key wins the index slot;
+		// duplicates remain addressable but are not re-issued.
+		if _, ok := cb.index[key]; !ok {
+			cb.index[key] = Code(c)
+		}
+	}
+	return nil
+}
+
+// Duplicates returns the number of live entries whose ACL equals that of a
+// lower-numbered live entry — redundancy introduced by RemoveSubject that a
+// lazy compaction pass would reclaim.
+func (cb *Codebook) Duplicates() int {
+	seen := make(map[string]bool, len(cb.entries))
+	dups := 0
+	for _, e := range cb.entries {
+		if e == nil {
+			continue
+		}
+		k := e.Key()
+		if seen[k] {
+			dups++
+		}
+		seen[k] = true
+	}
+	return dups
+}
+
+// MarshalBinary serializes the codebook.
+func (cb *Codebook) MarshalBinary() ([]byte, error) {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(cb.numSubjects))
+	out = binary.AppendUvarint(out, uint64(len(cb.entries)))
+	for c, e := range cb.entries {
+		if e == nil {
+			out = binary.AppendUvarint(out, 0)
+			continue
+		}
+		data, err := e.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = binary.AppendUvarint(out, uint64(len(data)))
+		out = append(out, data...)
+		out = binary.AppendUvarint(out, uint64(cb.refs[c]))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a codebook serialized by MarshalBinary.
+func (cb *Codebook) UnmarshalBinary(data []byte) error {
+	ns, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("dol: corrupt codebook header")
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("dol: corrupt codebook count")
+	}
+	data = data[n:]
+	*cb = Codebook{
+		numSubjects: int(ns),
+		index:       make(map[string]Code),
+	}
+	for i := uint64(0); i < count; i++ {
+		sz, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("dol: corrupt codebook entry %d", i)
+		}
+		data = data[n:]
+		if sz == 0 {
+			cb.entries = append(cb.entries, nil)
+			cb.refs = append(cb.refs, 0)
+			cb.free = append(cb.free, Code(i))
+			continue
+		}
+		if uint64(len(data)) < sz {
+			return fmt.Errorf("dol: truncated codebook entry %d", i)
+		}
+		var b bitset.Bitset
+		if err := b.UnmarshalBinary(data[:sz]); err != nil {
+			return err
+		}
+		data = data[sz:]
+		refs, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("dol: corrupt refcount for entry %d", i)
+		}
+		data = data[n:]
+		cb.entries = append(cb.entries, &b)
+		cb.refs = append(cb.refs, int(refs))
+		// First entry with a given key wins, matching RemoveSubject's
+		// duplicate handling.
+		key := b.Key()
+		if _, ok := cb.index[key]; !ok {
+			cb.index[key] = Code(i)
+		}
+	}
+	return nil
+}

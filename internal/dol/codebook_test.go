@@ -1,0 +1,332 @@
+package dol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/bitset"
+)
+
+func TestCodebookInternDedup(t *testing.T) {
+	cb := NewCodebook(4)
+	a := bitset.FromIndices(4, 0, 2)
+	b := bitset.FromIndices(4, 0, 2)
+	c := bitset.FromIndices(4, 1)
+	ca := cb.Intern(a)
+	if got := cb.Intern(b); got != ca {
+		t.Fatalf("equal ACLs got different codes %d vs %d", got, ca)
+	}
+	cc := cb.Intern(c)
+	if cc == ca {
+		t.Fatal("distinct ACLs share a code")
+	}
+	if cb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", cb.Len())
+	}
+}
+
+func TestCodebookInternCopies(t *testing.T) {
+	cb := NewCodebook(4)
+	a := bitset.FromIndices(4, 0)
+	c := cb.Intern(a)
+	a.Set(3) // mutate caller's bitset
+	if cb.ACL(c).Test(3) {
+		t.Fatal("codebook aliases caller's bitset")
+	}
+}
+
+func TestCodebookAccessible(t *testing.T) {
+	cb := NewCodebook(8)
+	c := cb.Intern(bitset.FromIndices(8, 1, 5))
+	if !cb.Accessible(c, 1) || !cb.Accessible(c, 5) || cb.Accessible(c, 0) {
+		t.Fatal("Accessible wrong")
+	}
+	eff := bitset.FromIndices(8, 0, 5)
+	if !cb.AccessibleAny(c, eff) {
+		t.Fatal("AccessibleAny should see subject 5")
+	}
+	if cb.AccessibleAny(c, bitset.FromIndices(8, 0, 2)) {
+		t.Fatal("AccessibleAny false positive")
+	}
+}
+
+func TestCodebookRefCountingAndReuse(t *testing.T) {
+	cb := NewCodebook(2)
+	c0 := cb.Intern(bitset.FromIndices(2, 0))
+	cb.Retain(c0)
+	cb.Retain(c0)
+	if cb.Refs(c0) != 2 {
+		t.Fatalf("Refs = %d", cb.Refs(c0))
+	}
+	cb.Release(c0)
+	if cb.Len() != 1 {
+		t.Fatal("entry freed too early")
+	}
+	cb.Release(c0)
+	if cb.Len() != 0 {
+		t.Fatal("entry not freed at zero refs")
+	}
+	// Freed code is reused.
+	c1 := cb.Intern(bitset.FromIndices(2, 1))
+	if c1 != c0 {
+		t.Fatalf("freed code not reused: got %d, want %d", c1, c0)
+	}
+	// Re-interning the freed ACL makes a fresh entry.
+	c2 := cb.Intern(bitset.FromIndices(2, 0))
+	if c2 == c1 {
+		t.Fatal("distinct ACLs share a code after reuse")
+	}
+}
+
+func TestCodebookReleasePanics(t *testing.T) {
+	cb := NewCodebook(2)
+	c := cb.Intern(bitset.New(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cb.Release(c) // never retained
+}
+
+func TestCodebookACLDeadPanics(t *testing.T) {
+	cb := NewCodebook(2)
+	c := cb.Intern(bitset.New(2))
+	cb.Retain(c)
+	cb.Release(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cb.ACL(c)
+}
+
+func TestCodebookBytes(t *testing.T) {
+	cb := NewCodebook(8639) // LiveLink subject count
+	for i := 0; i < 10; i++ {
+		c := cb.Intern(bitset.FromIndices(8639, i))
+		cb.Retain(c)
+	}
+	want := 10 * ((8639 + 7) / 8)
+	if got := cb.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+}
+
+func TestAddSubject(t *testing.T) {
+	cb := NewCodebook(2)
+	c := cb.Intern(bitset.FromIndices(2, 0))
+	cb.Retain(c)
+	s := cb.AddSubject()
+	if s != 2 || cb.NumSubjects() != 3 {
+		t.Fatalf("AddSubject -> %d, subjects %d", s, cb.NumSubjects())
+	}
+	if cb.Accessible(c, s) {
+		t.Fatal("new subject should have no access")
+	}
+	// Existing code still resolvable by its (unchanged) key.
+	if got := cb.Intern(bitset.FromIndices(3, 0)); got != c {
+		t.Fatalf("key changed after AddSubject: %d vs %d", got, c)
+	}
+}
+
+func TestAddSubjectLike(t *testing.T) {
+	cb := NewCodebook(2)
+	cGrant := cb.Intern(bitset.FromIndices(2, 0))
+	cDeny := cb.Intern(bitset.FromIndices(2, 1))
+	cb.Retain(cGrant)
+	cb.Retain(cDeny)
+	s, err := cb.AddSubjectLike(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cb.Accessible(cGrant, s) {
+		t.Fatal("clone should inherit subject 0's grants")
+	}
+	if cb.Accessible(cDeny, s) {
+		t.Fatal("clone should inherit subject 0's denials")
+	}
+	// Index must be consistent: interning the updated ACL finds the code.
+	if got := cb.Intern(bitset.FromIndices(3, 0, 2)); got != cGrant {
+		t.Fatalf("index stale after AddSubjectLike: %d vs %d", got, cGrant)
+	}
+	if _, err := cb.AddSubjectLike(99); err == nil {
+		t.Fatal("out of range subject should fail")
+	}
+}
+
+func TestRemoveSubject(t *testing.T) {
+	cb := NewCodebook(3)
+	cA := cb.Intern(bitset.FromIndices(3, 0, 1))
+	cB := cb.Intern(bitset.FromIndices(3, 0, 2))
+	cb.Retain(cA)
+	cb.Retain(cB)
+	// Removing subject 1 collapses both to {0, (old 2 -> new 1)}... cA
+	// becomes {0}, cB becomes {0,1}.
+	if err := cb.RemoveSubject(1); err != nil {
+		t.Fatal(err)
+	}
+	if cb.NumSubjects() != 2 {
+		t.Fatalf("NumSubjects = %d", cb.NumSubjects())
+	}
+	if !cb.Accessible(cA, 0) || cb.Accessible(cA, 1) {
+		t.Fatal("cA wrong after removal")
+	}
+	if !cb.Accessible(cB, 0) || !cb.Accessible(cB, 1) {
+		t.Fatal("cB wrong after removal (old subject 2 should shift to 1)")
+	}
+	if err := cb.RemoveSubject(5); err == nil {
+		t.Fatal("out of range removal should fail")
+	}
+}
+
+func TestRemoveSubjectDuplicates(t *testing.T) {
+	cb := NewCodebook(2)
+	cA := cb.Intern(bitset.FromIndices(2, 0))
+	cB := cb.Intern(bitset.FromIndices(2, 0, 1))
+	cb.Retain(cA)
+	cb.Retain(cB)
+	if cb.Duplicates() != 0 {
+		t.Fatal("unexpected duplicates")
+	}
+	if err := cb.RemoveSubject(1); err != nil {
+		t.Fatal(err)
+	}
+	// Both entries are now {0}: duplicates appear, kept lazily.
+	if cb.Duplicates() != 1 {
+		t.Fatalf("Duplicates = %d, want 1", cb.Duplicates())
+	}
+	// Both codes still resolve correctly.
+	if !cb.Accessible(cA, 0) || !cb.Accessible(cB, 0) {
+		t.Fatal("codes broken after collapse")
+	}
+	// New interns of the collapsed ACL reuse one canonical code.
+	got := cb.Intern(bitset.FromIndices(1, 0))
+	if got != cA && got != cB {
+		t.Fatalf("intern after collapse returned fresh code %d", got)
+	}
+}
+
+func TestCodebookMarshalRoundTrip(t *testing.T) {
+	cb := NewCodebook(5)
+	c0 := cb.Intern(bitset.FromIndices(5, 0, 4))
+	cb.Retain(c0)
+	cb.Retain(c0)
+	c1 := cb.Intern(bitset.FromIndices(5, 2))
+	cb.Retain(c1)
+	// Free one to exercise nil-slot serialization.
+	c2 := cb.Intern(bitset.FromIndices(5, 3))
+	cb.Retain(c2)
+	cb.Release(c2)
+
+	data, err := cb.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Codebook
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSubjects() != 5 || got.Len() != cb.Len() {
+		t.Fatalf("dims: %d subjects, %d entries", got.NumSubjects(), got.Len())
+	}
+	if got.Refs(c0) != 2 || got.Refs(c1) != 1 {
+		t.Fatalf("refs lost: %d, %d", got.Refs(c0), got.Refs(c1))
+	}
+	if !got.ACL(c0).EqualBits(cb.ACL(c0)) {
+		t.Fatal("ACL bits lost")
+	}
+	// Freed slot must be reusable after round trip.
+	c3 := got.Intern(bitset.FromIndices(5, 1))
+	if c3 != c2 {
+		t.Fatalf("free list lost: got %d, want %d", c3, c2)
+	}
+}
+
+func TestCodebookUnmarshalErrors(t *testing.T) {
+	var cb Codebook
+	if err := cb.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if err := cb.UnmarshalBinary([]byte{5}); err == nil {
+		t.Fatal("truncated input should fail")
+	}
+}
+
+// Property: a codebook behaves as a content-addressed dictionary — under
+// random interleavings of Intern/Retain/Release, live codes always decode
+// to the ACL they were interned with, and Len matches a shadow model.
+func TestCodebookModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cb := NewCodebook(6)
+		type live struct {
+			code Code
+			key  string
+			refs int
+		}
+		var lives []live
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0: // intern + retain
+				a := bitset.New(6)
+				for i := 0; i < 6; i++ {
+					if rng.Intn(2) == 1 {
+						a.Set(i)
+					}
+				}
+				c := cb.Intern(a)
+				cb.Retain(c)
+				found := false
+				for i := range lives {
+					if lives[i].code == c {
+						if lives[i].key != a.Key() {
+							return false
+						}
+						lives[i].refs++
+						found = true
+					}
+				}
+				if !found {
+					lives = append(lives, live{c, a.Key(), 1})
+				}
+			case 1: // release a random live code
+				if len(lives) == 0 {
+					continue
+				}
+				i := rng.Intn(len(lives))
+				cb.Release(lives[i].code)
+				lives[i].refs--
+				if lives[i].refs == 0 {
+					lives = append(lives[:i], lives[i+1:]...)
+				}
+			case 2: // verify a random live code
+				if len(lives) == 0 {
+					continue
+				}
+				i := rng.Intn(len(lives))
+				if cb.ACL(lives[i].code).Key() != lives[i].key {
+					return false
+				}
+			}
+		}
+		return cb.Len() == len(lives)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeTypeMatchesACLSubjectID(t *testing.T) {
+	// Compile-time-ish sanity that codebook subject indexing matches
+	// acl.SubjectID semantics.
+	cb := NewCodebook(3)
+	c := cb.Intern(bitset.FromIndices(3, 2))
+	var s acl.SubjectID = 2
+	if !cb.Accessible(c, s) {
+		t.Fatal("SubjectID indexing mismatch")
+	}
+}

@@ -1,0 +1,65 @@
+package dol
+
+import (
+	"bytes"
+	"testing"
+
+	"dolxml/internal/bitset"
+)
+
+// FuzzCodebookUnmarshal hardens the codebook decoder: arbitrary bytes must
+// either fail cleanly or produce a codebook that round-trips.
+func FuzzCodebookUnmarshal(f *testing.F) {
+	mk := func(build func(cb *Codebook)) []byte {
+		cb := NewCodebook(4)
+		build(cb)
+		data, err := cb.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	f.Add(mk(func(cb *Codebook) {}))
+	f.Add(mk(func(cb *Codebook) {
+		c := cb.Intern(mustBits("1010"))
+		cb.Retain(c)
+		d := cb.Intern(mustBits("0001"))
+		cb.Retain(d)
+		cb.Release(d)
+	}))
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cb Codebook
+		if err := cb.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := cb.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded codebook fails to marshal: %v", err)
+		}
+		var cb2 Codebook
+		if err := cb2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-marshaled codebook fails to decode: %v", err)
+		}
+		if !bytes.Equal(out, mustMarshal(t, &cb2)) {
+			t.Fatal("marshal not a fixpoint")
+		}
+	})
+}
+
+func mustMarshal(t *testing.T, cb *Codebook) []byte {
+	t.Helper()
+	data, err := cb.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func mustBits(s string) *bitset.Bitset {
+	b, err := bitset.Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,593 @@
+package dol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/bitset"
+	"dolxml/internal/xmltree"
+)
+
+// figure1Matrix reproduces the two-subject secured tree of Figure 1(b):
+// 12 nodes a..l; left subject = 0, right subject = 1.
+// Accessibility (from the figure's shading, reconstructed): the example
+// below exercises the same mechanics: runs of equal ACLs with three
+// distinct lists.
+func figure1Matrix() *acl.Matrix {
+	m := acl.NewMatrix(12, 2)
+	rows := []struct {
+		s0, s1 bool
+	}{
+		{true, true},   // a
+		{true, true},   // b
+		{true, false},  // c
+		{true, false},  // d
+		{false, false}, // e
+		{false, false}, // f
+		{false, false}, // g
+		{true, true},   // h
+		{true, true},   // i
+		{true, false},  // j
+		{true, false},  // k
+		{true, false},  // l
+	}
+	for n, r := range rows {
+		m.Set(xmltree.NodeID(n), 0, r.s0)
+		m.Set(xmltree.NodeID(n), 1, r.s1)
+	}
+	return m
+}
+
+func TestFromMatrixTransitions(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Runs: [a,b] [c,d] [e,f,g] [h,i] [j,k,l] -> 5 transitions.
+	if got := l.NumTransitions(); got != 5 {
+		t.Fatalf("NumTransitions = %d, want 5", got)
+	}
+	// Distinct ACLs: {0,1}, {0}, {} -> 3 codebook entries (paper: "only
+	// three of the four possible distinct access control lists").
+	if got := l.Codebook().Len(); got != 3 {
+		t.Fatalf("codebook entries = %d, want 3", got)
+	}
+	nodes, _ := l.Transitions()
+	want := []xmltree.NodeID{0, 2, 4, 7, 9}
+	for i, n := range want {
+		if nodes[i] != n {
+			t.Fatalf("transitions at %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestLabelingRoundTrip(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	if !l.Matrix().Equal(m) {
+		t.Fatal("Matrix round trip mismatch")
+	}
+	for n := xmltree.NodeID(0); n < 12; n++ {
+		for s := acl.SubjectID(0); s < 2; s++ {
+			if l.Accessible(n, s) != m.Accessible(n, s) {
+				t.Fatalf("Accessible(%d,%d) mismatch", n, s)
+			}
+		}
+	}
+}
+
+func TestLabelingAccessibleAny(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	eff := bitset.FromIndices(2, 1) // only subject 1
+	if !l.AccessibleAny(0, eff) {
+		t.Fatal("node a accessible to subject 1")
+	}
+	if l.AccessibleAny(2, eff) {
+		t.Fatal("node c not accessible to subject 1")
+	}
+}
+
+func TestFromAccessibleSet(t *testing.T) {
+	// Figure 1(a): single subject, shaded = accessible.
+	accessible := bitset.FromIndices(12, 0, 1, 7, 8, 9, 10, 11)
+	l := FromAccessibleSet(accessible, 12)
+	if l.Codebook().NumSubjects() != 1 {
+		t.Fatal("subject dim wrong")
+	}
+	for n := 0; n < 12; n++ {
+		if l.Accessible(xmltree.NodeID(n), 0) != accessible.Test(n) {
+			t.Fatalf("node %d mismatch", n)
+		}
+	}
+	// Runs: [0,1]+ [2..6]- [7..11]+ -> 3 transitions.
+	if l.NumTransitions() != 3 {
+		t.Fatalf("NumTransitions = %d, want 3", l.NumTransitions())
+	}
+}
+
+func TestStreamBuilderSharedCodebook(t *testing.T) {
+	cb := NewCodebook(2)
+	sb1 := NewStreamBuilder(cb)
+	sb2 := NewStreamBuilder(cb)
+	a := bitset.FromIndices(2, 0)
+	for i := 0; i < 5; i++ {
+		sb1.Append(a)
+		sb2.Append(a)
+	}
+	l1, l2 := sb1.Finish(), sb2.Finish()
+	if cb.Len() != 1 {
+		t.Fatalf("shared codebook entries = %d, want 1", cb.Len())
+	}
+	if l1.NumTransitions() != 1 || l2.NumTransitions() != 1 {
+		t.Fatal("transition counts wrong")
+	}
+}
+
+func TestSetNodeAccessProposition1(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	before := l.NumTransitions()
+	// Grant subject 1 access to node e (index 4), splitting the [e,f,g] run.
+	l.SetNodeAccess(4, 1, true)
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NumTransitions(); got > before+2 {
+		t.Fatalf("Proposition 1 violated: %d -> %d", before, got)
+	}
+	want := m
+	want.Set(4, 1, true)
+	if !l.Matrix().Equal(want) {
+		t.Fatal("matrix mismatch after SetNodeAccess")
+	}
+}
+
+func TestSetNodeAccessNoOp(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	before := l.NumTransitions()
+	l.SetNodeAccess(0, 0, true) // already accessible
+	if l.NumTransitions() != before {
+		t.Fatal("no-op update changed transitions")
+	}
+	if !l.Matrix().Equal(m) {
+		t.Fatal("no-op update changed matrix")
+	}
+}
+
+func TestSetRangeAccessMergesRuns(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	// Make nodes c,d match a,b: revoke nothing, grant subject 1 on [2,3].
+	l.SetRangeAccess(2, 3, 1, true)
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Runs now: [a..d] [e,f,g] [h,i] [j,k,l] -> 4 transitions.
+	if got := l.NumTransitions(); got != 4 {
+		t.Fatalf("NumTransitions = %d, want 4", got)
+	}
+}
+
+func TestSetRangeAccessWholeDocument(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	l.SetRangeACL(0, 11, func(*bitset.Bitset) *bitset.Bitset {
+		return bitset.FromIndices(2, 0, 1)
+	})
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTransitions() != 1 {
+		t.Fatalf("uniform document should have 1 transition, got %d", l.NumTransitions())
+	}
+	for n := xmltree.NodeID(0); n < 12; n++ {
+		if !l.Accessible(n, 0) || !l.Accessible(n, 1) {
+			t.Fatal("grant-all failed")
+		}
+	}
+}
+
+func TestInsertRange(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	// Fragment of 3 nodes, all accessible to subject 0 only.
+	fm := acl.NewMatrix(3, 2)
+	for n := 0; n < 3; n++ {
+		fm.Set(xmltree.NodeID(n), 0, true)
+	}
+	frag := FromMatrix(fm)
+	beforeL, beforeF := l.NumTransitions(), frag.NumTransitions()
+	l.InsertRange(4, frag) // before old node e
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumNodes() != 15 {
+		t.Fatalf("NumNodes = %d", l.NumNodes())
+	}
+	if got := l.NumTransitions(); got > beforeL+beforeF+2 {
+		t.Fatalf("insert transition growth: %d -> %d", beforeL, got)
+	}
+	// Expected matrix: rows 0..3 unchanged, 4..6 = fragment, 7.. = old 4...
+	want := acl.NewMatrix(15, 2)
+	for n := 0; n < 4; n++ {
+		want.SetRow(xmltree.NodeID(n), m.Row(xmltree.NodeID(n)))
+	}
+	for n := 0; n < 3; n++ {
+		want.SetRow(xmltree.NodeID(4+n), fm.Row(xmltree.NodeID(n)))
+	}
+	for n := 4; n < 12; n++ {
+		want.SetRow(xmltree.NodeID(3+n), m.Row(xmltree.NodeID(n)))
+	}
+	if !l.Matrix().Equal(want) {
+		t.Fatal("matrix mismatch after InsertRange")
+	}
+}
+
+func TestInsertRangeAtEnds(t *testing.T) {
+	m := figure1Matrix()
+	fm := acl.NewMatrix(2, 2)
+	fm.Set(0, 1, true)
+	fm.Set(1, 1, true)
+
+	head := FromMatrix(m)
+	head.InsertRange(0, FromMatrix(fm))
+	if err := head.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !head.Accessible(0, 1) || head.Accessible(0, 0) {
+		t.Fatal("prefix insert ACL wrong")
+	}
+	if head.Accessible(2, 1) != figure1Matrix().Accessible(0, 1) {
+		t.Fatal("shifted node ACL wrong")
+	}
+
+	tail := FromMatrix(m)
+	tail.InsertRange(12, FromMatrix(fm))
+	if err := tail.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tail.NumNodes() != 14 || !tail.Accessible(13, 1) {
+		t.Fatal("suffix insert wrong")
+	}
+}
+
+func TestDeleteRange(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	l.DeleteRange(4, 6) // remove the e,f,g run entirely
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumNodes() != 9 {
+		t.Fatalf("NumNodes = %d", l.NumNodes())
+	}
+	want := acl.NewMatrix(9, 2)
+	for n := 0; n < 4; n++ {
+		want.SetRow(xmltree.NodeID(n), m.Row(xmltree.NodeID(n)))
+	}
+	for n := 7; n < 12; n++ {
+		want.SetRow(xmltree.NodeID(n-3), m.Row(xmltree.NodeID(n)))
+	}
+	if !l.Matrix().Equal(want) {
+		t.Fatal("matrix mismatch after DeleteRange")
+	}
+}
+
+func TestDeleteRangePrefixAndAll(t *testing.T) {
+	m := figure1Matrix()
+	l := FromMatrix(m)
+	l.DeleteRange(0, 3)
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumNodes() != 8 || l.Accessible(0, 0) {
+		t.Fatal("prefix delete wrong")
+	}
+
+	l2 := FromMatrix(figure1Matrix())
+	l2.DeleteRange(0, 11)
+	if l2.NumNodes() != 0 || l2.NumTransitions() != 0 {
+		t.Fatal("full delete should empty the labeling")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := FromMatrix(figure1Matrix())
+	c := l.Clone()
+	c.SetNodeAccess(5, 0, true)
+	if l.Accessible(5, 0) {
+		t.Fatal("Clone shares state")
+	}
+}
+
+// checkRefs verifies the labeling's codebook refcounts equal its
+// transition counts per code.
+func checkRefs(t *testing.T, l *Labeling) {
+	t.Helper()
+	counts := map[Code]int{}
+	_, codes := l.Transitions()
+	for _, c := range codes {
+		counts[c]++
+	}
+	for c, want := range counts {
+		if got := l.cb.Refs(c); got != want {
+			t.Fatalf("code %d refs = %d, want %d", c, got, want)
+		}
+	}
+	if l.cb.Len() != len(counts) {
+		t.Fatalf("codebook has %d live entries, labeling uses %d", l.cb.Len(), len(counts))
+	}
+}
+
+// Property: random single-node and range updates keep the labeling
+// equivalent to a shadow matrix, respect Proposition 1, and keep refcounts
+// exact.
+func TestLabelingUpdateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numNodes := 1 + rng.Intn(80)
+		numSubjects := 1 + rng.Intn(5)
+		shadow := acl.NewMatrix(numNodes, numSubjects)
+		for n := 0; n < numNodes; n++ {
+			for s := 0; s < numSubjects; s++ {
+				if rng.Intn(3) == 0 {
+					shadow.Set(xmltree.NodeID(n), acl.SubjectID(s), true)
+				}
+			}
+		}
+		l := FromMatrix(shadow)
+		for step := 0; step < 30; step++ {
+			s := acl.SubjectID(rng.Intn(numSubjects))
+			allowed := rng.Intn(2) == 1
+			lo := xmltree.NodeID(rng.Intn(numNodes))
+			hi := lo
+			if rng.Intn(2) == 1 {
+				hi = lo + xmltree.NodeID(rng.Intn(numNodes-int(lo)))
+			}
+			before := l.NumTransitions()
+			l.SetRangeAccess(lo, hi, s, allowed)
+			for n := lo; n <= hi; n++ {
+				shadow.Set(n, s, allowed)
+			}
+			if l.NumTransitions() > before+2 {
+				return false
+			}
+			if err := l.validate(); err != nil {
+				return false
+			}
+		}
+		return l.Matrix().Equal(shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random structural splices (insert/delete) keep the labeling
+// equivalent to a shadow row list.
+func TestLabelingStructuralProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numSubjects := 1 + rng.Intn(4)
+		randRow := func() *bitset.Bitset {
+			b := bitset.New(numSubjects)
+			for s := 0; s < numSubjects; s++ {
+				if rng.Intn(2) == 1 {
+					b.Set(s)
+				}
+			}
+			return b
+		}
+		var shadow []*bitset.Bitset
+		n0 := 1 + rng.Intn(40)
+		m := acl.NewMatrix(n0, numSubjects)
+		for n := 0; n < n0; n++ {
+			r := randRow()
+			m.SetRow(xmltree.NodeID(n), r)
+			shadow = append(shadow, r)
+		}
+		l := FromMatrix(m)
+		for step := 0; step < 20; step++ {
+			if len(shadow) == 0 || (rng.Intn(2) == 0 && len(shadow) < 200) {
+				// Insert a fragment.
+				fn := 1 + rng.Intn(10)
+				fm := acl.NewMatrix(fn, numSubjects)
+				var rows []*bitset.Bitset
+				for k := 0; k < fn; k++ {
+					r := randRow()
+					fm.SetRow(xmltree.NodeID(k), r)
+					rows = append(rows, r)
+				}
+				at := rng.Intn(len(shadow) + 1)
+				l.InsertRange(xmltree.NodeID(at), FromMatrix(fm))
+				shadow = append(shadow[:at], append(rows, shadow[at:]...)...)
+			} else {
+				lo := rng.Intn(len(shadow))
+				hi := lo + rng.Intn(len(shadow)-lo)
+				l.DeleteRange(xmltree.NodeID(lo), xmltree.NodeID(hi))
+				shadow = append(shadow[:lo], shadow[hi+1:]...)
+			}
+			if err := l.validate(); err != nil {
+				return false
+			}
+			if l.NumNodes() != len(shadow) {
+				return false
+			}
+		}
+		for n, r := range shadow {
+			if !l.ACLAt(xmltree.NodeID(n)).EqualBits(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: refcounts stay exact across mixed updates.
+func TestLabelingRefcountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numNodes := 5 + rng.Intn(50)
+		m := acl.NewMatrix(numNodes, 3)
+		for n := 0; n < numNodes; n++ {
+			for s := 0; s < 3; s++ {
+				if rng.Intn(2) == 0 {
+					m.Set(xmltree.NodeID(n), acl.SubjectID(s), true)
+				}
+			}
+		}
+		l := FromMatrix(m)
+		for step := 0; step < 25 && l.NumNodes() > 0; step++ {
+			lo := xmltree.NodeID(rng.Intn(l.NumNodes()))
+			hi := lo + xmltree.NodeID(rng.Intn(l.NumNodes()-int(lo)))
+			switch rng.Intn(3) {
+			case 0:
+				l.SetRangeAccess(lo, hi, acl.SubjectID(rng.Intn(3)), rng.Intn(2) == 1)
+			case 1:
+				l.DeleteRange(lo, hi)
+			case 2:
+				fm := acl.NewMatrix(1+rng.Intn(5), 3)
+				l.InsertRange(lo, FromMatrix(fm))
+			}
+		}
+		counts := map[Code]int{}
+		_, codes := l.Transitions()
+		for _, c := range codes {
+			counts[c]++
+		}
+		if l.cb.Len() != len(counts) {
+			return false
+		}
+		for c, want := range counts {
+			if l.cb.Refs(c) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRefsAfterBasicOps(t *testing.T) {
+	l := FromMatrix(figure1Matrix())
+	checkRefs(t, l)
+	l.SetNodeAccess(4, 1, true)
+	checkRefs(t, l)
+	l.SetRangeAccess(0, 11, 0, false)
+	checkRefs(t, l)
+	l.DeleteRange(2, 5)
+	checkRefs(t, l)
+}
+
+func BenchmarkFromMatrix(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := acl.NewMatrix(100000, 16)
+	cur := bitset.New(16)
+	for n := 0; n < 100000; n++ {
+		if rng.Intn(50) == 0 {
+			cur = bitset.New(16)
+			for s := 0; s < 16; s++ {
+				if rng.Intn(2) == 1 {
+					cur.Set(s)
+				}
+			}
+		}
+		m.SetRow(xmltree.NodeID(n), cur)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromMatrix(m)
+	}
+}
+
+func BenchmarkAccessLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := acl.NewMatrix(100000, 16)
+	for n := 0; n < 100000; n++ {
+		if rng.Intn(10) == 0 {
+			m.Set(xmltree.NodeID(n), acl.SubjectID(rng.Intn(16)), true)
+		}
+	}
+	l := FromMatrix(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Accessible(xmltree.NodeID(i%100000), acl.SubjectID(i%16))
+	}
+}
+
+func TestLabelingMarshalRoundTrip(t *testing.T) {
+	l := FromMatrix(figure1Matrix())
+	data, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re Labeling
+	if err := re.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if re.NumNodes() != l.NumNodes() || re.NumTransitions() != l.NumTransitions() {
+		t.Fatalf("dims differ: %d/%d vs %d/%d", re.NumNodes(), re.NumTransitions(), l.NumNodes(), l.NumTransitions())
+	}
+	if !re.Matrix().Equal(l.Matrix()) {
+		t.Fatal("matrix differs after round trip")
+	}
+}
+
+func TestLabelingUnmarshalErrors(t *testing.T) {
+	var l Labeling
+	if err := l.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if err := l.UnmarshalBinary([]byte{10, 200}); err == nil {
+		t.Fatal("truncated input should fail")
+	}
+	// Valid labeling, then corrupt a code reference.
+	src := FromMatrix(figure1Matrix())
+	data, _ := src.MarshalBinary()
+	data[len(data)-1] = 0xF7 // last code varint -> dead code
+	if err := l.UnmarshalBinary(data); err == nil {
+		t.Fatal("dead code reference should fail")
+	}
+}
+
+// Property: marshal/unmarshal is the identity on random labelings.
+func TestLabelingMarshalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numNodes := 1 + rng.Intn(100)
+		numSubjects := 1 + rng.Intn(6)
+		m := acl.NewMatrix(numNodes, numSubjects)
+		for n := 0; n < numNodes; n++ {
+			for s := 0; s < numSubjects; s++ {
+				if rng.Intn(3) == 0 {
+					m.Set(xmltree.NodeID(n), acl.SubjectID(s), true)
+				}
+			}
+		}
+		l := FromMatrix(m)
+		data, err := l.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var re Labeling
+		if err := re.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return re.Matrix().Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package dol
+
+import (
+	"fmt"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/bitset"
+	"dolxml/internal/nok"
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+// SecureStore is the physical DOL representation (§3): a NoK structure
+// store with embedded transition codes, per-block access headers mirrored
+// in the in-memory page directory, and the codebook in memory.
+type SecureStore struct {
+	store *nok.Store
+	cb    *Codebook
+}
+
+// BuildSecureStore labels doc with the accessibility matrix m and writes
+// the combined structure + access control representation into blocks from
+// pool in a single document-order pass.
+func BuildSecureStore(pool *storage.BufferPool, doc *xmltree.Document, m *acl.Matrix, opts nok.BuildOptions) (*SecureStore, error) {
+	if m.NumNodes() != doc.Len() {
+		return nil, fmt.Errorf("dol: matrix covers %d nodes, document has %d", m.NumNodes(), doc.Len())
+	}
+	lab := FromMatrix(m)
+	opts.Codes = lab
+	st, err := nok.Build(pool, doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	ss := &SecureStore{store: st, cb: lab.Codebook()}
+	// Establish the reference-count invariant refs(code) = #headers +
+	// #inline entries carrying it. The stream builder retained one
+	// reference per logical transition; blocks store block-first
+	// transition codes in their headers instead of inline, so transfer
+	// those references to the headers and add header references for
+	// blocks whose first node is not a transition.
+	for i := 0; i < st.NumPages(); i++ {
+		pi := st.PageInfoAt(i)
+		ss.cb.Retain(pi.AccessCode)
+		if lab.IsTransition(pi.FirstNode) {
+			ss.cb.Release(lab.CodeInForce(pi.FirstNode))
+		}
+	}
+	return ss, nil
+}
+
+// OpenSecureStore wraps an existing NoK store (reopened via nok.Open) and
+// its codebook.
+func OpenSecureStore(store *nok.Store, cb *Codebook) *SecureStore {
+	return &SecureStore{store: store, cb: cb}
+}
+
+// Store returns the underlying NoK structure store.
+func (ss *SecureStore) Store() *nok.Store { return ss.store }
+
+// Codebook returns the in-memory codebook.
+func (ss *SecureStore) Codebook() *Codebook { return ss.cb }
+
+// Accessible reports whether subject s may access node n: locate the
+// governing transition code within n's block and test bit s of the
+// codebook entry (§3.3). When n's block is already buffered the check
+// costs no physical I/O.
+func (ss *SecureStore) Accessible(n xmltree.NodeID, s acl.SubjectID) (bool, error) {
+	c, err := ss.store.AccessCodeAt(n)
+	if err != nil {
+		return false, err
+	}
+	return ss.cb.Accessible(c, s), nil
+}
+
+// AccessibleAny reports whether any subject of the effective set may
+// access node n.
+func (ss *SecureStore) AccessibleAny(n xmltree.NodeID, effective *bitset.Bitset) (bool, error) {
+	c, err := ss.store.AccessCodeAt(n)
+	if err != nil {
+		return false, err
+	}
+	return ss.cb.AccessibleAny(c, effective), nil
+}
+
+// PageFullyInaccessible reports, using only the in-memory page directory,
+// whether every node in block pageIdx is inaccessible to the effective
+// subject set — the page-skipping test of §3.3: the header's starting code
+// denies access and the change bit is clear.
+func (ss *SecureStore) PageFullyInaccessible(pageIdx int, effective *bitset.Bitset) bool {
+	pi := ss.store.PageInfoAt(pageIdx)
+	if pi.ChangeBit {
+		return false
+	}
+	return !ss.cb.AccessibleAny(pi.AccessCode, effective)
+}
+
+// PageFullyInaccessibleTo is PageFullyInaccessible for a single subject.
+func (ss *SecureStore) PageFullyInaccessibleTo(pageIdx int, s acl.SubjectID) bool {
+	pi := ss.store.PageInfoAt(pageIdx)
+	if pi.ChangeBit {
+		return false
+	}
+	return !ss.cb.Accessible(pi.AccessCode, s)
+}
+
+// SubjectView binds a SecureStore to one effective subject set, giving the
+// single-argument access predicate the secure query evaluator consumes.
+type SubjectView struct {
+	ss        *SecureStore
+	effective *bitset.Bitset
+}
+
+// View returns a SubjectView for the given effective subject set (a user's
+// own subject plus their transitive groups; see acl.Directory).
+func (ss *SecureStore) View(effective *bitset.Bitset) *SubjectView {
+	return &SubjectView{ss: ss, effective: effective}
+}
+
+// ViewSubject returns a SubjectView for a single subject.
+func (ss *SecureStore) ViewSubject(s acl.SubjectID) *SubjectView {
+	return ss.View(bitset.FromIndices(ss.cb.NumSubjects(), int(s)))
+}
+
+// Accessible reports whether the view's subject set may access node n.
+func (v *SubjectView) Accessible(n xmltree.NodeID) (bool, error) {
+	return v.ss.AccessibleAny(n, v.effective)
+}
+
+// SkipPage reports, from the in-memory directory alone, that every node of
+// block pageIdx is inaccessible to the view's subject set.
+func (v *SubjectView) SkipPage(pageIdx int) bool {
+	return v.ss.PageFullyInaccessible(pageIdx, v.effective)
+}
+
+// Effective returns the view's effective subject set (shared; read-only).
+func (v *SubjectView) Effective() *bitset.Bitset { return v.effective }
+
+// Store returns the view's secure store.
+func (v *SubjectView) Store() *SecureStore { return v.ss }
+
+// Matrix reconstructs the accessibility matrix encoded in the physical
+// representation by streaming every block; used by tests and consistency
+// checks.
+func (ss *SecureStore) Matrix() (*acl.Matrix, error) {
+	m := acl.NewMatrix(ss.store.NumNodes(), ss.cb.NumSubjects())
+	err := ss.store.WalkSubtree(0, func(ni nok.NodeInfo) bool {
+		m.SetRow(ni.ID, ss.cb.ACL(ni.Code))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// TransitionCount returns the number of embedded transition entries plus
+// block-initial codes, the physical analogue of Labeling.NumTransitions.
+func (ss *SecureStore) TransitionCount() (int, error) {
+	count := 0
+	var prev Code
+	first := true
+	err := ss.store.WalkSubtree(0, func(ni nok.NodeInfo) bool {
+		if first || ni.Code != prev {
+			count++
+		}
+		prev = ni.Code
+		first = false
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}

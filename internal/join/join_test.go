@@ -1,0 +1,326 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/bitset"
+	"dolxml/internal/dol"
+	"dolxml/internal/nok"
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+func randomDoc(rng *rand.Rand, n int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	b.Begin("r")
+	open := 1
+	for i := 1; i < n; i++ {
+		for open > 1 && rng.Intn(3) == 0 {
+			b.End()
+			open--
+		}
+		b.Begin([]string{"x", "y"}[rng.Intn(2)])
+		open++
+	}
+	for ; open > 0; open-- {
+		b.End()
+	}
+	return b.MustFinish()
+}
+
+func itemsFor(doc *xmltree.Document, nodes []xmltree.NodeID) []Item {
+	var out []Item
+	for _, n := range nodes {
+		out = append(out, Item{Node: n, End: doc.End(n), Level: doc.Level(n)})
+	}
+	SortItems(out)
+	return out
+}
+
+func TestSTDBasic(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b><c/><b><c/></b></b><c/></a>`)
+	// nodes: a0 b1 c2 b3 c4 c5
+	ancs := itemsFor(doc, doc.NodesWithTag("b"))
+	descs := itemsFor(doc, doc.NodesWithTag("c"))
+	pairs := STD(ancs, descs)
+	want := map[Pair]bool{
+		{1, 2}: true, {1, 4}: true, {3, 4}: true,
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Fatalf("unexpected pair %v", p)
+		}
+	}
+}
+
+func TestSTDEmptyInputs(t *testing.T) {
+	if got := STD(nil, []Item{{Node: 1}}); got != nil {
+		t.Fatal("empty ancestors should produce no pairs")
+	}
+	if got := STD([]Item{{Node: 1, End: 5}}, nil); got != nil {
+		t.Fatal("empty descendants should produce no pairs")
+	}
+}
+
+func TestSelfOrDescendantSTD(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b><b/></b></a>`)
+	bs := itemsFor(doc, doc.NodesWithTag("b"))
+	pairs := SelfOrDescendantSTD(bs, bs)
+	// (1,1), (1,2), (2,2)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+// Property: STD matches the quadratic oracle.
+func TestSTDMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 2+rng.Intn(150))
+		ancs := itemsFor(doc, doc.NodesWithTag("x"))
+		descs := itemsFor(doc, doc.NodesWithTag("y"))
+		got := STD(ancs, descs)
+		want := map[Pair]bool{}
+		for _, a := range ancs {
+			for _, d := range descs {
+				if doc.IsAncestor(a.Node, d.Node) {
+					want[Pair{a.Node, d.Node}] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, p := range got {
+			if !want[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildSecure(t testing.TB, doc *xmltree.Document, m *acl.Matrix, pageSize int) *dol.SecureStore {
+	t.Helper()
+	pool := storage.NewBufferPool(storage.NewMemPager(pageSize), 512)
+	ss, err := dol.BuildSecureStore(pool, doc, m, nok.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+// secureOracle computes the valid pairs by brute force: AD relationship
+// plus an all-accessible path including endpoints.
+func secureOracle(doc *xmltree.Document, m *acl.Matrix, eff *bitset.Bitset, ancs, descs []Item) map[Pair]bool {
+	want := map[Pair]bool{}
+	for _, a := range ancs {
+		for _, d := range descs {
+			if !doc.IsAncestor(a.Node, d.Node) {
+				continue
+			}
+			ok := true
+			for v := d.Node; v != xmltree.InvalidNode; v = doc.Parent(v) {
+				if !m.AccessibleAny(v, eff) {
+					ok = false
+				}
+				if v == a.Node {
+					break
+				}
+			}
+			if ok {
+				want[Pair{a.Node, d.Node}] = true
+			}
+		}
+	}
+	return want
+}
+
+func TestSecureSTDBasic(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b><c/><d><c/></d></b></a>`)
+	// nodes: a0 b1 c2 d3 c4
+	m := acl.NewMatrix(doc.Len(), 1)
+	for n := 0; n < doc.Len(); n++ {
+		m.Set(xmltree.NodeID(n), 0, true)
+	}
+	m.Set(3, 0, false) // d inaccessible: path b -> inner c blocked
+	ss := buildSecure(t, doc, m, 4096)
+	eff := bitset.FromIndices(1, 0)
+	ancs := itemsFor(doc, doc.NodesWithTag("b"))
+	descs := itemsFor(doc, doc.NodesWithTag("c"))
+	pairs, err := SecureSTD(ss, eff, ancs, descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0] != (Pair{1, 2}) {
+		t.Fatalf("pairs = %v, want only (1,2)", pairs)
+	}
+}
+
+func TestSecureSTDEndpointInaccessible(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b><c/></b></a>`)
+	m := acl.NewMatrix(doc.Len(), 1)
+	m.Set(0, 0, true)
+	m.Set(2, 0, true) // b (node 1) inaccessible
+	ss := buildSecure(t, doc, m, 4096)
+	eff := bitset.FromIndices(1, 0)
+	pairs, err := SecureSTD(ss, eff, itemsFor(doc, doc.NodesWithTag("b")), itemsFor(doc, doc.NodesWithTag("c")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("inaccessible ancestor endpoint must not join: %v", pairs)
+	}
+}
+
+// Property: SecureSTD matches the brute-force oracle across page sizes and
+// accessibility distributions.
+func TestSecureSTDMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 2+rng.Intn(200))
+		numSubjects := 1 + rng.Intn(3)
+		m := acl.NewMatrix(doc.Len(), numSubjects)
+		for n := 0; n < doc.Len(); n++ {
+			for s := 0; s < numSubjects; s++ {
+				if rng.Intn(4) > 0 {
+					m.Set(xmltree.NodeID(n), acl.SubjectID(s), true)
+				}
+			}
+		}
+		pageSize := 64 + rng.Intn(200)
+		pool := storage.NewBufferPool(storage.NewMemPager(pageSize), 512)
+		ss, err := dol.BuildSecureStore(pool, doc, m, nok.BuildOptions{})
+		if err != nil {
+			return false
+		}
+		eff := bitset.FromIndices(numSubjects, rng.Intn(numSubjects))
+		ancs := itemsFor(doc, doc.NodesWithTag("x"))
+		descs := itemsFor(doc, doc.NodesWithTag("y"))
+		got, err := SecureSTD(ss, eff, ancs, descs)
+		if err != nil {
+			return false
+		}
+		want := secureOracle(doc, m, eff, ancs, descs)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, p := range got {
+			if !want[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SecureSTD must physically read only pages whose change bit is set.
+func TestSecureSTDReadsOnlyMixedPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	doc := randomDoc(rng, 3000)
+	m := acl.NewMatrix(doc.Len(), 1)
+	// Long uniform runs: grant access to the first half only.
+	for n := 0; n < doc.Len()/2; n++ {
+		m.Set(xmltree.NodeID(n), 0, true)
+	}
+	pool := storage.NewBufferPool(storage.NewMemPager(256), 512)
+	ss, err := dol.BuildSecureStore(pool, doc, m, nok.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := 0
+	for k := 0; k < ss.Store().NumPages(); k++ {
+		if ss.Store().PageInfoAt(k).ChangeBit {
+			mixed++
+		}
+	}
+	if mixed == 0 || mixed > 2 {
+		t.Fatalf("workload should have one or two mixed pages, got %d", mixed)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	eff := bitset.FromIndices(1, 0)
+	ancs := itemsFor(doc, doc.NodesWithTag("x"))
+	descs := itemsFor(doc, doc.NodesWithTag("y"))
+	if _, err := SecureSTD(ss, eff, ancs, descs); err != nil {
+		t.Fatal(err)
+	}
+	if misses := pool.Stats().Misses; misses > int64(mixed) {
+		t.Fatalf("SecureSTD read %d pages; only %d mixed pages should require I/O", misses, mixed)
+	}
+}
+
+func BenchmarkSTD(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	doc := benchDoc(rng, 50000)
+	ancs := itemsFor(doc, doc.NodesWithTag("x"))
+	descs := itemsFor(doc, doc.NodesWithTag("y"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		STD(ancs, descs)
+	}
+}
+
+func BenchmarkSecureSTD(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	doc := benchDoc(rng, 50000)
+	m := acl.NewMatrix(doc.Len(), 4)
+	for n := 0; n < doc.Len(); n++ {
+		if rng.Intn(5) > 0 {
+			m.Set(xmltree.NodeID(n), acl.SubjectID(rng.Intn(4)), true)
+		}
+	}
+	pool := storage.NewBufferPool(storage.NewMemPager(4096), 4096)
+	ss, err := dol.BuildSecureStore(pool, doc, m, nok.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eff := bitset.FromIndices(4, 0)
+	ancs := itemsFor(doc, doc.NodesWithTag("x"))
+	descs := itemsFor(doc, doc.NodesWithTag("y"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SecureSTD(ss, eff, ancs, descs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDoc builds a random document with realistic bounded depth (~12) for
+// benchmarks; the unconstrained randomDoc drifts toward path-shaped trees
+// whose depth grows linearly with size, which misrepresents join and
+// navigation costs on document-shaped data.
+func benchDoc(rng *rand.Rand, n int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	b.Begin("r")
+	depth := 1
+	tags := []string{"x", "y", "z"}
+	for i := 1; i < n; i++ {
+		for depth > 1 && (depth >= 12 || rng.Intn(3) == 0) {
+			b.End()
+			depth--
+		}
+		b.Begin(tags[rng.Intn(len(tags))])
+		depth++
+	}
+	for ; depth > 0; depth-- {
+		b.End()
+	}
+	return b.MustFinish()
+}

@@ -1,0 +1,147 @@
+package join
+
+import (
+	"dolxml/internal/bitset"
+	"dolxml/internal/dol"
+	"dolxml/internal/xmltree"
+)
+
+// SecureSTD performs the secure structural join of paper §4.2 under the
+// Gabillon–Bruno semantics: it returns the pairs (a, d) such that a is a
+// proper ancestor of d and *every* node on the path from a to d, endpoints
+// included, is accessible to the effective subject set.
+//
+// The algorithm makes one document-order pass. A stack of the levels of
+// inaccessible ancestors of the current position is maintained; a pair
+// (a, d) is valid exactly when the deepest such level at d is shallower
+// than a's level. Pages whose in-memory directory header shows them to be
+// uniformly accessible or uniformly inaccessible are never physically read
+// — uniform pages contribute only directory-derivable stack updates — so
+// each page is loaded at most once, and only when its change bit is set.
+func SecureSTD(ss *dol.SecureStore, effective *bitset.Bitset, ancs, descs []Item) ([]Pair, error) {
+	if len(ancs) == 0 || len(descs) == 0 {
+		return nil, nil
+	}
+	st := ss.Store()
+	cb := ss.Codebook()
+	var (
+		out        []Pair
+		ancStack   []Item
+		inaccLvls  []int // increasing levels of inaccessible ancestors
+		aIdx, dIdx int
+	)
+	popInacc := func(level int) {
+		for len(inaccLvls) > 0 && inaccLvls[len(inaccLvls)-1] >= level {
+			inaccLvls = inaccLvls[:len(inaccLvls)-1]
+		}
+	}
+	deepestInacc := func() int {
+		if len(inaccLvls) == 0 {
+			return -1
+		}
+		return inaccLvls[len(inaccLvls)-1]
+	}
+	pushAnc := func(a Item) {
+		for len(ancStack) > 0 && ancStack[len(ancStack)-1].End < a.Node {
+			ancStack = ancStack[:len(ancStack)-1]
+		}
+		ancStack = append(ancStack, a)
+	}
+	emit := func(d Item) {
+		for len(ancStack) > 0 && ancStack[len(ancStack)-1].End < d.Node {
+			ancStack = ancStack[:len(ancStack)-1]
+		}
+		m := deepestInacc()
+		for _, a := range ancStack {
+			if a.Node < d.Node && d.Node <= a.End && m < a.Level {
+				out = append(out, Pair{Anc: a.Node, Desc: d.Node})
+			}
+		}
+	}
+
+	numPages := st.NumPages()
+	for k := 0; k < numPages && dIdx < len(descs); k++ {
+		pi := st.PageInfoAt(k)
+		first := pi.FirstNode
+		last := first + xmltree.NodeID(pi.Count) - 1
+		if !pi.ChangeBit {
+			if cb.AccessibleAny(pi.AccessCode, effective) {
+				// Uniformly accessible: candidates are processed from
+				// their own region encodings; the page is not read.
+				for {
+					var nextA, nextD xmltree.NodeID = -1, -1
+					if aIdx < len(ancs) && ancs[aIdx].Node <= last {
+						nextA = ancs[aIdx].Node
+					}
+					if dIdx < len(descs) && descs[dIdx].Node <= last {
+						nextD = descs[dIdx].Node
+					}
+					if nextA < 0 && nextD < 0 {
+						break
+					}
+					if nextA >= 0 && (nextD < 0 || nextA <= nextD) {
+						a := ancs[aIdx]
+						aIdx++
+						popInacc(a.Level)
+						pushAnc(a)
+					} else {
+						d := descs[dIdx]
+						dIdx++
+						popInacc(d.Level)
+						emit(d)
+					}
+				}
+			} else {
+				// Uniformly inaccessible: skip candidates (their pairs
+				// would be invalid) and record the page's still-open
+				// nodes as inaccessible path levels, all derived from
+				// the directory.
+				for aIdx < len(ancs) && ancs[aIdx].Node <= last {
+					aIdx++
+				}
+				for dIdx < len(descs) && descs[dIdx].Node <= last {
+					dIdx++
+				}
+				nextStart := 0
+				if k+1 < numPages {
+					nextStart = int(st.PageInfoAt(k + 1).StartDepth)
+				}
+				popInacc(nextStart)
+				for l := int(pi.StartDepth); l < nextStart; l++ {
+					if len(inaccLvls) == 0 || inaccLvls[len(inaccLvls)-1] < l {
+						inaccLvls = append(inaccLvls, l)
+					}
+				}
+			}
+			continue
+		}
+		// Mixed page: read and process node by node.
+		entries, err := st.BlockEntries(k)
+		if err != nil {
+			return nil, err
+		}
+		level := int(pi.StartDepth)
+		code := pi.AccessCode
+		node := first
+		for _, e := range entries {
+			if e.HasCode {
+				code = e.Code
+			}
+			popInacc(level)
+			if !cb.AccessibleAny(code, effective) {
+				inaccLvls = append(inaccLvls, level)
+			}
+			if aIdx < len(ancs) && ancs[aIdx].Node == node {
+				pushAnc(ancs[aIdx])
+				aIdx++
+			}
+			if dIdx < len(descs) && descs[dIdx].Node == node {
+				emit(descs[dIdx])
+				dIdx++
+			}
+			level = level + 1 - e.CloseCount
+			node++
+		}
+	}
+	return out, nil
+}

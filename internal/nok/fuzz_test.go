@@ -1,0 +1,28 @@
+package nok
+
+import "testing"
+
+// FuzzDecodeEntry hardens the block entry decoder against corrupt pages:
+// arbitrary bytes must either fail cleanly or decode to an entry that
+// re-encodes within the consumed length.
+func FuzzDecodeEntry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendEntry(nil, Entry{Tag: 5, CloseCount: 3}))
+	f.Add(appendEntry(nil, Entry{Tag: 1 << 20, CloseCount: 1, HasCode: true, Code: 77}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := decodeEntry(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decoded %d bytes of %d", n, len(data))
+		}
+		re := appendEntry(nil, e)
+		if len(re) > n {
+			// Re-encoding may be shorter (non-canonical varints) but
+			// never longer than what was consumed.
+			t.Fatalf("entry %+v re-encodes to %d bytes, consumed %d", e, len(re), n)
+		}
+	})
+}

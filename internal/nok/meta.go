@@ -1,0 +1,107 @@
+package nok
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+// Meta is the serializable description of a Store, written beside the page
+// file so a file-backed store can be reopened. The page directory itself is
+// reconstructed from the block headers, which remain authoritative.
+type Meta struct {
+	NumNodes       int              `json:"num_nodes"`
+	Tags           []string         `json:"tags"`
+	StructurePages []storage.PageID `json:"structure_pages"`
+	ValueRefs      []MetaValueRef   `json:"value_refs,omitempty"`
+}
+
+// MetaValueRef mirrors the value index for serialization.
+type MetaValueRef struct {
+	Node xmltree.NodeID `json:"n"`
+	Page storage.PageID `json:"p"`
+	Off  uint16         `json:"o"`
+	Len  uint16         `json:"l"`
+}
+
+// Meta captures the store's reopen metadata.
+func (s *Store) Meta() Meta {
+	m := Meta{
+		NumNodes: s.numNodes,
+		Tags:     append([]string(nil), s.tags...),
+	}
+	for _, pi := range s.dir {
+		m.StructurePages = append(m.StructurePages, pi.Page)
+	}
+	if s.values != nil {
+		for _, r := range s.values.refs {
+			m.ValueRefs = append(m.ValueRefs, MetaValueRef{Node: r.Node, Page: r.Page, Off: r.Off, Len: r.Len})
+		}
+	}
+	return m
+}
+
+// WriteMeta serializes the store's metadata as JSON.
+func (s *Store) WriteMeta(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s.Meta())
+}
+
+// Open reconstructs a Store from metadata and a buffer pool over the
+// original pages, re-reading each block header into the in-memory page
+// directory.
+func Open(pool *storage.BufferPool, m Meta) (*Store, error) {
+	if m.NumNodes <= 0 {
+		return nil, fmt.Errorf("nok: metadata has %d nodes", m.NumNodes)
+	}
+	s := &Store{
+		pool:     pool,
+		tags:     append([]string(nil), m.Tags...),
+		tagIndex: make(map[string]int32, len(m.Tags)),
+		numNodes: m.NumNodes,
+	}
+	for i, t := range s.tags {
+		s.tagIndex[t] = int32(i)
+	}
+	// Node IDs are assigned cumulatively from directory order: after
+	// region rewrites the FirstNode stored inside later block headers may
+	// be stale, so directory order + counts are authoritative.
+	next := xmltree.NodeID(0)
+	for _, pid := range m.StructurePages {
+		f, err := pool.Get(pid)
+		if err != nil {
+			return nil, fmt.Errorf("nok: reopen block %d: %w", pid, err)
+		}
+		pi, _ := readHeader(pid, f.Data)
+		if err := pool.Unpin(pid, false); err != nil {
+			return nil, err
+		}
+		pi.FirstNode = next
+		next += xmltree.NodeID(pi.Count)
+		s.dir = append(s.dir, pi)
+	}
+	if len(m.ValueRefs) > 0 {
+		vs := &ValueStore{pool: pool}
+		for _, r := range m.ValueRefs {
+			vs.refs = append(vs.refs, valueRef{Node: r.Node, Page: r.Page, Off: r.Off, Len: r.Len})
+		}
+		s.values = vs
+	}
+	// Sanity: blocks must cover exactly the advertised node count.
+	if int(next) != s.numNodes {
+		return nil, fmt.Errorf("nok: blocks cover %d nodes, metadata says %d", next, s.numNodes)
+	}
+	return s, nil
+}
+
+// ReadMeta parses metadata previously produced by WriteMeta.
+func ReadMeta(r io.Reader) (Meta, error) {
+	var m Meta
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return Meta{}, fmt.Errorf("nok: read metadata: %w", err)
+	}
+	return m, nil
+}

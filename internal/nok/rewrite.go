@@ -1,0 +1,191 @@
+package nok
+
+import (
+	"fmt"
+
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+// freePage records a page available for reuse after a region rewrite shrank
+// its block range.
+func (s *Store) freePage(p storage.PageID) { s.freeList = append(s.freeList, p) }
+
+// allocPage returns a reusable or freshly allocated page, pinned.
+func (s *Store) allocPage() (*storage.Frame, error) {
+	if n := len(s.freeList); n > 0 {
+		p := s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+		return s.pool.Get(p)
+	}
+	return s.pool.Allocate()
+}
+
+// FreePages returns the number of pages in the reuse list.
+func (s *Store) FreePages() int { return len(s.freeList) }
+
+// BlockEntries decodes the entries of block i exactly as stored: block-first
+// entries never carry inline codes (their code lives in the header). It is
+// the read half of a region rewrite; callers may mutate the returned slice
+// (it is a private copy, never shared with the decode cache).
+func (s *Store) BlockEntries(i int) ([]Entry, error) {
+	if i < 0 || i >= len(s.dir) {
+		return nil, fmt.Errorf("nok: invalid block %d of %d", i, len(s.dir))
+	}
+	es, err := s.blockEntries(i)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, len(es))
+	copy(out, es)
+	return out, nil
+}
+
+// RewriteRegion replaces blocks [i, j] with blocks holding newEntries. The
+// region's first node keeps its document-order ID; the node count changes
+// by len(newEntries) − (old count), shifting the IDs of all later nodes.
+// startLevel is the level of the region's first entry (normally
+// unchanged); startCode is the access code in force at that entry.
+//
+// The rewrite has the paper's update-locality property: only the pages of
+// the affected region (plus any pages newly allocated for overflow) are
+// written; later blocks are untouched — their in-memory directory entries
+// are renumbered, but their on-disk contents remain valid because block
+// headers are positioned by directory order, not by stored node IDs.
+// It returns the number of blocks now occupying the region (directory
+// indices i .. i+n-1).
+func (s *Store) RewriteRegion(i, j int, newEntries []Entry, startLevel int, startCode uint32) (int, error) {
+	if i < 0 || j >= len(s.dir) || i > j {
+		return 0, fmt.Errorf("nok: invalid region [%d,%d] of %d blocks", i, j, len(s.dir))
+	}
+	if len(newEntries) == 0 {
+		return 0, fmt.Errorf("nok: rewrite to empty region unsupported")
+	}
+	oldCount := 0
+	for k := i; k <= j; k++ {
+		oldCount += s.dir[k].Count
+	}
+	delta := len(newEntries) - oldCount
+	firstNode := s.dir[i].FirstNode
+
+	// Reusable pages from the old region; their cached decodings are
+	// stale either way.
+	reuse := make([]storage.PageID, 0, j-i+1)
+	for k := i; k <= j; k++ {
+		reuse = append(reuse, s.dir[k].Page)
+		s.invalidateDecoded(s.dir[k].Page)
+	}
+
+	pageSize := s.pool.Pager().PageSize()
+	capBytes := pageSize - headerSize
+
+	// Lay out new blocks.
+	var newDir []PageInfo
+	var (
+		blockEntries []Entry
+		blockBytes   int
+		blockFirst   = firstNode
+		level        = startLevel
+		code         = startCode
+		blockStartLv = startLevel
+		blockStartCd = startCode
+		blockMin     = startLevel
+	)
+	flush := func() error {
+		if len(blockEntries) == 0 {
+			return nil
+		}
+		var frame *storage.Frame
+		var err error
+		if len(reuse) > 0 {
+			frame, err = s.pool.Get(reuse[0])
+			reuse = reuse[1:]
+		} else {
+			frame, err = s.allocPage()
+		}
+		if err != nil {
+			return err
+		}
+		pi := PageInfo{
+			Page:       frame.ID(),
+			FirstNode:  blockFirst,
+			Count:      len(blockEntries),
+			StartDepth: uint16(blockStartLv),
+			MinDepth:   uint16(blockMin),
+			AccessCode: blockStartCd,
+		}
+		blockEntries[0].HasCode = false
+		blockEntries[0].Code = 0
+		body := frame.Data[headerSize:headerSize]
+		for _, e := range blockEntries {
+			if e.HasCode {
+				pi.ChangeBit = true
+			}
+			body = appendEntry(body, e)
+		}
+		writeHeader(frame.Data, pi, len(body))
+		if err := s.pool.Unpin(frame.ID(), true); err != nil {
+			return err
+		}
+		newDir = append(newDir, pi)
+		blockFirst += xmltree.NodeID(len(blockEntries))
+		blockEntries = blockEntries[:0]
+		blockBytes = 0
+		return nil
+	}
+
+	for _, e := range newEntries {
+		if e.HasCode {
+			code = e.Code
+		}
+		sz := entrySize(e)
+		if blockBytes+sz > capBytes && len(blockEntries) > 0 {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+		if len(blockEntries) == 0 {
+			blockStartLv = level
+			blockStartCd = code
+			blockMin = level
+		} else if level < blockMin {
+			blockMin = level
+		}
+		blockEntries = append(blockEntries, e)
+		blockBytes += sz
+		level = level + 1 - e.CloseCount
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	// Pages left over from a shrinking rewrite become reusable.
+	for _, p := range reuse {
+		s.freePage(p)
+	}
+
+	// Splice the directory and renumber later blocks.
+	dir := make([]PageInfo, 0, len(s.dir)-(j-i+1)+len(newDir))
+	dir = append(dir, s.dir[:i]...)
+	dir = append(dir, newDir...)
+	for k := j + 1; k < len(s.dir); k++ {
+		pi := s.dir[k]
+		pi.FirstNode += xmltree.NodeID(delta)
+		dir = append(dir, pi)
+	}
+	s.dir = dir
+	s.numNodes += delta
+	return len(newDir), nil
+}
+
+// InternTag returns the code for tag, adding it to the store's tag table if
+// new — used when inserted fragments introduce tags the document had not
+// seen.
+func (s *Store) InternTag(tag string) int32 {
+	if c, ok := s.tagIndex[tag]; ok {
+		return c
+	}
+	c := int32(len(s.tags))
+	s.tags = append(s.tags, tag)
+	s.tagIndex[tag] = c
+	return c
+}

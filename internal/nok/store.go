@@ -1,0 +1,612 @@
+package nok
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+// Block layout (within one storage page):
+//
+//	offset 0  u32  firstNode      document-order ID of the first entry
+//	offset 4  u16  startDepth     level of the first entry (root = 0)
+//	offset 6  u16  minDepth       minimum level of any entry in the block
+//	offset 8  u16  count          number of entries
+//	offset 10 u16  dataLen        bytes of encoded entries following header
+//	offset 12 u32  accessCode     DOL code in force at the first entry (§3.2)
+//	offset 16 u8   flags          bit 0: change bit (§3.2)
+//	offset 17      entries...
+const (
+	headerSize    = 17
+	flagChangeBit = 1 << 0
+)
+
+// PageInfo is the in-memory directory record for one structure block — the
+// "page header kept in memory" of paper §3.2 that enables access checks and
+// page skipping without physical reads.
+type PageInfo struct {
+	// Page is the underlying storage page.
+	Page storage.PageID
+	// FirstNode is the document-order ID of the block's first entry.
+	FirstNode xmltree.NodeID
+	// Count is the number of entries in the block.
+	Count int
+	// StartDepth is the level of the first entry.
+	StartDepth uint16
+	// MinDepth is the minimum level of any entry in the block; a
+	// navigation scan looking for an ancestor boundary at level ≤ L may
+	// skip the block whenever MinDepth > L.
+	MinDepth uint16
+	// AccessCode is the DOL access-control code in force at the first
+	// entry (the block's implicit initial transition node).
+	AccessCode uint32
+	// ChangeBit is set when the block contains at least one transition
+	// node beyond the initial one; clear means AccessCode governs every
+	// node in the block (§3.3 page skipping).
+	ChangeBit bool
+}
+
+// Store is a block-oriented succinct structure store for one document,
+// optionally carrying embedded DOL access codes.
+type Store struct {
+	pool *storage.BufferPool
+	// dir lists blocks in document order; it is the in-memory page
+	// directory.
+	dir      []PageInfo
+	tags     []string
+	tagIndex map[string]int32
+	numNodes int
+	values   *ValueStore
+	// freeList holds pages released by shrinking region rewrites,
+	// available for reuse by growing ones.
+	freeList []storage.PageID
+
+	// Decoded-block cache: navigation primitives (FIRST-CHILD,
+	// FOLLOWING-SIBLING, access lookup) re-scan whole blocks; caching a
+	// handful of decoded blocks removes the dominant allocation from
+	// query evaluation without changing I/O behavior (the underlying
+	// pages still flow through the buffer pool and its statistics).
+	// Guarded by decMu: concurrent readers share the cache.
+	decMu    sync.Mutex
+	decCache map[storage.PageID][]Entry
+	decOrder []storage.PageID
+}
+
+// decCacheCap bounds the decoded-block cache (≈ 16 blocks).
+const decCacheCap = 16
+
+// cachedEntries returns the decoded entries of the page, read-only.
+func (s *Store) cachedEntries(pid storage.PageID) ([]Entry, bool) {
+	s.decMu.Lock()
+	defer s.decMu.Unlock()
+	es, ok := s.decCache[pid]
+	return es, ok
+}
+
+// cacheDecoded stores a decoded block, evicting FIFO beyond the cap. The
+// slice becomes shared and must never be mutated.
+func (s *Store) cacheDecoded(pid storage.PageID, es []Entry) {
+	s.decMu.Lock()
+	defer s.decMu.Unlock()
+	if s.decCache == nil {
+		s.decCache = make(map[storage.PageID][]Entry, decCacheCap)
+	}
+	if _, ok := s.decCache[pid]; ok {
+		return
+	}
+	if len(s.decOrder) >= decCacheCap {
+		old := s.decOrder[0]
+		s.decOrder = s.decOrder[1:]
+		delete(s.decCache, old)
+	}
+	s.decCache[pid] = es
+	s.decOrder = append(s.decOrder, pid)
+}
+
+// invalidateDecoded drops a page from the decode cache (after a rewrite).
+func (s *Store) invalidateDecoded(pid storage.PageID) {
+	s.decMu.Lock()
+	defer s.decMu.Unlock()
+	if _, ok := s.decCache[pid]; !ok {
+		return
+	}
+	delete(s.decCache, pid)
+	for i, p := range s.decOrder {
+		if p == pid {
+			s.decOrder = append(s.decOrder[:i], s.decOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Pool returns the buffer pool backing the store.
+func (s *Store) Pool() *storage.BufferPool { return s.pool }
+
+// NumNodes returns the number of nodes in the stored document.
+func (s *Store) NumNodes() int { return s.numNodes }
+
+// NumPages returns the number of structure blocks.
+func (s *Store) NumPages() int { return len(s.dir) }
+
+// PageInfoAt returns the directory record for block i.
+func (s *Store) PageInfoAt(i int) PageInfo { return s.dir[i] }
+
+// Directory returns the in-memory page directory (shared; read-only for
+// callers).
+func (s *Store) Directory() []PageInfo { return s.dir }
+
+// DirectoryBytes estimates the in-memory size of the page directory, the
+// quantity behind the paper's "3 MB–10 MB of headers per 1 TB" claim.
+func (s *Store) DirectoryBytes() int {
+	// Page, FirstNode: 4+4; depths: 2+2; count: 2 (practically); code: 4;
+	// change bit: 1.
+	return len(s.dir) * 19
+}
+
+// TagName returns the tag string for a tag code.
+func (s *Store) TagName(code int32) string { return s.tags[code] }
+
+// NumTags returns the number of distinct tags.
+func (s *Store) NumTags() int { return len(s.tags) }
+
+// LookupTag returns the code for a tag name.
+func (s *Store) LookupTag(tag string) (int32, bool) {
+	c, ok := s.tagIndex[tag]
+	return c, ok
+}
+
+// Values returns the store's value store, or nil if values were not stored.
+func (s *Store) Values() *ValueStore { return s.values }
+
+// Valid reports whether n is a node of the stored document.
+func (s *Store) Valid(n xmltree.NodeID) bool { return n >= 0 && int(n) < s.numNodes }
+
+// pageOf returns the directory index of the block containing node n.
+func (s *Store) pageOf(n xmltree.NodeID) int {
+	// First block whose FirstNode > n, minus one.
+	i := sort.Search(len(s.dir), func(i int) bool { return s.dir[i].FirstNode > n })
+	return i - 1
+}
+
+// readBlock pins the page of directory entry i and returns its frame. The
+// caller must unpin.
+func (s *Store) readBlock(i int) (*storage.Frame, error) {
+	return s.pool.Get(s.dir[i].Page)
+}
+
+// decodeBlock decodes all entries of the block in frame data. It returns
+// the entries slice. The header is validated against dir[i].
+func (s *Store) decodeBlock(i int, data []byte) ([]Entry, error) {
+	count := int(binary.LittleEndian.Uint16(data[8:10]))
+	dataLen := int(binary.LittleEndian.Uint16(data[10:12]))
+	if count != s.dir[i].Count {
+		return nil, fmt.Errorf("nok: block %d count mismatch: header %d, directory %d", i, count, s.dir[i].Count)
+	}
+	entries := make([]Entry, 0, count)
+	body := data[headerSize : headerSize+dataLen]
+	for len(body) > 0 {
+		e, n, err := decodeEntry(body)
+		if err != nil {
+			return nil, fmt.Errorf("nok: block %d: %w", i, err)
+		}
+		entries = append(entries, e)
+		body = body[n:]
+	}
+	if len(entries) != count {
+		return nil, fmt.Errorf("nok: block %d decoded %d entries, header says %d", i, len(entries), count)
+	}
+	return entries, nil
+}
+
+// blockEntries loads and decodes block i. The returned slice may be shared
+// via the decode cache and must be treated as read-only; use BlockEntries
+// for a mutable copy.
+func (s *Store) blockEntries(i int) ([]Entry, error) {
+	pid := s.dir[i].Page
+	if es, ok := s.cachedEntries(pid); ok {
+		// Keep buffer-pool statistics meaningful: a decode-cache hit is
+		// also a pool hit (the page is logically touched).
+		f, err := s.pool.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.pool.Unpin(f.ID(), false); err != nil {
+			return nil, err
+		}
+		return es, nil
+	}
+	f, err := s.readBlock(i)
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.Unpin(f.ID(), false)
+	es, err := s.decodeBlock(i, f.Data)
+	if err != nil {
+		return nil, err
+	}
+	s.cacheDecoded(pid, es)
+	return es, nil
+}
+
+// NodeInfo is the decoded state of one node during a scan.
+type NodeInfo struct {
+	ID    xmltree.NodeID
+	Entry Entry
+	// Level is the node's depth (root = 0).
+	Level int
+	// Code is the DOL access code in force at this node (the code of the
+	// nearest preceding transition node, found in the same block).
+	Code uint32
+}
+
+// scanTo decodes block i up to and including node n, returning n's info.
+// This is the paper's access-lookup procedure (§3.3): the governing
+// transition node is always found within n's own block.
+func (s *Store) scanTo(i int, n xmltree.NodeID) (NodeInfo, error) {
+	entries, err := s.blockEntries(i)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	info := s.dir[i]
+	level := int(info.StartDepth)
+	code := info.AccessCode
+	id := info.FirstNode
+	for _, e := range entries {
+		if e.HasCode {
+			code = e.Code
+		}
+		if id == n {
+			return NodeInfo{ID: n, Entry: e, Level: level, Code: code}, nil
+		}
+		level = level + 1 - e.CloseCount
+		id++
+	}
+	return NodeInfo{}, fmt.Errorf("nok: node %d not found in block %d", n, i)
+}
+
+// Info returns the decoded state of node n.
+func (s *Store) Info(n xmltree.NodeID) (NodeInfo, error) {
+	if !s.Valid(n) {
+		return NodeInfo{}, fmt.Errorf("nok: invalid node %d", n)
+	}
+	return s.scanTo(s.pageOf(n), n)
+}
+
+// Tag returns the tag code of node n.
+func (s *Store) Tag(n xmltree.NodeID) (int32, error) {
+	info, err := s.Info(n)
+	if err != nil {
+		return 0, err
+	}
+	return info.Entry.Tag, nil
+}
+
+// Level returns the depth of node n.
+func (s *Store) Level(n xmltree.NodeID) (int, error) {
+	info, err := s.Info(n)
+	if err != nil {
+		return 0, err
+	}
+	return info.Level, nil
+}
+
+// AccessCodeAt returns the DOL access code governing node n. Per the
+// paper's design the lookup touches only n's own block (plus the in-memory
+// directory), so when the block is already pinned for navigation the check
+// costs no additional I/O.
+func (s *Store) AccessCodeAt(n xmltree.NodeID) (uint32, error) {
+	info, err := s.Info(n)
+	if err != nil {
+		return 0, err
+	}
+	return info.Code, nil
+}
+
+// FirstChild returns the first child of n, or InvalidNode if n is a leaf —
+// subroutine FIRST-CHILD of Algorithm 1.
+func (s *Store) FirstChild(n xmltree.NodeID) (xmltree.NodeID, error) {
+	info, err := s.Info(n)
+	if err != nil {
+		return xmltree.InvalidNode, err
+	}
+	if info.Entry.CloseCount > 0 {
+		return xmltree.InvalidNode, nil
+	}
+	return n + 1, nil
+}
+
+// FollowingSibling returns the next sibling of n, or InvalidNode —
+// subroutine FOLLOWING-SIBLING of Algorithm 1. The scan skips, via the
+// in-memory directory alone, every block that provably lies strictly inside
+// n's subtree (MinDepth > level(n)).
+func (s *Store) FollowingSibling(n xmltree.NodeID) (xmltree.NodeID, error) {
+	return s.FollowingSiblingSkip(n, nil)
+}
+
+// FollowingSiblingSkip is FollowingSibling extended with a page-skip
+// predicate for secure matching (§3.3): during the cross-block scan, a
+// block for which skip reports true (meaning every node in it is
+// inaccessible, per its in-memory header) is skipped without a physical
+// read when its MinDepth is at least the sibling level — such a block can
+// only contain inaccessible siblings and their descendants, which the
+// secure matcher rejects anyway. When such a block additionally contains a
+// node shallower than the sibling level, the parent's subtree ends inside
+// it and the scan can conclude, again without I/O, that no accessible
+// sibling remains.
+//
+// The returned node is therefore the next sibling that does not lie in a
+// wholly-skipped block; with a nil predicate it is exactly the next
+// sibling.
+func (s *Store) FollowingSiblingSkip(n xmltree.NodeID, skip func(pageIdx int) bool) (xmltree.NodeID, error) {
+	if !s.Valid(n) {
+		return xmltree.InvalidNode, fmt.Errorf("nok: invalid node %d", n)
+	}
+	i := s.pageOf(n)
+	entries, err := s.blockEntries(i)
+	if err != nil {
+		return xmltree.InvalidNode, err
+	}
+	info := s.dir[i]
+	// Locate n within the block and its level.
+	level := int(info.StartDepth)
+	idx := int(n - info.FirstNode)
+	for j := 0; j < idx; j++ {
+		level = level + 1 - entries[j].CloseCount
+	}
+	targetLevel := level
+	// Scan forward within the block for the first node at level ≤ target.
+	id := n
+	for j := idx; j < len(entries); j++ {
+		if j > idx && level <= targetLevel {
+			if level == targetLevel {
+				return id, nil
+			}
+			return xmltree.InvalidNode, nil
+		}
+		level = level + 1 - entries[j].CloseCount
+		id++
+	}
+	// Continue across blocks, skipping those wholly inside the subtree.
+	for k := i + 1; k < len(s.dir); k++ {
+		pi := s.dir[k]
+		if int(pi.MinDepth) > targetLevel {
+			continue // directory-only skip: block is inside n's subtree
+		}
+		if skip != nil && skip(k) {
+			if int(pi.MinDepth) >= targetLevel {
+				continue // only inaccessible siblings and their subtrees
+			}
+			// The parent subtree ends inside a fully-skipped block: no
+			// accessible sibling remains.
+			return xmltree.InvalidNode, nil
+		}
+		if int(pi.StartDepth) <= targetLevel {
+			if int(pi.StartDepth) == targetLevel {
+				return pi.FirstNode, nil
+			}
+			return xmltree.InvalidNode, nil
+		}
+		bentries, err := s.blockEntries(k)
+		if err != nil {
+			return xmltree.InvalidNode, err
+		}
+		lvl := int(pi.StartDepth)
+		bid := pi.FirstNode
+		for _, e := range bentries {
+			if lvl <= targetLevel {
+				if lvl == targetLevel {
+					return bid, nil
+				}
+				return xmltree.InvalidNode, nil
+			}
+			lvl = lvl + 1 - e.CloseCount
+			bid++
+		}
+		if lvl <= targetLevel {
+			// Boundary falls at the start of a later block.
+			continue
+		}
+	}
+	return xmltree.InvalidNode, nil
+}
+
+// SubtreeEnd returns the last node of n's subtree (n itself for leaves),
+// using the same directory-assisted scan as FollowingSibling.
+func (s *Store) SubtreeEnd(n xmltree.NodeID) (xmltree.NodeID, error) {
+	if !s.Valid(n) {
+		return xmltree.InvalidNode, fmt.Errorf("nok: invalid node %d", n)
+	}
+	i := s.pageOf(n)
+	entries, err := s.blockEntries(i)
+	if err != nil {
+		return xmltree.InvalidNode, err
+	}
+	info := s.dir[i]
+	level := int(info.StartDepth)
+	idx := int(n - info.FirstNode)
+	for j := 0; j < idx; j++ {
+		level = level + 1 - entries[j].CloseCount
+	}
+	targetLevel := level
+	id := n
+	for j := idx; j < len(entries); j++ {
+		if j > idx && level <= targetLevel {
+			return id - 1, nil
+		}
+		level = level + 1 - entries[j].CloseCount
+		id++
+	}
+	for k := i + 1; k < len(s.dir); k++ {
+		pi := s.dir[k]
+		if int(pi.MinDepth) > targetLevel {
+			continue
+		}
+		if int(pi.StartDepth) <= targetLevel {
+			return pi.FirstNode - 1, nil
+		}
+		bentries, err := s.blockEntries(k)
+		if err != nil {
+			return xmltree.InvalidNode, err
+		}
+		lvl := int(pi.StartDepth)
+		bid := pi.FirstNode
+		for _, e := range bentries {
+			if lvl <= targetLevel {
+				return bid - 1, nil
+			}
+			lvl = lvl + 1 - e.CloseCount
+			bid++
+		}
+	}
+	return xmltree.NodeID(s.numNodes - 1), nil
+}
+
+// WalkSubtree calls visit for every node in n's subtree in document order,
+// including n itself, streaming block by block. visit receives each node's
+// info; returning false stops the walk early.
+func (s *Store) WalkSubtree(n xmltree.NodeID, visit func(NodeInfo) bool) error {
+	if !s.Valid(n) {
+		return fmt.Errorf("nok: invalid node %d", n)
+	}
+	end, err := s.SubtreeEnd(n)
+	if err != nil {
+		return err
+	}
+	for i := s.pageOf(n); i < len(s.dir); i++ {
+		pi := s.dir[i]
+		if pi.FirstNode > end {
+			break
+		}
+		entries, err := s.blockEntries(i)
+		if err != nil {
+			return err
+		}
+		level := int(pi.StartDepth)
+		code := pi.AccessCode
+		id := pi.FirstNode
+		for _, e := range entries {
+			if e.HasCode {
+				code = e.Code
+			}
+			if id >= n && id <= end {
+				if !visit(NodeInfo{ID: id, Entry: e, Level: level, Code: code}) {
+					return nil
+				}
+			}
+			level = level + 1 - e.CloseCount
+			id++
+		}
+	}
+	return nil
+}
+
+// PageIndexOf returns the directory index of the block holding node n, for
+// use with skip hints.
+func (s *Store) PageIndexOf(n xmltree.NodeID) int { return s.pageOf(n) }
+
+// CheckConsistency cross-validates the in-memory page directory against
+// the on-disk block contents: contiguous node coverage, entry counts,
+// header depths and change bits, and balanced parenthesis structure. It is
+// intended for operational sanity checks (e.g. after reopening a store)
+// and for tests.
+func (s *Store) CheckConsistency() error {
+	next := xmltree.NodeID(0)
+	depth := -1
+	for i := range s.dir {
+		pi := s.dir[i]
+		if pi.FirstNode != next {
+			return fmt.Errorf("nok: block %d starts at node %d, want %d", i, pi.FirstNode, next)
+		}
+		entries, err := s.blockEntries(i)
+		if err != nil {
+			return err
+		}
+		if len(entries) != pi.Count {
+			return fmt.Errorf("nok: block %d has %d entries, directory says %d", i, len(entries), pi.Count)
+		}
+		if pi.Count == 0 {
+			return fmt.Errorf("nok: block %d is empty", i)
+		}
+		if entries[0].HasCode {
+			return fmt.Errorf("nok: block %d first entry carries an inline code", i)
+		}
+		if depth >= 0 && int(pi.StartDepth) != depth {
+			return fmt.Errorf("nok: block %d starts at depth %d, carry-over is %d", i, pi.StartDepth, depth)
+		}
+		level := int(pi.StartDepth)
+		min := level
+		change := false
+		for _, e := range entries {
+			if level < min {
+				min = level
+			}
+			if e.HasCode {
+				change = true
+			}
+			if int(e.Tag) >= len(s.tags) {
+				return fmt.Errorf("nok: block %d references unknown tag %d", i, e.Tag)
+			}
+			level = level + 1 - e.CloseCount
+			if level < 0 {
+				return fmt.Errorf("nok: block %d closes below the root", i)
+			}
+		}
+		if int(pi.MinDepth) != min {
+			return fmt.Errorf("nok: block %d MinDepth %d, recomputed %d", i, pi.MinDepth, min)
+		}
+		if pi.ChangeBit != change {
+			return fmt.Errorf("nok: block %d change bit %v, recomputed %v", i, pi.ChangeBit, change)
+		}
+		depth = level
+		next += xmltree.NodeID(pi.Count)
+	}
+	if int(next) != s.numNodes {
+		return fmt.Errorf("nok: blocks cover %d nodes, store says %d", next, s.numNodes)
+	}
+	if depth != 0 {
+		return fmt.Errorf("nok: document ends at depth %d, want 0", depth)
+	}
+	return nil
+}
+
+// ForEachExtent streams every node with its subtree extent, level and tag
+// code in document order using a single pass over the structure blocks —
+// the input needed to (re)build a tag index over the store.
+func (s *Store) ForEachExtent(visit func(n, end xmltree.NodeID, level int, tag int32)) error {
+	if s.numNodes == 0 {
+		return nil
+	}
+	type open struct {
+		node  xmltree.NodeID
+		level int
+		tag   int32
+	}
+	var stack []open
+	for i := range s.dir {
+		pi := s.dir[i]
+		entries, err := s.blockEntries(i)
+		if err != nil {
+			return err
+		}
+		level := int(pi.StartDepth)
+		id := pi.FirstNode
+		for _, e := range entries {
+			stack = append(stack, open{id, level, e.Tag})
+			for c := 0; c < e.CloseCount; c++ {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				visit(top.node, id, top.level, top.tag)
+			}
+			level = level + 1 - e.CloseCount
+			id++
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("nok: unbalanced structure: %d subtrees left open", len(stack))
+	}
+	return nil
+}

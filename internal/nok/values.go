@@ -1,0 +1,179 @@
+package nok
+
+import (
+	"fmt"
+	"sort"
+
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+// ValueStore holds node text values on their own pages, separate from the
+// structure blocks, following the NoK design of storing structure and
+// values apart. Only nodes with non-empty values occupy space; an in-memory
+// index maps node IDs to their value's location.
+type ValueStore struct {
+	pool *storage.BufferPool
+	// refs is sorted by Node.
+	refs []valueRef
+}
+
+type valueRef struct {
+	Node xmltree.NodeID
+	Page storage.PageID
+	Off  uint16
+	Len  uint16
+}
+
+// BuildValues writes the values of nodes 0..numNodes-1 (as reported by
+// valueOf) into pages from pool, in document order.
+func BuildValues(pool *storage.BufferPool, numNodes int, valueOf func(xmltree.NodeID) string) (*ValueStore, error) {
+	vs := &ValueStore{pool: pool}
+	pageSize := pool.Pager().PageSize()
+	var (
+		frame *storage.Frame
+		off   int
+	)
+	flush := func() error {
+		if frame == nil {
+			return nil
+		}
+		err := pool.Unpin(frame.ID(), true)
+		frame = nil
+		return err
+	}
+	for n := xmltree.NodeID(0); int(n) < numNodes; n++ {
+		v := valueOf(n)
+		if v == "" {
+			continue
+		}
+		if len(v) > pageSize {
+			return nil, fmt.Errorf("nok: value of node %d (%d bytes) exceeds page size %d", n, len(v), pageSize)
+		}
+		if frame == nil || off+len(v) > pageSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			f, err := pool.Allocate()
+			if err != nil {
+				return nil, err
+			}
+			frame = f
+			off = 0
+		}
+		copy(frame.Data[off:], v)
+		vs.refs = append(vs.refs, valueRef{Node: n, Page: frame.ID(), Off: uint16(off), Len: uint16(len(v))})
+		off += len(v)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// Value returns the text value of node n ("" when the node has none).
+func (vs *ValueStore) Value(n xmltree.NodeID) (string, error) {
+	i := sort.Search(len(vs.refs), func(i int) bool { return vs.refs[i].Node >= n })
+	if i >= len(vs.refs) || vs.refs[i].Node != n {
+		return "", nil
+	}
+	r := vs.refs[i]
+	f, err := vs.pool.Get(r.Page)
+	if err != nil {
+		return "", err
+	}
+	defer vs.pool.Unpin(r.Page, false)
+	return string(f.Data[r.Off : r.Off+r.Len]), nil
+}
+
+// NumValues returns the number of stored (non-empty) values.
+func (vs *ValueStore) NumValues() int { return len(vs.refs) }
+
+// refSize is the in-memory bytes per value index entry.
+const refSize = 4 + 4 + 2 + 2
+
+// IndexBytes estimates the in-memory size of the value index.
+func (vs *ValueStore) IndexBytes() int { return len(vs.refs) * refSize }
+
+// DeleteRange removes the value references of nodes [lo, hi] and shifts the
+// node IDs of later references down, mirroring a structural subtree delete.
+// The freed value bytes are reclaimed lazily (on the next full rebuild).
+func (vs *ValueStore) DeleteRange(lo, hi xmltree.NodeID) {
+	removed := hi - lo + 1
+	out := vs.refs[:0]
+	for _, r := range vs.refs {
+		switch {
+		case r.Node < lo:
+			out = append(out, r)
+		case r.Node > hi:
+			r.Node -= removed
+			out = append(out, r)
+		}
+	}
+	vs.refs = out
+}
+
+// InsertValues shifts the node IDs of references at or after `at` up by
+// count and stores the values of the count inserted nodes (as reported by
+// valueOf for fragment-relative IDs 0..count-1) on freshly allocated pages.
+func (vs *ValueStore) InsertValues(at xmltree.NodeID, count int, valueOf func(xmltree.NodeID) string) error {
+	i := sort.Search(len(vs.refs), func(i int) bool { return vs.refs[i].Node >= at })
+	if valueOf == nil {
+		for k := i; k < len(vs.refs); k++ {
+			vs.refs[k].Node += xmltree.NodeID(count)
+		}
+		return nil
+	}
+	// Validate every inserted value before mutating the index, so a
+	// failed insert leaves the store untouched.
+	pageSize := vs.pool.Pager().PageSize()
+	for n := 0; n < count; n++ {
+		if v := valueOf(xmltree.NodeID(n)); len(v) > pageSize {
+			return fmt.Errorf("nok: inserted value of node %d (%d bytes) exceeds page size %d", n, len(v), pageSize)
+		}
+	}
+	var (
+		frame *storage.Frame
+		off   int
+		added []valueRef
+	)
+	flush := func() error {
+		if frame == nil {
+			return nil
+		}
+		err := vs.pool.Unpin(frame.ID(), true)
+		frame = nil
+		return err
+	}
+	for n := 0; n < count; n++ {
+		v := valueOf(xmltree.NodeID(n))
+		if v == "" {
+			continue
+		}
+		if frame == nil || off+len(v) > pageSize {
+			if err := flush(); err != nil {
+				return err
+			}
+			f, err := vs.pool.Allocate()
+			if err != nil {
+				return err
+			}
+			frame = f
+			off = 0
+		}
+		copy(frame.Data[off:], v)
+		added = append(added, valueRef{Node: at + xmltree.NodeID(n), Page: frame.ID(), Off: uint16(off), Len: uint16(len(v))})
+		off += len(v)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	// All writes succeeded: shift the tail and splice the new refs,
+	// keeping the index sorted by node.
+	tail := append([]valueRef{}, vs.refs[i:]...)
+	for k := range tail {
+		tail[k].Node += xmltree.NodeID(count)
+	}
+	vs.refs = append(append(vs.refs[:i], added...), tail...)
+	return nil
+}

@@ -1,0 +1,420 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"dolxml/internal/btree"
+	"dolxml/internal/dol"
+	"dolxml/internal/join"
+	"dolxml/internal/nok"
+	"dolxml/internal/xmltree"
+)
+
+// Semantics selects the secure-evaluation semantics.
+type Semantics int
+
+const (
+	// SemanticsBindings is the Cho et al. semantics used throughout §4:
+	// a result is valid when every data node bound by the pattern match
+	// is accessible; inaccessible nodes elsewhere (including on the
+	// ancestor-descendant paths between NoK subtrees) do not disqualify
+	// it.
+	SemanticsBindings Semantics = iota
+	// SemanticsPrunedSubtree is the Gabillon–Bruno semantics of §4.2: a
+	// subtree rooted at an inaccessible node can contribute nothing, so
+	// every node on the path from the document root through all join
+	// edges to the bound nodes must be accessible. Joins use ε-STD.
+	SemanticsPrunedSubtree
+)
+
+// Options configure an evaluation.
+type Options struct {
+	// View enables secure evaluation for the given subject view; nil
+	// evaluates without access control.
+	View *dol.SubjectView
+	// Semantics selects the secure semantics (ignored when View is nil).
+	Semantics Semantics
+	// DisablePageSkip turns off the §3.3 page-skipping optimization, for
+	// ablation experiments.
+	DisablePageSkip bool
+}
+
+// Result is the outcome of evaluating a twig query.
+type Result struct {
+	// Nodes are the distinct bindings of the returning pattern node, in
+	// document order — the "answers returned" of Figure 7.
+	Nodes []xmltree.NodeID
+	// Matches counts the combined pattern-match tuples before returning-
+	// node deduplication.
+	Matches int
+}
+
+// Evaluator evaluates twig queries against one NoK store using a tag
+// index for NoK-subtree root candidates, and optionally a value index for
+// value-constrained roots ("B+ trees on the subtree root's value or tag
+// names", §4.1).
+type Evaluator struct {
+	store  *nok.Store
+	index  *btree.Tree
+	vindex *btree.ValueTree
+}
+
+// NewEvaluator returns an evaluator over the given store and tag index.
+func NewEvaluator(store *nok.Store, index *btree.Tree) *Evaluator {
+	return &Evaluator{store: store, index: index}
+}
+
+// WithValueIndex attaches a (tag, value) index consulted when a NoK
+// subtree root carries a value constraint, shrinking its candidate list
+// from all same-tag nodes to exact matches. Returns the evaluator for
+// chaining.
+func (ev *Evaluator) WithValueIndex(vt *btree.ValueTree) *Evaluator {
+	ev.vindex = vt
+	return ev
+}
+
+// Evaluate runs the pattern tree under the given options: it decomposes
+// the pattern into NoK subtrees, matches each with (ε-)NoK pattern
+// matching, and combines the matches with (ε-)STD structural joins.
+func (ev *Evaluator) Evaluate(t *PatternTree, opts Options) (*Result, error) {
+	subs := t.Decompose()
+	ret := t.ReturningNode()
+
+	// Track bindings for link sources and the returning node.
+	tracked := map[*PatternNode]bool{ret: true}
+	for _, sub := range subs {
+		if sub.Link != nil {
+			tracked[sub.Link] = true
+		}
+		tracked[sub.Root] = true
+	}
+	var checker AccessChecker
+	if opts.View != nil {
+		checker = opts.View
+	}
+	m := &matcher{
+		store:    ev.store,
+		values:   ev.store.Values(),
+		checker:  checker,
+		pageSkip: !opts.DisablePageSkip,
+		tracked:  tracked,
+	}
+
+	// Match every NoK subtree.
+	matches := make([][]subtreeMatch, len(subs))
+	for i, sub := range subs {
+		cands, err := ev.candidates(t, sub, i == 0)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := m.matchSubtree(sub, cands)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 && opts.View != nil && opts.Semantics == SemanticsPrunedSubtree {
+			ms, err = ev.filterRootPaths(ms, opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		matches[i] = ms
+		if len(ms) == 0 {
+			return &Result{}, nil
+		}
+	}
+
+	// Combine subtree matches along the cut descendant edges.
+	tuples := make([][]binding, 0, len(matches[0]))
+	for _, sm := range matches[0] {
+		tuples = append(tuples, ev.tupleFrom(subs, 0, sm))
+	}
+	for i := 1; i < len(subs); i++ {
+		sub := subs[i]
+		linkSlot := ev.slotOf(subs, sub.Parent, sub.Link)
+		var err error
+		tuples, err = ev.joinSubtree(tuples, linkSlot, subs, i, matches[i], opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(tuples) == 0 {
+			return &Result{}, nil
+		}
+	}
+
+	// Extract returning bindings.
+	retSlot := -1
+	for i := range subs {
+		if s := ev.slotOfNode(subs, i, ret); s >= 0 {
+			retSlot = s
+			break
+		}
+	}
+	if retSlot < 0 {
+		return nil, fmt.Errorf("query: returning node not tracked")
+	}
+	seen := map[xmltree.NodeID]bool{}
+	var nodes []xmltree.NodeID
+	for _, tp := range tuples {
+		n := tp[retSlot].node
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return &Result{Nodes: nodes, Matches: len(tuples)}, nil
+}
+
+// subtreeContains reports whether pattern node p belongs to subtree i
+// (reachable from its root through child-axis edges).
+func (ev *Evaluator) subtreeContains(subs []NoKSubtree, i int, p *PatternNode) bool {
+	var walk func(x *PatternNode) bool
+	walk = func(x *PatternNode) bool {
+		if x == p {
+			return true
+		}
+		for _, c := range nokChildren(x) {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(subs[i].Root)
+}
+
+func (ev *Evaluator) slotBase(subs []NoKSubtree, i int) int {
+	base := 0
+	for k := 0; k < i; k++ {
+		base += len(ev.slotNodes(subs, k))
+	}
+	return base
+}
+
+// slotNodes lists the pattern nodes of subtree i that occupy tuple slots:
+// the subtree root, link sources inside it, and the returning node when it
+// lies inside.
+func (ev *Evaluator) slotNodes(subs []NoKSubtree, i int) []*PatternNode {
+	sub := subs[i]
+	set := map[*PatternNode]bool{sub.Root: true}
+	order := []*PatternNode{sub.Root}
+	for _, other := range subs {
+		if other.Link != nil && ev.subtreeContains(subs, i, other.Link) && !set[other.Link] {
+			set[other.Link] = true
+			order = append(order, other.Link)
+		}
+	}
+	// Returning node.
+	var ret *PatternNode
+	var findRet func(x *PatternNode)
+	findRet = func(x *PatternNode) {
+		if x.Returning {
+			ret = x
+		}
+		for _, c := range x.Children {
+			findRet(c)
+		}
+	}
+	for _, s := range subs {
+		findRet(s.Root)
+	}
+	if ret != nil && ev.subtreeContains(subs, i, ret) && !set[ret] {
+		set[ret] = true
+		order = append(order, ret)
+	}
+	return order
+}
+
+// slotOf returns the tuple slot of pattern node p within subtree i.
+func (ev *Evaluator) slotOf(subs []NoKSubtree, i int, p *PatternNode) int {
+	s := ev.slotOfNode(subs, i, p)
+	if s < 0 {
+		panic("query: pattern node has no tuple slot")
+	}
+	return s
+}
+
+func (ev *Evaluator) slotOfNode(subs []NoKSubtree, i int, p *PatternNode) int {
+	nodes := ev.slotNodes(subs, i)
+	for k, n := range nodes {
+		if n == p {
+			return ev.slotBase(subs, i) + k
+		}
+	}
+	return -1
+}
+
+// tupleFrom expands a subtree match into a full-width tuple with only this
+// subtree's slots populated.
+func (ev *Evaluator) tupleFrom(subs []NoKSubtree, i int, sm subtreeMatch) []binding {
+	width := ev.slotBase(subs, len(subs)-1) + len(ev.slotNodes(subs, len(subs)-1))
+	tp := make([]binding, width)
+	for k := range tp {
+		tp[k] = binding{xmltree.InvalidNode, 0}
+	}
+	base := ev.slotBase(subs, i)
+	for k, n := range ev.slotNodes(subs, i) {
+		if b, ok := sm.bindings[n]; ok {
+			tp[base+k] = b
+		} else if n == subs[i].Root {
+			tp[base+k] = sm.root
+		}
+	}
+	return tp
+}
+
+// joinSubtree joins the accumulated tuples with subtree i's matches via a
+// structural join on (link binding, subtree-root binding).
+func (ev *Evaluator) joinSubtree(tuples [][]binding, linkSlot int, subs []NoKSubtree, i int, ms []subtreeMatch, opts Options) ([][]binding, error) {
+	// Distinct ancestor candidates from the link slot.
+	ancSet := map[xmltree.NodeID]join.Item{}
+	for _, tp := range tuples {
+		b := tp[linkSlot]
+		if _, ok := ancSet[b.node]; ok {
+			continue
+		}
+		end, err := ev.store.SubtreeEnd(b.node)
+		if err != nil {
+			return nil, err
+		}
+		ancSet[b.node] = join.Item{Node: b.node, End: end, Level: b.level}
+	}
+	ancs := make([]join.Item, 0, len(ancSet))
+	for _, it := range ancSet {
+		ancs = append(ancs, it)
+	}
+	join.SortItems(ancs)
+
+	// Distinct descendant candidates from subtree roots; group matches by
+	// root for tuple expansion.
+	byRoot := map[xmltree.NodeID][]subtreeMatch{}
+	var descs []join.Item
+	for _, sm := range ms {
+		if _, ok := byRoot[sm.root.node]; !ok {
+			end, err := ev.store.SubtreeEnd(sm.root.node)
+			if err != nil {
+				return nil, err
+			}
+			descs = append(descs, join.Item{Node: sm.root.node, End: end, Level: sm.root.level})
+		}
+		byRoot[sm.root.node] = append(byRoot[sm.root.node], sm)
+	}
+	join.SortItems(descs)
+
+	var pairs []join.Pair
+	var err error
+	if opts.View != nil && opts.Semantics == SemanticsPrunedSubtree {
+		pairs, err = join.SecureSTD(opts.View.Store(), opts.View.Effective(), ancs, descs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		pairs = join.STD(ancs, descs)
+	}
+	descsOf := map[xmltree.NodeID][]xmltree.NodeID{}
+	for _, p := range pairs {
+		descsOf[p.Anc] = append(descsOf[p.Anc], p.Desc)
+	}
+
+	base := ev.slotBase(subs, i)
+	slotNodes := ev.slotNodes(subs, i)
+	var out [][]binding
+	for _, tp := range tuples {
+		for _, d := range descsOf[tp[linkSlot].node] {
+			for _, sm := range byRoot[d] {
+				ntp := make([]binding, len(tp))
+				copy(ntp, tp)
+				for k, n := range slotNodes {
+					if b, ok := sm.bindings[n]; ok {
+						ntp[base+k] = b
+					} else if n == subs[i].Root {
+						ntp[base+k] = sm.root
+					}
+				}
+				out = append(out, ntp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// candidates returns the root candidates for a NoK subtree: the document
+// root for an anchored top subtree, otherwise the tag-index postings
+// ("using B+ trees on the subtree root's ... tag names", §4.1).
+func (ev *Evaluator) candidates(t *PatternTree, sub NoKSubtree, top bool) ([]btree.Posting, error) {
+	if top && t.Root.Axis == AxisChild {
+		end, err := ev.store.SubtreeEnd(0)
+		if err != nil {
+			return nil, err
+		}
+		return []btree.Posting{{Node: 0, End: end, Level: 0}}, nil
+	}
+	if sub.Root.Tag == "*" {
+		// Wildcard root: union of all tags' postings, in document order.
+		var all []btree.Posting
+		for code := 0; code < ev.store.NumTags(); code++ {
+			ps, err := ev.index.Postings(int32(code))
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ps...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Node < all[j].Node })
+		return all, nil
+	}
+	code, ok := ev.store.LookupTag(sub.Root.Tag)
+	if !ok {
+		return nil, nil
+	}
+	if sub.Root.Value != "" && ev.vindex != nil {
+		return ev.vindex.ValuePostings(code, sub.Root.Value)
+	}
+	return ev.index.Postings(code)
+}
+
+// filterRootPaths keeps only the top-subtree matches whose path from the
+// document root is fully accessible (Gabillon–Bruno semantics): computed
+// with one ε-STD pass using the document root as the lone ancestor.
+func (ev *Evaluator) filterRootPaths(ms []subtreeMatch, opts Options) ([]subtreeMatch, error) {
+	if len(ms) == 0 {
+		return ms, nil
+	}
+	rootEnd, err := ev.store.SubtreeEnd(0)
+	if err != nil {
+		return nil, err
+	}
+	rootItem := []join.Item{{Node: 0, End: rootEnd, Level: 0}}
+	var descs []join.Item
+	byRoot := map[xmltree.NodeID][]subtreeMatch{}
+	for _, sm := range ms {
+		if _, ok := byRoot[sm.root.node]; !ok {
+			end, err := ev.store.SubtreeEnd(sm.root.node)
+			if err != nil {
+				return nil, err
+			}
+			descs = append(descs, join.Item{Node: sm.root.node, End: end, Level: sm.root.level})
+		}
+		byRoot[sm.root.node] = append(byRoot[sm.root.node], sm)
+	}
+	join.SortItems(descs)
+	pairs, err := join.SecureSTD(opts.View.Store(), opts.View.Effective(), rootItem, descs)
+	if err != nil {
+		return nil, err
+	}
+	var out []subtreeMatch
+	for _, p := range pairs {
+		out = append(out, byRoot[p.Desc]...)
+	}
+	// The document root itself, when matched, is valid iff accessible.
+	if sms, ok := byRoot[0]; ok {
+		acc, err := opts.View.Accessible(0)
+		if err != nil {
+			return nil, err
+		}
+		if acc {
+			out = append(sms, out...)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package query
+
+import "testing"
+
+// FuzzParse hardens the XPath-subset parser: it must never panic, and any
+// expression it accepts must produce a pattern tree that re-renders and
+// decomposes without errors.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/site/regions/africa/item[location][name][quantity]",
+		"/site/categories/category[name]/description/text/bold",
+		"//parlist//parlist",
+		"//listitem//keyword",
+		"//item//emph",
+		`/site/*[name='socks']`,
+		"/a[//b]/c",
+		"//",
+		"/a[",
+		"/a]'",
+		"/@attr",
+		"/a[b='x\"y']",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		pt, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		if pt.Root == nil || pt.Len() == 0 {
+			t.Fatalf("accepted %q but produced empty tree", expr)
+		}
+		if pt.ReturningNode() == nil {
+			t.Fatalf("accepted %q without returning node", expr)
+		}
+		_ = pt.String()
+		subs := pt.Decompose()
+		if len(subs) == 0 || subs[0].Parent != -1 {
+			t.Fatalf("bad decomposition for %q", expr)
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dolxml/internal/btree"
+	"dolxml/internal/nok"
+	"dolxml/internal/xmltree"
+)
+
+// AccessChecker abstracts the DOL access decisions the secure matcher
+// needs, bound to one subject view (dol.SubjectView implements it). A nil
+// AccessChecker means non-secure evaluation.
+type AccessChecker interface {
+	// Accessible reports whether the subject may access node n.
+	Accessible(n xmltree.NodeID) (bool, error)
+	// SkipPage reports, from the in-memory page directory alone, that
+	// every node in block pageIdx is inaccessible.
+	SkipPage(pageIdx int) bool
+}
+
+// binding records where a pattern node matched and at what depth.
+type binding struct {
+	node  xmltree.NodeID
+	level int
+}
+
+// subtreeMatch is one successful NoK-subtree match: the binding of the
+// subtree root plus a consistent assignment of its tracked pattern nodes
+// (link sources and the returning node).
+type subtreeMatch struct {
+	root     binding
+	bindings map[*PatternNode]binding
+}
+
+// matcher runs ε-NoK pattern matching (Algorithm 1 of the paper) over a
+// NoK structure store. Like the paper's recursive NPM it scans each
+// matched node's children once with FIRST-CHILD/FOLLOWING-SIBLING and
+// checks accessibility as nodes stream off their blocks; unlike the
+// paper's pseudo-code, which keeps the first witness per pattern child, it
+// enumerates every binding of the *tracked* pattern nodes (the returning
+// node and the link sources feeding structural joins), collapsing all
+// untracked subtrees existentially — the completion needed for "the nodes
+// in the data tree that match [the returning] node" to all be returned.
+type matcher struct {
+	store   *nok.Store
+	values  *nok.ValueStore
+	checker AccessChecker
+	// pageSkip enables the §3.3 optimization: sibling scans skip whole
+	// blocks that the page directory proves fully inaccessible.
+	pageSkip bool
+	// tracked marks the pattern nodes whose bindings must be recorded.
+	tracked map[*PatternNode]bool
+	// hasTracked caches, per pattern node, whether its NoK subtree
+	// fragment contains a tracked node.
+	hasTracked map[*PatternNode]bool
+	// skipFn caches checker.SkipPage so the hot sibling scan does not
+	// materialize a method value per step.
+	skipFn func(int) bool
+}
+
+// trackedIn reports whether p's child-axis pattern fragment contains a
+// tracked node.
+func (m *matcher) trackedIn(p *PatternNode) bool {
+	if v, ok := m.hasTracked[p]; ok {
+		return v
+	}
+	v := m.tracked[p]
+	for _, c := range nokChildren(p) {
+		if m.trackedIn(c) {
+			v = true
+		}
+	}
+	if m.hasTracked == nil {
+		m.hasTracked = make(map[*PatternNode]bool)
+	}
+	m.hasTracked[p] = v
+	return v
+}
+
+// matchesNode checks proot's tag constraint against a decoded entry.
+func (m *matcher) matchesNode(proot *PatternNode, e nok.Entry) bool {
+	if proot.Tag == "*" {
+		return true
+	}
+	code, ok := m.store.LookupTag(proot.Tag)
+	return ok && code == e.Tag
+}
+
+func (m *matcher) matchesValue(proot *PatternNode, u xmltree.NodeID) (bool, error) {
+	if proot.Value == "" {
+		return true, nil
+	}
+	if m.values == nil {
+		return false, nil
+	}
+	v, err := m.values.Value(u)
+	if err != nil {
+		return false, err
+	}
+	return v == proot.Value, nil
+}
+
+// combo is one consistent assignment of tracked pattern nodes.
+type combo map[*PatternNode]binding
+
+func comboKey(c combo) string {
+	type kv struct {
+		id int
+		n  xmltree.NodeID
+	}
+	var kvs []kv
+	for p, b := range c {
+		kvs = append(kvs, kv{p.id, b.node})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].id < kvs[j].id })
+	var sb strings.Builder
+	for _, e := range kvs {
+		fmt.Fprintf(&sb, "%d:%d;", e.id, e.n)
+	}
+	return sb.String()
+}
+
+// npm matches proot's NoK fragment at data node u (whose tag, value and
+// accessibility the caller has verified). It reports whether the fragment
+// matches and, when the fragment contains tracked nodes, the distinct
+// tracked-binding combinations.
+func (m *matcher) npm(proot *PatternNode, u binding) (bool, []combo, error) {
+	s := nokChildren(proot)
+	// Per pattern child: whether any data child matched, and the tracked
+	// combos contributed.
+	matched := make([]bool, len(s))
+	combosOf := make([][]combo, len(s))
+
+	if len(s) > 0 {
+		v, err := m.store.FirstChild(u.node)
+		if err != nil {
+			return false, nil, err
+		}
+		for v != xmltree.InvalidNode {
+			info, err := m.store.Info(v)
+			if err != nil {
+				return false, nil, err
+			}
+			accessible := true
+			if m.checker != nil {
+				accessible, err = m.checker.Accessible(v)
+				if err != nil {
+					return false, nil, err
+				}
+			}
+			if accessible {
+				allDone := true
+				for i, pc := range s {
+					if matched[i] && !m.trackedIn(pc) {
+						continue // existential child already satisfied
+					}
+					if !m.matchesNode(pc, info.Entry) {
+						if !matched[i] {
+							allDone = false
+						}
+						continue
+					}
+					ok, err := m.matchesValue(pc, v)
+					if err != nil {
+						return false, nil, err
+					}
+					if !ok {
+						if !matched[i] {
+							allDone = false
+						}
+						continue
+					}
+					sub, subCombos, err := m.npm(pc, binding{v, info.Level})
+					if err != nil {
+						return false, nil, err
+					}
+					if sub {
+						matched[i] = true
+						combosOf[i] = append(combosOf[i], subCombos...)
+					}
+					if !matched[i] {
+						allDone = false
+					}
+				}
+				// Early exit: everything matched and no tracked child
+				// needs further enumeration.
+				if allDone {
+					trackedLeft := false
+					for _, pc := range s {
+						if m.trackedIn(pc) {
+							trackedLeft = true
+						}
+					}
+					if !trackedLeft {
+						break
+					}
+				}
+			}
+			v, err = m.nextSibling(v)
+			if err != nil {
+				return false, nil, err
+			}
+		}
+		for i := range s {
+			if !matched[i] {
+				return false, nil, nil
+			}
+		}
+	}
+
+	// Combine: cross product of tracked children's combos.
+	out := []combo{{}}
+	for i, pc := range s {
+		if !m.trackedIn(pc) {
+			continue
+		}
+		// Dedupe this child's combos first.
+		seen := map[string]bool{}
+		var cs []combo
+		for _, c := range combosOf[i] {
+			k := comboKey(c)
+			if !seen[k] {
+				seen[k] = true
+				cs = append(cs, c)
+			}
+		}
+		var next []combo
+		for _, base := range out {
+			for _, c := range cs {
+				merged := combo{}
+				for p, b := range base {
+					merged[p] = b
+				}
+				for p, b := range c {
+					merged[p] = b
+				}
+				next = append(next, merged)
+			}
+		}
+		out = next
+	}
+	if m.tracked[proot] {
+		for _, c := range out {
+			c[proot] = u
+		}
+	}
+	return true, out, nil
+}
+
+// nextSibling advances the child scan. In secure mode with page skipping
+// enabled, blocks that the directory proves wholly inaccessible are
+// skipped without I/O (§3.3).
+func (m *matcher) nextSibling(u xmltree.NodeID) (xmltree.NodeID, error) {
+	if m.checker != nil && m.pageSkip {
+		if m.skipFn == nil {
+			m.skipFn = m.checker.SkipPage
+		}
+		return m.store.FollowingSiblingSkip(u, m.skipFn)
+	}
+	return m.store.FollowingSibling(u)
+}
+
+// matchSubtree runs ε-NoK matching for one NoK subtree over the given root
+// candidates (normally tag-index postings). It returns the successful
+// matches with their tracked bindings.
+func (m *matcher) matchSubtree(sub NoKSubtree, candidates []btree.Posting) ([]subtreeMatch, error) {
+	var out []subtreeMatch
+	for _, c := range candidates {
+		// Pre-condition of Algorithm 1: the data-tree root of the match
+		// must itself be accessible.
+		if m.checker != nil {
+			ok, err := m.checker.Accessible(c.Node)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		info, err := m.store.Info(c.Node)
+		if err != nil {
+			return nil, err
+		}
+		if !m.matchesNode(sub.Root, info.Entry) {
+			continue
+		}
+		ok, err := m.matchesValue(sub.Root, c.Node)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		rootBind := binding{c.Node, int(c.Level)}
+		matched, combos, err := m.npm(sub.Root, rootBind)
+		if err != nil {
+			return nil, err
+		}
+		if !matched {
+			continue
+		}
+		for _, cb := range combos {
+			out = append(out, subtreeMatch{root: rootBind, bindings: cb})
+		}
+	}
+	return out, nil
+}

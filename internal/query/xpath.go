@@ -1,0 +1,229 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse compiles an XPath-subset expression into a pattern tree. The
+// supported grammar covers the paper's query classes (Table 1):
+//
+//	path      := ("/" | "//") step { ("/" | "//") step }
+//	step      := name { predicate }
+//	predicate := "[" relpath "]" | "[" relpath "=" literal "]"
+//	relpath   := step { ("/" | "//") step } | "//" step { ... }
+//	name      := NCName | "*"
+//	literal   := "'" chars "'" | `"` chars `"`
+//
+// The last step of the main path is the returning node. A leading "/"
+// anchors the match at the document root; "//" matches anywhere.
+func Parse(expr string) (*PatternTree, error) {
+	p := &parser{src: expr}
+	root, err := p.parsePath(true)
+	if err != nil {
+		return nil, fmt.Errorf("query: parse %q: %w", expr, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("query: parse %q: trailing input at offset %d", expr, p.pos)
+	}
+	return NewPatternTree(root)
+}
+
+// MustParse is Parse that panics on error, for statically correct queries.
+func MustParse(expr string) *PatternTree {
+	t, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && p.src[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// parseAxis consumes "/" or "//" and returns the axis.
+func (p *parser) parseAxis() (Axis, error) {
+	p.skipSpace()
+	if p.peek() != '/' {
+		return AxisChild, fmt.Errorf("expected '/' at offset %d", p.pos)
+	}
+	p.pos++
+	if p.peek() == '/' {
+		p.pos++
+		return AxisDescendant, nil
+	}
+	return AxisChild, nil
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '@'
+}
+
+func isNamePart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || strings.ContainsRune("_-.", r)
+}
+
+func (p *parser) parseName() (string, error) {
+	p.skipSpace()
+	if p.peek() == '*' {
+		p.pos++
+		return "*", nil
+	}
+	start := p.pos
+	for i, r := range p.src[p.pos:] {
+		if i == 0 {
+			if !isNameStart(r) {
+				return "", fmt.Errorf("expected name at offset %d", p.pos)
+			}
+			continue
+		}
+		if !isNamePart(r) {
+			p.pos += i
+			return p.src[start:p.pos], nil
+		}
+	}
+	if start == len(p.src) {
+		return "", fmt.Errorf("expected name at end of input")
+	}
+	p.pos = len(p.src)
+	return p.src[start:], nil
+}
+
+// parsePath parses a slash-separated path; the final step is marked
+// returning when top is true.
+func (p *parser) parsePath(top bool) (*PatternNode, error) {
+	axis, err := p.parseAxis()
+	if err != nil {
+		return nil, err
+	}
+	root, err := p.parseStep(axis)
+	if err != nil {
+		return nil, err
+	}
+	last := root
+	for {
+		p.skipSpace()
+		if p.peek() != '/' {
+			break
+		}
+		axis, err := p.parseAxis()
+		if err != nil {
+			return nil, err
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		last.Children = append(last.Children, step)
+		last = step
+	}
+	if top {
+		last.Returning = true
+	}
+	return root, nil
+}
+
+// parseStep parses a name plus predicates.
+func (p *parser) parseStep(axis Axis) (*PatternNode, error) {
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	node := &PatternNode{Tag: name, Axis: axis}
+	for {
+		p.skipSpace()
+		if p.peek() != '[' {
+			break
+		}
+		p.pos++ // consume '['
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ']' {
+			return nil, fmt.Errorf("expected ']' at offset %d", p.pos)
+		}
+		p.pos++
+		node.Children = append(node.Children, pred)
+	}
+	return node, nil
+}
+
+// parsePredicate parses the inside of a [...] qualifier: a relative path
+// with optional "= literal" value constraint on its last step.
+func (p *parser) parsePredicate() (*PatternNode, error) {
+	p.skipSpace()
+	var axis Axis = AxisChild
+	if p.peek() == '/' {
+		var err error
+		axis, err = p.parseAxis()
+		if err != nil {
+			return nil, err
+		}
+	}
+	root, err := p.parseStep(axis)
+	if err != nil {
+		return nil, err
+	}
+	last := root
+	for {
+		p.skipSpace()
+		if p.peek() != '/' {
+			break
+		}
+		axis, err := p.parseAxis()
+		if err != nil {
+			return nil, err
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		last.Children = append(last.Children, step)
+		last = step
+	}
+	p.skipSpace()
+	if p.peek() == '=' {
+		p.pos++
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		last.Value = lit
+	}
+	return root, nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	p.skipSpace()
+	q := p.peek()
+	if q != '\'' && q != '"' {
+		return "", fmt.Errorf("expected quoted literal at offset %d", p.pos)
+	}
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], q)
+	if end < 0 {
+		return "", fmt.Errorf("unterminated literal at offset %d", p.pos)
+	}
+	lit := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	return lit, nil
+}

@@ -1,0 +1,246 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PoolStats counts logical page requests against the buffer pool. Together
+// with the underlying pager's IOStats they quantify the I/O savings of the
+// DOL page-skipping optimization.
+type PoolStats struct {
+	Gets      int64 // logical page requests
+	Hits      int64 // served from the pool without physical I/O
+	Misses    int64 // required a physical read
+	Evictions int64 // frames reclaimed
+	Flushes   int64 // dirty pages written back
+}
+
+// HitRatio returns Hits/Gets, or 0 when no requests have been made.
+func (s PoolStats) HitRatio() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Sub returns the difference s - o.
+func (s PoolStats) Sub(o PoolStats) PoolStats {
+	return PoolStats{
+		Gets:      s.Gets - o.Gets,
+		Hits:      s.Hits - o.Hits,
+		Misses:    s.Misses - o.Misses,
+		Evictions: s.Evictions - o.Evictions,
+		Flushes:   s.Flushes - o.Flushes,
+	}
+}
+
+// Frame is a buffered page. Data is valid while the frame is pinned.
+type Frame struct {
+	id      PageID
+	Data    []byte
+	pins    int
+	dirty   bool
+	lruElem *list.Element // non-nil only while unpinned
+}
+
+// ID returns the page this frame buffers.
+func (f *Frame) ID() PageID { return f.id }
+
+// BufferPool caches pages of a Pager with LRU replacement and pin counting.
+// It is safe for concurrent use.
+type BufferPool struct {
+	mu       sync.Mutex
+	pager    Pager
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // of PageID, front = most recently used
+	stats    PoolStats
+}
+
+// NewBufferPool wraps pager with a pool of at most capacity frames.
+func NewBufferPool(pager Pager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Pager returns the underlying pager.
+func (bp *BufferPool) Pager() Pager { return bp.pager }
+
+// Capacity returns the maximum number of buffered frames.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Get pins and returns the frame for page id, reading it from the pager on
+// a miss. The caller must Unpin the frame when done.
+func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats.Gets++
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pin(f)
+		return f, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.pager.ReadPage(id, f.Data); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	bp.pin(f)
+	return f, nil
+}
+
+// Allocate creates a new page in the pager and returns it pinned and zeroed.
+func (bp *BufferPool) Allocate() (*Frame, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats.Gets++
+	f, err := bp.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	bp.pin(f)
+	return f, nil
+}
+
+// newFrame installs an empty frame for id, evicting if needed.
+// Caller holds bp.mu.
+func (bp *BufferPool) newFrame(id PageID) (*Frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evict(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, Data: make([]byte, bp.pager.PageSize())}
+	bp.frames[id] = f
+	return f, nil
+}
+
+// pin marks f in use. Caller holds bp.mu.
+func (bp *BufferPool) pin(f *Frame) {
+	f.pins++
+	if f.lruElem != nil {
+		bp.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+}
+
+// Unpin releases one pin on the frame for page id; dirty records that the
+// caller modified the page.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of unbuffered page %d", id)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lruElem = bp.lru.PushFront(id)
+	}
+	return nil
+}
+
+// evict removes the least recently used unpinned frame, writing it back if
+// dirty. Caller holds bp.mu.
+func (bp *BufferPool) evict() error {
+	elem := bp.lru.Back()
+	if elem == nil {
+		return errors.New("storage: buffer pool exhausted (all frames pinned)")
+	}
+	id := elem.Value.(PageID)
+	f := bp.frames[id]
+	if f.dirty {
+		if err := bp.pager.WritePage(id, f.Data); err != nil {
+			return err
+		}
+		bp.stats.Flushes++
+	}
+	bp.lru.Remove(elem)
+	delete(bp.frames, id)
+	bp.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes every dirty buffered page back to the pager.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if f.dirty {
+			if err := bp.pager.WritePage(id, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+			bp.stats.Flushes++
+		}
+	}
+	return bp.pager.Sync()
+}
+
+// Stats returns cumulative pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters (the pager's physical counters are
+// unaffected).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}
+
+// Buffered returns the number of frames currently in the pool.
+func (bp *BufferPool) Buffered() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
+
+// DropAll discards every unpinned clean frame and flushes+drops dirty ones,
+// emptying the cache. It fails if any frame is still pinned. Used by
+// experiments that measure cold-cache I/O.
+func (bp *BufferPool) DropAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DropAll with page %d still pinned", id)
+		}
+		if f.dirty {
+			if err := bp.pager.WritePage(id, f.Data); err != nil {
+				return err
+			}
+			bp.stats.Flushes++
+		}
+	}
+	bp.frames = make(map[PageID]*Frame, bp.capacity)
+	bp.lru.Init()
+	return nil
+}

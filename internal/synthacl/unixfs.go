@@ -1,0 +1,230 @@
+package synthacl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/xmltree"
+)
+
+// UnixFSConfig parameterizes the Unix-filesystem-like simulator standing
+// in for the University of Waterloo multiuser file system of the paper
+// (182 users, 65 groups, over 1.3 million files and directories).
+type UnixFSConfig struct {
+	Seed int64
+	// Files is the approximate number of files and directories.
+	Files int
+	// Users and Groups size the subject population.
+	Users  int
+	Groups int
+}
+
+// DefaultUnixFS returns a laptop-scale configuration with the real
+// system's user/group proportions.
+func DefaultUnixFS(seed int64) UnixFSConfig {
+	return UnixFSConfig{Seed: seed, Files: 100000, Users: 182, Groups: 65}
+}
+
+// UnixMode identifies the three Unix permission action modes.
+type UnixMode int
+
+// The three Unix action modes.
+const (
+	UnixRead UnixMode = iota
+	UnixWrite
+	UnixExec
+)
+
+// UnixFSData is the simulator's output.
+type UnixFSData struct {
+	Doc *xmltree.Document
+	Dir *acl.Directory
+	// Matrices[UnixRead], [UnixWrite], [UnixExec] are the per-mode
+	// accessibility matrices over all subjects (groups first, then
+	// users), derived from per-file owner/group/mode bits exactly as the
+	// kernel would: a user subject's bit is the owner bit where it owns
+	// the file and the "other" bit elsewhere; a group subject's bit is
+	// the group bit on its files and the "other" bit elsewhere.
+	Matrices [3]*acl.Matrix
+	Users    []acl.SubjectID
+	Groups   []acl.SubjectID
+}
+
+// perm is a Unix permission triple for one class.
+type perm struct{ r, w, x bool }
+
+func bitsOf(octal int) perm {
+	return perm{r: octal&4 != 0, w: octal&2 != 0, x: octal&1 != 0}
+}
+
+// UnixFS generates the simulated file system and its accessibility
+// matrices.
+func UnixFS(cfg UnixFSConfig) *UnixFSData {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	dir := acl.NewDirectory()
+	groups := make([]acl.SubjectID, cfg.Groups)
+	for g := range groups {
+		groups[g] = dir.MustAddGroup(fmt.Sprintf("group%d", g))
+	}
+	users := make([]acl.SubjectID, cfg.Users)
+	primary := make([]int, cfg.Users) // primary group index per user
+	for u := range users {
+		users[u] = dir.MustAddUser(fmt.Sprintf("user%d", u))
+		primary[u] = rng.Intn(cfg.Groups)
+		if err := dir.AddMember(groups[primary[u]], users[u]); err != nil {
+			panic(err)
+		}
+	}
+
+	// File metadata collected in document order during generation.
+	type meta struct {
+		owner      int // user index
+		group      int // group index
+		mode       [3]perm
+		isDir      bool
+		worldWrite bool
+	}
+	var metas []meta
+	b := xmltree.NewBuilder()
+
+	dirModes := []int{0o755, 0o750, 0o700, 0o775}
+	fileModes := []int{0o644, 0o640, 0o600, 0o664, 0o444}
+	exeModes := []int{0o755, 0o750, 0o700}
+
+	addEntry := func(tag string, owner, group, octal int, isDir bool) {
+		b.Begin(tag)
+		metas = append(metas, meta{
+			owner: owner,
+			group: group,
+			mode:  [3]perm{bitsOf(octal >> 6), bitsOf(octal >> 3 & 7), bitsOf(octal & 7)},
+			isDir: isDir,
+		})
+		if !isDir {
+			b.End()
+		}
+	}
+	closeDir := func() { b.End() }
+
+	// Root directory: owned by user 0 ("root"), world-readable.
+	addEntry("fs", 0, 0, 0o755, true)
+
+	// populate fills a directory with a subtree of roughly budget
+	// entries, inheriting ownership with occasional noise.
+	var populate func(owner, group, budget, depth int, restricted bool)
+	populate = func(owner, group, budget, depth int, restricted bool) {
+		for budget > 0 {
+			if rng.Float64() < 0.25 && depth < 10 {
+				// Subdirectory.
+				sub := budget / (2 + rng.Intn(3))
+				if sub < 1 {
+					sub = 1
+				}
+				o, g := owner, group
+				if rng.Float64() < 0.03 {
+					o = rng.Intn(cfg.Users)
+				}
+				octal := dirModes[rng.Intn(len(dirModes))]
+				if restricted {
+					octal = []int{0o700, 0o750}[rng.Intn(2)]
+				}
+				addEntry("dir", o, g, octal, true)
+				populate(o, g, sub-1, depth+1, restricted && rng.Float64() < 0.9)
+				closeDir()
+				budget -= sub
+			} else {
+				octal := fileModes[rng.Intn(len(fileModes))]
+				if rng.Float64() < 0.1 {
+					octal = exeModes[rng.Intn(len(exeModes))]
+				}
+				if restricted && octal&0o044 != 0 {
+					octal &^= 0o044 // strip group/other read in private trees
+				}
+				addEntry("file", owner, group, octal, false)
+				budget--
+			}
+		}
+	}
+
+	// Layout: /home/<user>, /proj/<group>, /usr (system).
+	homeBudget := cfg.Files / 2
+	projBudget := cfg.Files / 3
+	sysBudget := cfg.Files - homeBudget - projBudget
+
+	addEntry("home", 0, 0, 0o755, true)
+	perUser := homeBudget / cfg.Users
+	for u := 0; u < cfg.Users; u++ {
+		private := rng.Float64() < 0.5
+		octal := 0o755
+		if private {
+			octal = 0o700
+		}
+		addEntry("userdir", u, primary[u], octal, true)
+		populate(u, primary[u], perUser, 3, private)
+		closeDir()
+	}
+	closeDir()
+
+	addEntry("proj", 0, 0, 0o755, true)
+	perGroup := projBudget / cfg.Groups
+	for g := 0; g < cfg.Groups; g++ {
+		ownerIdx := rng.Intn(cfg.Users)
+		addEntry("projdir", ownerIdx, g, []int{0o775, 0o750}[rng.Intn(2)], true)
+		populate(ownerIdx, g, perGroup, 3, false)
+		closeDir()
+	}
+	closeDir()
+
+	addEntry("usr", 0, 0, 0o755, true)
+	populate(0, 0, sysBudget, 2, false)
+	closeDir()
+
+	closeDir() // fs
+	doc := b.MustFinish()
+	if doc.Len() != len(metas) {
+		panic(fmt.Sprintf("synthacl: %d nodes but %d metadata records", doc.Len(), len(metas)))
+	}
+
+	// Expand owner/group/other bits into per-subject matrices.
+	numSubjects := dir.Len()
+	var out UnixFSData
+	out.Doc = doc
+	out.Dir = dir
+	out.Users = users
+	out.Groups = groups
+	for mode := 0; mode < 3; mode++ {
+		m := acl.NewMatrix(doc.Len(), numSubjects)
+		for n, mt := range metas {
+			var bit func(p perm) bool
+			switch UnixMode(mode) {
+			case UnixRead:
+				bit = func(p perm) bool { return p.r }
+			case UnixWrite:
+				bit = func(p perm) bool { return p.w }
+			default:
+				bit = func(p perm) bool { return p.x }
+			}
+			ownerBit := bit(mt.mode[0])
+			groupBit := bit(mt.mode[1])
+			otherBit := bit(mt.mode[2])
+			node := xmltree.NodeID(n)
+			for gi, g := range groups {
+				if gi == mt.group {
+					m.Set(node, g, groupBit)
+				} else {
+					m.Set(node, g, otherBit)
+				}
+			}
+			for ui, u := range users {
+				if ui == mt.owner {
+					m.Set(node, u, ownerBit)
+				} else {
+					m.Set(node, u, otherBit)
+				}
+			}
+		}
+		out.Matrices[mode] = m
+	}
+	return &out
+}

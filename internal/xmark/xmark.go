@@ -1,0 +1,251 @@
+// Package xmark generates deterministic, XMark-like synthetic auction
+// documents. The real XMark generator (xml-benchmark.org) is external C
+// software; this generator emits the subset of the XMark schema exercised
+// by the paper's six benchmark queries (Table 1) with configurable size:
+//
+//	site
+//	├── regions/{africa,asia,australia,europe,namerica,samerica}/item*
+//	│     item: location, quantity, name, payment, description, mailbox
+//	├── categories/category*: name, description
+//	│     description: text | parlist; parlist: listitem*: text | parlist
+//	├── people/person*: name, emailaddress, ...
+//	├── open_auctions/open_auction*: initial, bidder*, annotation
+//	└── closed_auctions/closed_auction*: price, date, annotation
+//
+// Recursive parlists give //parlist//parlist (Q4) matches at varying
+// depths; listitem text carries keyword/bold/emph phrases for Q5 and Q2;
+// item descriptions carry emph for Q6.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dolxml/internal/xmltree"
+)
+
+// Config controls generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Items is the number of items per region (6 regions).
+	Items int
+	// Categories is the number of categories.
+	Categories int
+	// People is the number of person records.
+	People int
+	// OpenAuctions and ClosedAuctions size the auction sections.
+	OpenAuctions   int
+	ClosedAuctions int
+	// MaxParlistDepth bounds parlist recursion (≥ 1; default 3).
+	MaxParlistDepth int
+}
+
+// Scaled returns a configuration whose generated document has roughly
+// targetNodes nodes, using the section proportions of XMark.
+func Scaled(seed int64, targetNodes int) Config {
+	// Empirically ~42 nodes per item "unit" across sections at these
+	// ratios (one unit = 1 item + 0.4 categories + 1 person + 0.5 open +
+	// 0.5 closed auctions).
+	units := targetNodes / 42
+	if units < 1 {
+		units = 1
+	}
+	return Config{
+		Seed:            seed,
+		Items:           (units + 5) / 6,
+		Categories:      units*2/5 + 1,
+		People:          units,
+		OpenAuctions:    units/2 + 1,
+		ClosedAuctions:  units/2 + 1,
+		MaxParlistDepth: 3,
+	}
+}
+
+var regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+var words = []string{
+	"gold", "silver", "amber", "carved", "mask", "drum", "cloth", "silk",
+	"jade", "ivory", "brass", "antique", "rare", "vintage", "classic",
+}
+
+// Generate builds the document.
+func Generate(cfg Config) *xmltree.Document {
+	if cfg.MaxParlistDepth < 1 {
+		cfg.MaxParlistDepth = 3
+	}
+	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg, b: xmltree.NewBuilder()}
+	g.b.Begin("site")
+	g.regions()
+	g.categories()
+	g.people()
+	g.openAuctions()
+	g.closedAuctions()
+	g.b.End()
+	return g.b.MustFinish()
+}
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	b   *xmltree.Builder
+	seq int
+}
+
+func (g *gen) word() string { return words[g.rng.Intn(len(words))] }
+
+func (g *gen) phrase(n int) string {
+	s := g.word()
+	for i := 1; i < n; i++ {
+		s += " " + g.word()
+	}
+	return s
+}
+
+func (g *gen) regions() {
+	g.b.Begin("regions")
+	for _, r := range regions {
+		g.b.Begin(r)
+		for i := 0; i < g.cfg.Items; i++ {
+			g.item(r)
+		}
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) item(region string) {
+	g.seq++
+	g.b.Begin("item")
+	g.b.Attr("id", fmt.Sprintf("item%d", g.seq))
+	g.b.Element("location", region)
+	// ~80% of items have a quantity, exercising Q1's triple predicate.
+	if g.rng.Intn(5) > 0 {
+		g.b.Element("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5)))
+	}
+	g.b.Element("name", g.phrase(2))
+	if g.rng.Intn(2) == 0 {
+		g.b.Begin("payment")
+		g.b.Text("Cash")
+		g.b.End()
+	}
+	g.b.Begin("description")
+	g.text(true)
+	g.b.End()
+	if g.rng.Intn(3) == 0 {
+		g.b.Begin("mailbox")
+		g.b.Begin("mail")
+		g.b.Element("from", g.word())
+		g.b.Element("to", g.word())
+		g.b.End()
+		g.b.End()
+	}
+	g.b.End()
+}
+
+// text emits a text element that may contain bold/keyword/emph children.
+func (g *gen) text(allowEmph bool) {
+	g.b.Begin("text")
+	g.b.Text(g.phrase(3))
+	if g.rng.Intn(2) == 0 {
+		g.b.Element("bold", g.word())
+	}
+	if g.rng.Intn(3) == 0 {
+		g.b.Element("keyword", g.word())
+	}
+	if allowEmph && g.rng.Intn(3) == 0 {
+		g.b.Element("emph", g.word())
+	}
+	g.b.End()
+}
+
+func (g *gen) parlist(depth int) {
+	g.b.Begin("parlist")
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		g.b.Begin("listitem")
+		if depth < g.cfg.MaxParlistDepth && g.rng.Intn(3) == 0 {
+			g.parlist(depth + 1)
+		} else {
+			g.text(false)
+		}
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) categories() {
+	g.b.Begin("categories")
+	for i := 0; i < g.cfg.Categories; i++ {
+		g.b.Begin("category")
+		g.b.Attr("id", fmt.Sprintf("category%d", i))
+		g.b.Element("name", g.phrase(1))
+		g.b.Begin("description")
+		if g.rng.Intn(3) == 0 {
+			g.parlist(1)
+		} else {
+			g.text(true)
+		}
+		g.b.End()
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) people() {
+	g.b.Begin("people")
+	for i := 0; i < g.cfg.People; i++ {
+		g.b.Begin("person")
+		g.b.Attr("id", fmt.Sprintf("person%d", i))
+		g.b.Element("name", g.phrase(2))
+		g.b.Element("emailaddress", fmt.Sprintf("mailto:%s%d@example.com", g.word(), i))
+		if g.rng.Intn(2) == 0 {
+			g.b.Begin("address")
+			g.b.Element("city", g.word())
+			g.b.Element("country", g.word())
+			g.b.End()
+		}
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) annotation() {
+	g.b.Begin("annotation")
+	g.b.Begin("description")
+	if g.rng.Intn(2) == 0 {
+		g.parlist(1)
+	} else {
+		g.text(true)
+	}
+	g.b.End()
+	g.b.End()
+}
+
+func (g *gen) openAuctions() {
+	g.b.Begin("open_auctions")
+	for i := 0; i < g.cfg.OpenAuctions; i++ {
+		g.b.Begin("open_auction")
+		g.b.Element("initial", fmt.Sprintf("%d.%02d", g.rng.Intn(200), g.rng.Intn(100)))
+		for k := 0; k < g.rng.Intn(3); k++ {
+			g.b.Begin("bidder")
+			g.b.Element("increase", fmt.Sprintf("%d.00", 1+g.rng.Intn(20)))
+			g.b.End()
+		}
+		g.annotation()
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) closedAuctions() {
+	g.b.Begin("closed_auctions")
+	for i := 0; i < g.cfg.ClosedAuctions; i++ {
+		g.b.Begin("closed_auction")
+		g.b.Element("price", fmt.Sprintf("%d.%02d", g.rng.Intn(500), g.rng.Intn(100)))
+		g.b.Element("date", fmt.Sprintf("%02d/%02d/%d", 1+g.rng.Intn(12), 1+g.rng.Intn(28), 1998+g.rng.Intn(5)))
+		g.annotation()
+		g.b.End()
+	}
+	g.b.End()
+}

@@ -1,0 +1,150 @@
+package xmltree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder constructs a Document in document order. Calls follow the shape of
+// a SAX stream: Begin(tag) opens an element, Text appends to the current
+// element's text content, End() closes the most recently opened element.
+// This mirrors the paper's observation (§2) that a document-order encoding
+// can be constructed on the fly in a single pass over the XML input.
+type Builder struct {
+	doc   *Document
+	stack []NodeID
+	// lastChild tracks the most recently appended child of each open
+	// element so siblings can be linked in O(1).
+	lastChild map[NodeID]NodeID
+	lastText  map[NodeID]string
+	done      bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		doc: &Document{
+			tagIndex: make(map[string]TagID),
+		},
+		lastChild: make(map[NodeID]NodeID),
+		lastText:  make(map[NodeID]string),
+	}
+}
+
+func (b *Builder) internTag(tag string) TagID {
+	if t, ok := b.doc.tagIndex[tag]; ok {
+		return t
+	}
+	t := TagID(len(b.doc.tags))
+	b.doc.tags = append(b.doc.tags, tag)
+	b.doc.tagIndex[tag] = t
+	return t
+}
+
+// Begin opens a new element with the given tag as a child of the currently
+// open element (or as the root) and returns its NodeID.
+func (b *Builder) Begin(tag string) NodeID {
+	if b.done {
+		panic("xmltree: Begin after Finish")
+	}
+	if len(b.stack) == 0 && len(b.doc.nodes) > 0 {
+		panic("xmltree: document already has a root")
+	}
+	id := NodeID(len(b.doc.nodes))
+	n := node{
+		tag:         b.internTag(tag),
+		parent:      InvalidNode,
+		firstChild:  InvalidNode,
+		nextSibling: InvalidNode,
+		end:         id,
+		value:       -1,
+	}
+	if len(b.stack) > 0 {
+		p := b.stack[len(b.stack)-1]
+		n.parent = p
+		n.level = b.doc.nodes[p].level + 1
+		if b.doc.nodes[p].firstChild == InvalidNode {
+			b.doc.nodes[p].firstChild = id
+		} else {
+			b.doc.nodes[b.lastChild[p]].nextSibling = id
+		}
+		b.lastChild[p] = id
+	}
+	b.doc.nodes = append(b.doc.nodes, n)
+	b.stack = append(b.stack, id)
+	return id
+}
+
+// Text appends text content to the currently open element.
+func (b *Builder) Text(s string) {
+	if len(b.stack) == 0 {
+		panic("xmltree: Text with no open element")
+	}
+	cur := b.stack[len(b.stack)-1]
+	b.lastText[cur] += s
+}
+
+// Attr adds an attribute to the currently open element, represented as a
+// leaf child node tagged "@name" holding the attribute value.
+func (b *Builder) Attr(name, value string) {
+	id := b.Begin("@" + name)
+	b.Text(value)
+	b.End()
+	_ = id
+}
+
+// Element is shorthand for Begin(tag); Text(value); End().
+func (b *Builder) Element(tag, value string) NodeID {
+	id := b.Begin(tag)
+	if value != "" {
+		b.Text(value)
+	}
+	b.End()
+	return id
+}
+
+// End closes the most recently opened element.
+func (b *Builder) End() {
+	if len(b.stack) == 0 {
+		panic("xmltree: End with no open element")
+	}
+	cur := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	last := NodeID(len(b.doc.nodes) - 1)
+	b.doc.nodes[cur].end = last
+	if txt, ok := b.lastText[cur]; ok && txt != "" {
+		b.doc.nodes[cur].value = int32(len(b.doc.values))
+		b.doc.values = append(b.doc.values, txt)
+	}
+	delete(b.lastText, cur)
+	delete(b.lastChild, cur)
+}
+
+// Depth returns the number of currently open elements.
+func (b *Builder) Depth() int { return len(b.stack) }
+
+// Finish validates and returns the completed document. The builder must not
+// be reused afterwards.
+func (b *Builder) Finish() (*Document, error) {
+	if b.done {
+		return nil, errors.New("xmltree: Finish called twice")
+	}
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("xmltree: %d unclosed elements", len(b.stack))
+	}
+	if len(b.doc.nodes) == 0 {
+		return nil, errors.New("xmltree: empty document")
+	}
+	b.done = true
+	return b.doc, nil
+}
+
+// MustFinish is Finish that panics on error, for tests and generators whose
+// construction sequence is statically correct.
+func (b *Builder) MustFinish() *Document {
+	d, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

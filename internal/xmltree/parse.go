@@ -1,0 +1,67 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads serialized XML from r and builds a Document. Element
+// attributes become child nodes tagged "@name"; character data is attached
+// to the enclosing element (whitespace-only runs are dropped). Comments and
+// processing instructions are ignored, matching the element-tree data model
+// of the paper.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder()
+	sawRoot := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if sawRoot && b.Depth() == 0 {
+				return nil, fmt.Errorf("xmltree: multiple root elements (second is <%s>)", t.Name.Local)
+			}
+			sawRoot = true
+			b.Begin(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attr(a.Name.Local, a.Value)
+			}
+		case xml.EndElement:
+			b.End()
+		case xml.CharData:
+			if b.Depth() == 0 {
+				continue
+			}
+			if s := string(t); strings.TrimSpace(s) != "" {
+				b.Text(s)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParseString is ParseString that panics on error, for tests with
+// literal documents.
+func MustParseString(s string) *Document {
+	d, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,298 @@
+// Package xmltree models an XML document as an ordered tree of element
+// nodes, the data model of the DOL paper (§2): nodes correspond to elements,
+// edges to parent/child relationships, and siblings are ordered.
+//
+// Nodes are identified by their document-order (preorder) position, a dense
+// NodeID starting at 0 for the root. This identity is what the NoK physical
+// encoding and the DOL access-control labeling are defined over: "document
+// order" in the paper is exactly increasing NodeID here.
+//
+// A Document is immutable once built. Use Builder for programmatic
+// construction or Parse to read serialized XML (attributes become child
+// nodes tagged "@name" so instance-level access controls can target them).
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node by its document-order (preorder) position.
+type NodeID int32
+
+// InvalidNode is the null node reference.
+const InvalidNode NodeID = -1
+
+// TagID indexes a Document's interned tag table.
+type TagID int32
+
+// node is the arena record for one element.
+type node struct {
+	tag         TagID
+	parent      NodeID
+	firstChild  NodeID
+	nextSibling NodeID
+	end         NodeID // last descendant in preorder; end == id for leaves
+	level       int32  // root is level 0
+	value       int32  // index into values, or -1
+}
+
+// Document is an immutable ordered tree of elements in document order.
+type Document struct {
+	nodes    []node
+	tags     []string
+	tagIndex map[string]TagID
+	values   []string
+}
+
+// Len returns the number of nodes in the document.
+func (d *Document) Len() int { return len(d.nodes) }
+
+// Root returns the root node ID, or InvalidNode for an empty document.
+func (d *Document) Root() NodeID {
+	if len(d.nodes) == 0 {
+		return InvalidNode
+	}
+	return 0
+}
+
+// Valid reports whether n is a node of this document.
+func (d *Document) Valid(n NodeID) bool { return n >= 0 && int(n) < len(d.nodes) }
+
+func (d *Document) check(n NodeID) {
+	if !d.Valid(n) {
+		panic(fmt.Sprintf("xmltree: invalid node %d (document has %d nodes)", n, len(d.nodes)))
+	}
+}
+
+// Tag returns the tag name of node n.
+func (d *Document) Tag(n NodeID) string {
+	d.check(n)
+	return d.tags[d.nodes[n].tag]
+}
+
+// TagIDOf returns the interned tag ID of node n.
+func (d *Document) TagIDOf(n NodeID) TagID {
+	d.check(n)
+	return d.nodes[n].tag
+}
+
+// TagName returns the tag string for an interned tag ID.
+func (d *Document) TagName(t TagID) string { return d.tags[t] }
+
+// LookupTag returns the TagID for a tag name, and whether it occurs in the
+// document at all.
+func (d *Document) LookupTag(tag string) (TagID, bool) {
+	t, ok := d.tagIndex[tag]
+	return t, ok
+}
+
+// NumTags returns the number of distinct tags in the document.
+func (d *Document) NumTags() int { return len(d.tags) }
+
+// Value returns the text content of node n ("" if none).
+func (d *Document) Value(n NodeID) string {
+	d.check(n)
+	if v := d.nodes[n].value; v >= 0 {
+		return d.values[v]
+	}
+	return ""
+}
+
+// Parent returns the parent of n, or InvalidNode for the root.
+func (d *Document) Parent(n NodeID) NodeID {
+	d.check(n)
+	return d.nodes[n].parent
+}
+
+// FirstChild returns the first child of n, or InvalidNode if n is a leaf.
+func (d *Document) FirstChild(n NodeID) NodeID {
+	d.check(n)
+	return d.nodes[n].firstChild
+}
+
+// NextSibling returns the following sibling of n, or InvalidNode.
+func (d *Document) NextSibling(n NodeID) NodeID {
+	d.check(n)
+	return d.nodes[n].nextSibling
+}
+
+// End returns the ID of the last node in n's subtree (n itself for leaves).
+// A node a is an ancestor of d exactly when a < d && d <= End(a).
+func (d *Document) End(n NodeID) NodeID {
+	d.check(n)
+	return d.nodes[n].end
+}
+
+// SubtreeSize returns the number of nodes in n's subtree, including n.
+func (d *Document) SubtreeSize(n NodeID) int {
+	d.check(n)
+	return int(d.nodes[n].end-n) + 1
+}
+
+// Level returns the depth of n; the root has level 0.
+func (d *Document) Level(n NodeID) int {
+	d.check(n)
+	return int(d.nodes[n].level)
+}
+
+// IsAncestor reports whether a is a proper ancestor of n.
+func (d *Document) IsAncestor(a, n NodeID) bool {
+	d.check(a)
+	d.check(n)
+	return a < n && n <= d.nodes[a].end
+}
+
+// Children returns the child IDs of n in sibling order.
+func (d *Document) Children(n NodeID) []NodeID {
+	d.check(n)
+	var out []NodeID
+	for c := d.nodes[n].firstChild; c != InvalidNode; c = d.nodes[c].nextSibling {
+		out = append(out, c)
+	}
+	return out
+}
+
+// CloseCount returns the number of subtrees that end immediately after node
+// n in document order — the number of ')' following n's entry in the NoK
+// "closing parens" encoding. It is 0 exactly when n has a first child.
+func (d *Document) CloseCount(n NodeID) int {
+	d.check(n)
+	if d.nodes[n].firstChild != InvalidNode {
+		return 0
+	}
+	// n is a leaf: n's own subtree closes, plus every ancestor whose
+	// subtree also ends at n.
+	c := 1
+	for a := d.nodes[n].parent; a != InvalidNode && d.nodes[a].end == n; a = d.nodes[a].parent {
+		c++
+	}
+	return c
+}
+
+// NodesWithTag returns, in document order, every node whose tag is tag.
+func (d *Document) NodesWithTag(tag string) []NodeID {
+	t, ok := d.tagIndex[tag]
+	if !ok {
+		return nil
+	}
+	var out []NodeID
+	for i := range d.nodes {
+		if d.nodes[i].tag == t {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Path returns the slash-separated tag path from the root to n, e.g.
+// "/site/regions/africa".
+func (d *Document) Path(n NodeID) string {
+	d.check(n)
+	var parts []string
+	for m := n; m != InvalidNode; m = d.nodes[m].parent {
+		parts = append(parts, d.tags[d.nodes[m].tag])
+	}
+	var sb strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		sb.WriteByte('/')
+		sb.WriteString(parts[i])
+	}
+	return sb.String()
+}
+
+// TagHistogram returns tag name -> occurrence count, sorted iteration is up
+// to the caller.
+func (d *Document) TagHistogram() map[string]int {
+	h := make(map[string]int, len(d.tags))
+	for i := range d.nodes {
+		h[d.tags[d.nodes[i].tag]]++
+	}
+	return h
+}
+
+// MaxDepth returns the maximum node level plus one (depth of the tree), or
+// 0 for an empty document.
+func (d *Document) MaxDepth() int {
+	max := int32(-1)
+	for i := range d.nodes {
+		if d.nodes[i].level > max {
+			max = d.nodes[i].level
+		}
+	}
+	return int(max) + 1
+}
+
+// AvgDepth returns the mean node level (root = 0).
+func (d *Document) AvgDepth() float64 {
+	if len(d.nodes) == 0 {
+		return 0
+	}
+	var sum int64
+	for i := range d.nodes {
+		sum += int64(d.nodes[i].level)
+	}
+	return float64(sum) / float64(len(d.nodes))
+}
+
+// WriteXML serializes the document as XML to w. Attribute nodes (tags
+// starting with '@') are emitted as attributes of their parent element.
+func (d *Document) WriteXML(w io.Writer) error {
+	if len(d.nodes) == 0 {
+		return nil
+	}
+	return d.writeNode(w, 0)
+}
+
+func (d *Document) writeNode(w io.Writer, n NodeID) error {
+	tag := d.Tag(n)
+	if _, err := fmt.Fprintf(w, "<%s", tag); err != nil {
+		return err
+	}
+	var elemChildren []NodeID
+	for c := d.nodes[n].firstChild; c != InvalidNode; c = d.nodes[c].nextSibling {
+		if ct := d.Tag(c); strings.HasPrefix(ct, "@") {
+			var esc strings.Builder
+			if err := xml.EscapeText(&esc, []byte(d.Value(c))); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, " %s=%q", ct[1:], esc.String()); err != nil {
+				return err
+			}
+		} else {
+			elemChildren = append(elemChildren, c)
+		}
+	}
+	if _, err := io.WriteString(w, ">"); err != nil {
+		return err
+	}
+	if v := d.Value(n); v != "" {
+		if err := xml.EscapeText(w, []byte(v)); err != nil {
+			return err
+		}
+	}
+	for _, c := range elemChildren {
+		if err := d.writeNode(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>", tag)
+	return err
+}
+
+// Tags returns the document's tag table in TagID order (a copy).
+func (d *Document) Tags() []string {
+	out := make([]string, len(d.tags))
+	copy(out, d.tags)
+	return out
+}
+
+// SortedTags returns the distinct tag names in lexicographic order.
+func (d *Document) SortedTags() []string {
+	out := d.Tags()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,401 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperDoc builds the 12-node data tree from Figure 2 of the paper:
+// (a(b)(c)(d)(e(f)(g)(h(i)(j)(k)(l)))).
+func paperDoc(t testing.TB) *Document {
+	t.Helper()
+	b := NewBuilder()
+	b.Begin("a")
+	b.Element("b", "")
+	b.Element("c", "")
+	b.Element("d", "")
+	b.Begin("e")
+	b.Element("f", "")
+	b.Element("g", "")
+	b.Begin("h")
+	b.Element("i", "")
+	b.Element("j", "")
+	b.Element("k", "")
+	b.Element("l", "")
+	b.End() // h
+	b.End() // e
+	b.End() // a
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPaperDocShape(t *testing.T) {
+	d := paperDoc(t)
+	if d.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", d.Len())
+	}
+	// Document order: a b c d e f g h i j k l.
+	wantTags := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i, w := range wantTags {
+		if got := d.Tag(NodeID(i)); got != w {
+			t.Errorf("Tag(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if d.Root() != 0 {
+		t.Errorf("Root = %d", d.Root())
+	}
+	if got := d.FirstChild(0); got != 1 {
+		t.Errorf("FirstChild(a) = %d, want 1", got)
+	}
+	if got := d.NextSibling(1); got != 2 {
+		t.Errorf("NextSibling(b) = %d, want 2", got)
+	}
+	if got := d.NextSibling(4); got != InvalidNode {
+		t.Errorf("NextSibling(e) = %d, want invalid", got)
+	}
+	if got := d.Parent(7); got != 4 {
+		t.Errorf("Parent(h) = %d, want 4 (e)", got)
+	}
+	if got := d.End(4); got != 11 {
+		t.Errorf("End(e) = %d, want 11", got)
+	}
+	if got := d.End(7); got != 11 {
+		t.Errorf("End(h) = %d, want 11", got)
+	}
+	if got := d.SubtreeSize(4); got != 8 {
+		t.Errorf("SubtreeSize(e) = %d, want 8", got)
+	}
+	if !d.IsAncestor(0, 11) || !d.IsAncestor(4, 8) || d.IsAncestor(1, 2) {
+		t.Error("IsAncestor relations wrong")
+	}
+	if got := d.Level(11); got != 3 {
+		t.Errorf("Level(l) = %d, want 3", got)
+	}
+	if got := d.MaxDepth(); got != 4 {
+		t.Errorf("MaxDepth = %d, want 4", got)
+	}
+}
+
+func TestCloseCounts(t *testing.T) {
+	d := paperDoc(t)
+	// Structure string: a b) c) d) e f) g) h i) j) k) l))))
+	want := []int{0, 1, 1, 1, 0, 1, 1, 0, 1, 1, 1, 4}
+	for i, w := range want {
+		if got := d.CloseCount(NodeID(i)); got != w {
+			t.Errorf("CloseCount(%s) = %d, want %d", d.Tag(NodeID(i)), got, w)
+		}
+	}
+	// Sum of close counts equals node count (every subtree closes once).
+	sum := 0
+	for i := 0; i < d.Len(); i++ {
+		sum += d.CloseCount(NodeID(i))
+	}
+	if sum != d.Len() {
+		t.Errorf("total closes = %d, want %d", sum, d.Len())
+	}
+}
+
+func TestChildren(t *testing.T) {
+	d := paperDoc(t)
+	got := d.Children(0)
+	want := []NodeID{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Children(a) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Children(a) = %v, want %v", got, want)
+		}
+	}
+	if d.Children(1) != nil {
+		t.Error("leaf should have no children")
+	}
+}
+
+func TestNodesWithTagAndPath(t *testing.T) {
+	d := MustParseString(`<r><x/><y><x/></y></r>`)
+	xs := d.NodesWithTag("x")
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 3 {
+		t.Fatalf("NodesWithTag(x) = %v", xs)
+	}
+	if d.NodesWithTag("zzz") != nil {
+		t.Error("missing tag should give nil")
+	}
+	if got := d.Path(3); got != "/r/y/x" {
+		t.Errorf("Path = %q", got)
+	}
+}
+
+func TestTagInterning(t *testing.T) {
+	d := MustParseString(`<a><b/><b/><b/></a>`)
+	if d.NumTags() != 2 {
+		t.Fatalf("NumTags = %d, want 2", d.NumTags())
+	}
+	tb, ok := d.LookupTag("b")
+	if !ok {
+		t.Fatal("tag b missing")
+	}
+	if d.TagName(tb) != "b" {
+		t.Fatal("TagName mismatch")
+	}
+	if _, ok := d.LookupTag("zzz"); ok {
+		t.Fatal("unexpected tag")
+	}
+	h := d.TagHistogram()
+	if h["a"] != 1 || h["b"] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestParseTextAndAttrs(t *testing.T) {
+	d := MustParseString(`<item id="7"><name>socks</name><quantity>2</quantity></item>`)
+	// Nodes: item, @id, name, quantity.
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	if d.Tag(1) != "@id" || d.Value(1) != "7" {
+		t.Errorf("attr node = %q/%q", d.Tag(1), d.Value(1))
+	}
+	if d.Value(2) != "socks" {
+		t.Errorf("Value(name) = %q", d.Value(2))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "<a>", "<a></b>", "not xml at all <", "<a/><b/>"} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndWhitespace(t *testing.T) {
+	d := MustParseString("<a>\n  <!-- hi -->\n  <b>x</b>\n</a>")
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Value(0) != "" {
+		t.Errorf("root value = %q, want empty", d.Value(0))
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	src := `<site lang="en"><regions><africa><item id="1"><name>carved mask</name></item></africa></regions></site>`
+	d := MustParseString(src)
+	var sb strings.Builder
+	if err := d.WriteXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	d2 := MustParseString(sb.String())
+	if d2.Len() != d.Len() {
+		t.Fatalf("round trip node count %d != %d", d2.Len(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		n := NodeID(i)
+		if d.Tag(n) != d2.Tag(n) || d.Value(n) != d2.Value(n) ||
+			d.Parent(n) != d2.Parent(n) {
+			t.Fatalf("node %d differs after round trip", i)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Begin("a")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish with open element should fail")
+	}
+
+	b2 := NewBuilder()
+	if _, err := b2.Finish(); err == nil {
+		t.Fatal("Finish on empty builder should fail")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("End without Begin", func() { NewBuilder().End() })
+	mustPanic("Text without Begin", func() { NewBuilder().Text("x") })
+	mustPanic("second root", func() {
+		b := NewBuilder()
+		b.Element("a", "")
+		b.Begin("b")
+	})
+}
+
+func TestAccessorPanicsOnInvalidNode(t *testing.T) {
+	d := MustParseString("<a/>")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Tag(5)
+}
+
+func TestAvgDepth(t *testing.T) {
+	d := MustParseString("<a><b><c/></b></a>")
+	if got := d.AvgDepth(); got != 1.0 { // levels 0,1,2
+		t.Errorf("AvgDepth = %v, want 1.0", got)
+	}
+}
+
+func TestSortedTags(t *testing.T) {
+	d := MustParseString("<z><a/><m/></z>")
+	got := d.SortedTags()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedTags = %v", got)
+		}
+	}
+}
+
+// randomDoc builds a random tree with n nodes using rng.
+func randomDoc(rng *rand.Rand, n int) *Document {
+	b := NewBuilder()
+	b.Begin("r")
+	open := 1
+	for i := 1; i < n; i++ {
+		// Random walk: open a child or close an element (keeping root open).
+		for open > 1 && rng.Intn(3) == 0 {
+			b.End()
+			open--
+		}
+		b.Begin("t" + string(rune('a'+rng.Intn(5))))
+		open++
+	}
+	for ; open > 0; open-- {
+		b.End()
+	}
+	return b.MustFinish()
+}
+
+// Property: preorder invariants hold for random trees — parent < child,
+// End consistency, ancestor iff interval containment, and CloseCount sums
+// to the node count.
+func TestRandomTreeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		d := randomDoc(rng, n)
+		if d.Len() != n {
+			return false
+		}
+		closes := 0
+		for i := 0; i < n; i++ {
+			id := NodeID(i)
+			closes += d.CloseCount(id)
+			if p := d.Parent(id); p != InvalidNode {
+				if p >= id {
+					return false
+				}
+				if !d.IsAncestor(p, id) {
+					return false
+				}
+				if d.End(p) < d.End(id) {
+					return false
+				}
+				if d.Level(id) != d.Level(p)+1 {
+					return false
+				}
+			}
+			// First child, if any, is id+1.
+			if fc := d.FirstChild(id); fc != InvalidNode && fc != id+1 {
+				return false
+			}
+			// Interval containment test against explicit ancestor walk.
+			for j := 0; j < n; j += 7 {
+				a := NodeID(j)
+				walk := false
+				for p := d.Parent(id); p != InvalidNode; p = d.Parent(p) {
+					if p == a {
+						walk = true
+						break
+					}
+				}
+				if walk != d.IsAncestor(a, id) {
+					return false
+				}
+			}
+		}
+		return closes == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips structure for random trees.
+func TestRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 1+rng.Intn(100))
+		var sb strings.Builder
+		if err := d.WriteXML(&sb); err != nil {
+			return false
+		}
+		d2, err := ParseString(sb.String())
+		if err != nil {
+			return false
+		}
+		if d2.Len() != d.Len() {
+			return false
+		}
+		for i := 0; i < d.Len(); i++ {
+			id := NodeID(i)
+			if d.Tag(id) != d2.Tag(id) || d.Parent(id) != d2.Parent(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("<item id=\"1\"><name>thing</name><quantity>3</quantity></item>")
+	}
+	sb.WriteString("</root>")
+	src := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuilder(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bu := NewBuilder()
+		bu.Begin("root")
+		for j := 0; j < 1000; j++ {
+			bu.Begin("item")
+			bu.Element("name", "thing")
+			bu.End()
+		}
+		bu.End()
+		bu.MustFinish()
+	}
+}

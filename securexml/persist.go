@@ -1,0 +1,156 @@
+package securexml
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/dol"
+	"dolxml/internal/nok"
+	"dolxml/internal/storage"
+)
+
+// metaFile sits beside the page file and carries everything the pages do
+// not: the codebook (held in memory at runtime, §3.2), the subject
+// directory, the mode table and the NoK reopen metadata.
+const metaFile = "store.json"
+
+// pageFile is the default page file name inside a store directory.
+const pageFile = "pages.db"
+
+type persistedStore struct {
+	Format   int                   `json:"format"`
+	PageSize int                   `json:"page_size"`
+	Modes    []string              `json:"modes"`
+	Dir      acl.DirectorySnapshot `json:"directory"`
+	Nok      nok.Meta              `json:"nok"`
+	Codebook string                `json:"codebook"` // base64 of Codebook.MarshalBinary
+}
+
+// Save persists the store into the directory: the (already file-backed or
+// copied) page file plus a JSON metadata sidecar. A store sealed without
+// StoreOptions.Path is written out page by page.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	pagePath := filepath.Join(dir, pageFile)
+	if s.opts.Path == "" || s.opts.Path != pagePath {
+		// Copy pages into the target file.
+		dst, err := storage.OpenFilePager(pagePath, s.opts.PageSize)
+		if err != nil {
+			return err
+		}
+		defer dst.Close()
+		if dst.NumPages() != 0 {
+			return fmt.Errorf("securexml: %s already contains %d pages", pagePath, dst.NumPages())
+		}
+		src := s.pool.Pager()
+		buf := make([]byte, s.opts.PageSize)
+		for p := 0; p < src.NumPages(); p++ {
+			if err := src.ReadPage(storage.PageID(p), buf); err != nil {
+				return err
+			}
+			id, err := dst.Allocate()
+			if err != nil {
+				return err
+			}
+			if err := dst.WritePage(id, buf); err != nil {
+				return err
+			}
+		}
+		if err := dst.Sync(); err != nil {
+			return err
+		}
+	}
+	cb, err := s.ss.Codebook().MarshalBinary()
+	if err != nil {
+		return err
+	}
+	ps := persistedStore{
+		Format:   1,
+		PageSize: s.opts.PageSize,
+		Modes:    s.modes,
+		Dir:      s.dir.Snapshot(),
+		Nok:      s.ss.Store().Meta(),
+		Codebook: base64.StdEncoding.EncodeToString(cb),
+	}
+	f, err := os.Create(filepath.Join(dir, metaFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	return enc.Encode(ps)
+}
+
+// Open loads a store previously written by Save.
+func Open(dir string, opts StoreOptions) (*Store, error) {
+	opts.defaults()
+	f, err := os.Open(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ps persistedStore
+	if err := json.NewDecoder(f).Decode(&ps); err != nil {
+		return nil, fmt.Errorf("securexml: corrupt metadata: %w", err)
+	}
+	if ps.Format != 1 {
+		return nil, fmt.Errorf("securexml: unsupported format %d", ps.Format)
+	}
+	opts.PageSize = ps.PageSize
+	opts.Path = filepath.Join(dir, pageFile)
+
+	pager, err := storage.OpenFilePager(opts.Path, opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewBufferPool(pager, opts.PoolPages)
+	st, err := nok.Open(pool, ps.Nok)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.CheckConsistency(); err != nil {
+		return nil, fmt.Errorf("securexml: store failed consistency check: %w", err)
+	}
+	cbBytes, err := base64.StdEncoding.DecodeString(ps.Codebook)
+	if err != nil {
+		return nil, fmt.Errorf("securexml: corrupt codebook: %w", err)
+	}
+	cb := dol.NewCodebook(0)
+	if err := cb.UnmarshalBinary(cbBytes); err != nil {
+		return nil, err
+	}
+	d, err := acl.DirectoryFromSnapshot(ps.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if want := d.Len() * len(ps.Modes); cb.NumSubjects() != want {
+		return nil, fmt.Errorf("securexml: codebook covers %d columns, directory needs %d", cb.NumSubjects(), want)
+	}
+	modeIdx := make(map[string]int, len(ps.Modes))
+	for i, m := range ps.Modes {
+		modeIdx[m] = i
+	}
+	s := &Store{
+		opts:     opts,
+		pool:     pool,
+		ss:       dol.OpenSecureStore(st, cb),
+		dir:      d,
+		modes:    ps.Modes,
+		modeIdx:  modeIdx,
+		idxDirty: true,
+	}
+	if err := s.reindex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,742 @@
+package securexml
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const hospitalXML = `<hospital>
+  <ward name="A">
+    <patient id="p1"><name>Ann</name><diagnosis>flu</diagnosis><billing><amount>100</amount></billing></patient>
+    <patient id="p2"><name>Bob</name><diagnosis>cold</diagnosis><billing><amount>50</amount></billing></patient>
+  </ward>
+  <ward name="B">
+    <patient id="p3"><name>Cid</name><diagnosis>cough</diagnosis><billing><amount>75</amount></billing></patient>
+  </ward>
+  <pharmacy><drug>aspirin</drug></pharmacy>
+</hospital>`
+
+// hospitalStore builds the running example: doctors read everything
+// medical, billing staff read billing, nurse alice reads ward A only.
+func hospitalStore(t testing.TB, opts StoreOptions) *Store {
+	t.Helper()
+	b := NewBuilder().
+		LoadXMLString(hospitalXML).
+		AddGroup("doctors").
+		AddGroup("billing-staff").
+		AddUser("alice").
+		AddUser("dave").
+		AddUser("betty").
+		AddMember("doctors", "dave").
+		AddMember("billing-staff", "betty").
+		Grant("doctors", "read", "/hospital").
+		Revoke("doctors", "read", "//billing").
+		Grant("billing-staff", "read", "//billing").
+		Grant("billing-staff", "read", "/hospital"). // root context
+		RevokeLocal("billing-staff", "read", "//patient").
+		Revoke("billing-staff", "read", "//diagnosis").
+		Grant("alice", "read", `/hospital/ward[@name='A']`).
+		Grant("doctors", "write", "//diagnosis")
+	s, err := b.Seal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSealAndBasicQueries(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+
+	all, err := s.QueryUnrestricted("//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("unrestricted patients = %d", len(all))
+	}
+
+	// Dave (doctor) sees all patients but no billing.
+	pats, err := s.Query("dave", "read", "//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 3 {
+		t.Fatalf("dave sees %d patients", len(pats))
+	}
+	bills, err := s.Query("dave", "read", "//billing/amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bills) != 0 {
+		t.Fatalf("dave sees %d billing amounts", len(bills))
+	}
+
+	// Betty (billing) sees amounts but no diagnoses.
+	bills, err = s.Query("betty", "read", "//billing/amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bills) != 3 {
+		t.Fatalf("betty sees %d amounts", len(bills))
+	}
+	if bills[0].Tag != "amount" || bills[0].Value != "100" {
+		t.Fatalf("first amount = %+v", bills[0])
+	}
+	diags, _ := s.Query("betty", "read", "//diagnosis")
+	if len(diags) != 0 {
+		t.Fatalf("betty sees %d diagnoses", len(diags))
+	}
+
+	// Alice sees only ward A patients.
+	pats, err = s.Query("alice", "read", "//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 2 {
+		t.Fatalf("alice sees %d patients", len(pats))
+	}
+
+	// Write mode is separate: dave can "write" diagnoses, alice cannot.
+	w, _ := s.Query("dave", "write", "//diagnosis")
+	if len(w) != 3 {
+		t.Fatalf("dave writes %d diagnoses", len(w))
+	}
+	w, _ = s.Query("alice", "write", "//diagnosis")
+	if len(w) != 0 {
+		t.Fatalf("alice writes %d diagnoses", len(w))
+	}
+}
+
+func TestQueryPrunedSemantics(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	// Betty's view: patients themselves are revoked locally, so under the
+	// bindings semantics amounts are reachable, and under pruned
+	// semantics... the local (non-cascading) revoke keeps descendants
+	// accessible but the patient node itself blocks root paths.
+	bind, err := s.Query("betty", "read", "//amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := s.QueryPruned("betty", "read", "//amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bind) != 3 {
+		t.Fatalf("bindings amounts = %d", len(bind))
+	}
+	if len(pruned) != 0 {
+		t.Fatalf("pruned amounts = %d; inaccessible patient on path should block", len(pruned))
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	if _, err := NewBuilder().Seal(StoreOptions{}); err == nil {
+		t.Fatal("Seal without document should fail")
+	}
+	if _, err := NewBuilder().LoadXMLString("<broken").Seal(StoreOptions{}); err == nil {
+		t.Fatal("bad XML should fail")
+	}
+	b := NewBuilder().LoadXMLString("<a/>").Grant("ghost", "read", "/a")
+	if _, err := b.Seal(StoreOptions{}); err == nil {
+		t.Fatal("rule with unknown subject should fail")
+	}
+	b2 := NewBuilder().LoadXMLString("<a/>").AddUser("u").Grant("u", "nosuchmode", "/a")
+	if _, err := b2.Seal(StoreOptions{}); err == nil {
+		t.Fatal("rule with unknown mode should fail")
+	}
+
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	if _, err := s.Query("ghost", "read", "//patient"); err == nil {
+		t.Fatal("unknown user should fail")
+	}
+	if _, err := s.Query("dave", "nosuch", "//patient"); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+	if _, err := s.Query("dave", "read", "not an xpath"); err == nil {
+		t.Fatal("bad xpath should fail")
+	}
+}
+
+func TestAccessibleAndUserAccessible(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	pats, _ := s.QueryUnrestricted("//patient")
+	p := pats[0].Node
+	// dave's own subject has no direct rights; only via the doctors group.
+	own, err := s.Accessible("dave", "read", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if own {
+		t.Fatal("dave's own subject should have no direct rights")
+	}
+	eff, err := s.UserAccessible("dave", "read", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff {
+		t.Fatal("dave should access patients via the doctors group")
+	}
+}
+
+func TestSetAccessUpdates(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	pats, _ := s.QueryUnrestricted("//patient")
+	target := pats[2].Node // ward B patient
+	ok, _ := s.UserAccessible("alice", "read", target)
+	if ok {
+		t.Fatal("alice should not see ward B yet")
+	}
+	if err := s.SetAccess("alice", "read", target, true, true); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = s.UserAccessible("alice", "read", target)
+	if !ok {
+		t.Fatal("grant did not take effect")
+	}
+	got, _ := s.Query("alice", "read", "//patient")
+	if len(got) != 3 {
+		t.Fatalf("alice now sees %d patients", len(got))
+	}
+	// Revoke a single node.
+	if err := s.SetAccess("alice", "read", target, false, false); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Query("alice", "read", "//patient")
+	if len(got) != 2 {
+		t.Fatalf("after node revoke alice sees %d patients", len(got))
+	}
+}
+
+func TestSubjectLifecycle(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	if err := s.AddUserLike("dave2", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	// dave2 clones dave's *own* (empty) rights, not his group rights.
+	pats, _ := s.Query("dave2", "read", "//patient")
+	if len(pats) != 0 {
+		t.Fatalf("dave2 sees %d patients without membership", len(pats))
+	}
+	if err := s.AddMember("doctors", "dave2"); err != nil {
+		t.Fatal(err)
+	}
+	pats, _ = s.Query("dave2", "read", "//patient")
+	if len(pats) != 3 {
+		t.Fatalf("dave2 sees %d patients with doctors membership", len(pats))
+	}
+	if err := s.AddUser("newbie"); err != nil {
+		t.Fatal(err)
+	}
+	pats, _ = s.Query("newbie", "read", "//patient")
+	if len(pats) != 0 {
+		t.Fatal("fresh user should see nothing")
+	}
+	if err := s.AddGroup("auditors"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUser("newbie"); err == nil {
+		t.Fatal("duplicate user should fail")
+	}
+}
+
+func TestStructuralUpdates(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	wards, _ := s.QueryUnrestricted("/hospital/ward")
+	wardA := wards[0].Node
+
+	// Insert a new patient into ward A; it inherits ward A's ACL, so
+	// alice can see it.
+	if err := s.InsertXML(wardA, InvalidNode,
+		`<patient id="p9"><name>Zoe</name><diagnosis>ok</diagnosis></patient>`); err != nil {
+		t.Fatal(err)
+	}
+	pats, err := s.Query("alice", "read", "//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 3 {
+		t.Fatalf("alice sees %d patients after insert", len(pats))
+	}
+	names, _ := s.Query("alice", "read", "//patient/name")
+	found := false
+	for _, m := range names {
+		if m.Value == "Zoe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted patient not queryable: %+v", names)
+	}
+
+	// Delete the new patient again.
+	if err := s.Delete(pats[0].Node); err != nil {
+		t.Fatal(err)
+	}
+	pats, _ = s.Query("alice", "read", "//patient")
+	if len(pats) != 2 {
+		t.Fatalf("alice sees %d patients after delete", len(pats))
+	}
+
+	// Move a patient from ward A to ward B: alice loses nothing she had
+	// (ACLs move with the subtree).
+	pats, _ = s.Query("alice", "read", "//patient")
+	moved := pats[0].Node
+	wards, _ = s.QueryUnrestricted("/hospital/ward")
+	if err := s.Move(moved, wards[1].Node, InvalidNode); err != nil {
+		t.Fatal(err)
+	}
+	pats, _ = s.Query("alice", "read", "//patient")
+	if len(pats) != 2 {
+		t.Fatalf("alice sees %d patients after move (ACL should travel)", len(pats))
+	}
+}
+
+func TestStatsAndMetadata(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes == 0 || st.StructurePages == 0 || st.Transitions == 0 || st.CodebookEntries == 0 {
+		t.Fatalf("stats look empty: %+v", st)
+	}
+	modes := s.Modes()
+	if len(modes) != 2 || modes[0] != "read" {
+		t.Fatalf("modes = %v", modes)
+	}
+	subs := s.Subjects()
+	if len(subs) != 5 {
+		t.Fatalf("subjects = %v", subs)
+	}
+	if v, err := s.Value(0); err != nil || v != "" {
+		t.Fatalf("root value = %q (%v)", v, err)
+	}
+	if tag, err := s.Tag(0); err != nil || tag != "hospital" {
+		t.Fatalf("root tag = %q (%v)", tag, err)
+	}
+}
+
+func TestSaveAndOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := hospitalStore(t, StoreOptions{})
+	// Mutate before saving so persisted state includes updates.
+	pats, _ := s.QueryUnrestricted("//patient")
+	if err := s.SetAccess("alice", "read", pats[2].Node, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Query("alice", "read", "//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("reopened store: alice sees %d patients, want 3", len(got))
+	}
+	bills, _ := re.Query("betty", "read", "//billing/amount")
+	if len(bills) != 3 {
+		t.Fatalf("reopened store: betty sees %d amounts", len(bills))
+	}
+	// Values survive.
+	if bills[0].Value != "100" {
+		t.Fatalf("value lost: %+v", bills[0])
+	}
+}
+
+func TestSealFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s := hospitalStore(t, StoreOptions{Path: path})
+	defer s.Close()
+	pats, err := s.Query("dave", "read", "//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 3 {
+		t.Fatalf("file-backed store: %d patients", len(pats))
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir(), StoreOptions{}); err == nil {
+		t.Fatal("open of empty dir should fail")
+	}
+}
+
+func TestBuilderChainErrors(t *testing.T) {
+	b := NewBuilder().AddUser("u").AddUser("u") // duplicate
+	if _, err := b.LoadXMLString("<a/>").Seal(StoreOptions{}); err == nil {
+		t.Fatal("duplicate user should surface at Seal")
+	}
+	b2 := NewBuilder().LoadXMLString("<a/>").AddMember("nogroup", "nouser")
+	if _, err := b2.Seal(StoreOptions{}); err == nil {
+		t.Fatal("bad membership should surface at Seal")
+	}
+}
+
+func TestAttributePredicate(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	// Attribute nodes are child nodes tagged @name; the alice rule used
+	// /hospital/ward[@name='A'].
+	ws, err := s.QueryUnrestricted(`/hospital/ward[@name='A']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 {
+		t.Fatalf("ward A matches = %d", len(ws))
+	}
+}
+
+func TestModesIsolation(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	// Granting read must not grant write: check via the raw matrix-free
+	// interface.
+	pats, _ := s.QueryUnrestricted("//patient")
+	rd, _ := s.UserAccessible("alice", "read", pats[0].Node)
+	wr, _ := s.UserAccessible("alice", "write", pats[0].Node)
+	if !rd || wr {
+		t.Fatalf("mode isolation broken: read=%v write=%v", rd, wr)
+	}
+}
+
+func TestLargeDocumentThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large facade test in short mode")
+	}
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("<book><title>t</title><secret>s</secret></book>")
+	}
+	sb.WriteString("</lib>")
+	s, err := NewBuilder().
+		LoadXMLString(sb.String()).
+		AddUser("reader").
+		Grant("reader", "read", "/lib").
+		Revoke("reader", "read", "//secret").
+		Seal(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	books, err := s.Query("reader", "read", "//book[title]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(books) != 2000 {
+		t.Fatalf("reader sees %d books", len(books))
+	}
+	secrets, _ := s.Query("reader", "read", "//secret")
+	if len(secrets) != 0 {
+		t.Fatalf("reader sees %d secrets", len(secrets))
+	}
+}
+
+// Property: across random documents, policies and queries, the facade
+// obeys the containment laws — pruned ⊆ bindings ⊆ unrestricted — and
+// results survive Save/Open byte-for-byte.
+func TestFacadeContainmentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tags := []string{"a", "b", "c", "d"}
+	queries := []string{"//a", "//b[c]", "/r/a", "//a//c", "//d", "/r/*[a]"}
+	for trial := 0; trial < 25; trial++ {
+		// Random document.
+		var sb strings.Builder
+		var build func(depth int)
+		nodes := 0
+		build = func(depth int) {
+			tag := tags[rng.Intn(len(tags))]
+			sb.WriteString("<" + tag + ">")
+			nodes++
+			if depth < 4 {
+				for k := 0; k < rng.Intn(4); k++ {
+					build(depth + 1)
+				}
+			}
+			sb.WriteString("</" + tag + ">")
+		}
+		sb.WriteString("<r>")
+		nodes++
+		for k := 0; k < 3+rng.Intn(4); k++ {
+			build(1)
+		}
+		sb.WriteString("</r>")
+
+		b := NewBuilder().LoadXMLString(sb.String()).AddUser("u")
+		// Random rules over random tag paths.
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			xp := "//" + tags[rng.Intn(len(tags))]
+			if rng.Intn(2) == 0 {
+				b.Grant("u", "read", xp)
+			} else {
+				b.Revoke("u", "read", xp)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			b.Grant("u", "read", "/r")
+		}
+		s, err := b.Seal(StoreOptions{PageSize: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			admin, err := s.QueryUnrestricted(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bind, err := s.Query("u", "read", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := s.QueryPruned("u", "read", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adminSet := map[NodeID]bool{}
+			for _, m := range admin {
+				adminSet[m.Node] = true
+			}
+			bindSet := map[NodeID]bool{}
+			for _, m := range bind {
+				if !adminSet[m.Node] {
+					t.Fatalf("trial %d %s: secure answer %d not in unrestricted set", trial, q, m.Node)
+				}
+				bindSet[m.Node] = true
+			}
+			for _, m := range pruned {
+				if !bindSet[m.Node] {
+					t.Fatalf("trial %d %s: pruned answer %d not in bindings set", trial, q, m.Node)
+				}
+			}
+		}
+		s.Close()
+	}
+}
+
+// Concurrent queries against occasional updates must be linearizable-ish:
+// no panics, no errors, and every answer set is one the store could
+// produce. Run with -race to exercise the locking.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	done := make(chan error, 8)
+	for g := 0; g < 6; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				if _, err := s.Query("dave", "read", "//patient[name]"); err != nil {
+					done <- err
+					return
+				}
+				if _, err := s.QueryPruned("betty", "read", "//amount"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 20; i++ {
+				pats, err := s.QueryUnrestricted("//patient")
+				if err != nil || len(pats) == 0 {
+					done <- err
+					return
+				}
+				target := pats[(i+g)%len(pats)].Node
+				if err := s.SetAccess("alice", "read", target, i%2 == 0, true); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for k := 0; k < 8; k++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExportVisible(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+
+	// Dave (doctors): everything except billing subtrees.
+	var out strings.Builder
+	if err := s.ExportVisible("dave", "read", &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"<name>Ann</name>", "<name>Cid</name>", "<drug>aspirin</drug>", `ward name="A"`} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("dave export missing %q:\n%s", want, got)
+		}
+	}
+	for _, deny := range []string{"billing", "amount", "100"} {
+		if strings.Contains(got, deny) {
+			t.Fatalf("dave export leaked %q:\n%s", deny, got)
+		}
+	}
+	// The exported view must be well-formed XML.
+	if _, err := NewBuilder().LoadXMLString(got).AddUser("x").Seal(StoreOptions{}); err != nil {
+		t.Fatalf("export does not reparse: %v\n%s", err, got)
+	}
+
+	// Alice's pruned view is empty: the hospital root is not granted to
+	// her, and dissemination uses the pruned-subtree semantics.
+	out.Reset()
+	if err := s.ExportVisible("alice", "read", &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Fatalf("alice export should be empty (inaccessible root), got %q", out.String())
+	}
+
+	// Betty: patients themselves are locally revoked, so patient subtrees
+	// (including the billing she can read in place) vanish from the
+	// disseminated view; the pharmacy stays.
+	out.Reset()
+	if err := s.ExportVisible("betty", "read", &out); err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	if strings.Contains(got, "patient") || strings.Contains(got, "amount") {
+		t.Fatalf("betty export leaked patient content:\n%s", got)
+	}
+	if !strings.Contains(got, "<drug>aspirin</drug>") {
+		t.Fatalf("betty export missing pharmacy:\n%s", got)
+	}
+}
+
+func TestExportVisibleDeniedRoot(t *testing.T) {
+	s, err := NewBuilder().
+		LoadXMLString("<a><b/></a>").
+		AddUser("u").
+		Seal(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var out strings.Builder
+	if err := s.ExportVisible("u", "read", &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Fatalf("denied root should export nothing, got %q", out.String())
+	}
+}
+
+// countElems counts start tags of the given name, with or without
+// attributes.
+func countElems(doc, tag string) int {
+	return strings.Count(doc, "<"+tag+">") + strings.Count(doc, "<"+tag+" ")
+}
+
+// Property: the export contains exactly as many elements of each tag as
+// QueryPruned returns for //tag.
+func TestExportVisibleMatchesPrunedView(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	for _, user := range []string{"dave", "betty", "alice"} {
+		var out strings.Builder
+		if err := s.ExportVisible(user, "read", &out); err != nil {
+			t.Fatal(err)
+		}
+		got := out.String()
+		for _, tag := range []string{"ward", "patient", "diagnosis", "billing", "amount", "drug"} {
+			pruned, err := s.QueryPruned(user, "read", "//"+tag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if occ := countElems(got, tag); occ != len(pruned) {
+				t.Fatalf("user %s tag %s: export has %d, pruned query %d\n%s",
+					user, tag, occ, len(pruned), got)
+			}
+		}
+	}
+}
+
+func TestBuilderLocalRulesAndDefaults(t *testing.T) {
+	s, err := NewBuilder().
+		LoadXMLString("<a><b><c/></b></a>").
+		AddUser("u").
+		AddUser("v").
+		PermitByDefault().
+		RevokeLocal("u", "read", "/a/b").
+		GrantLocal("u", "read", "//c"). // no-op on top of default, exercises the path
+		Seal(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// v has no rules: open world grants everything.
+	ms, err := s.Query("v", "read", "//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("open-world user sees %d", len(ms))
+	}
+	// u: b itself locally revoked, c stays accessible.
+	ok, _ := s.UserAccessible("u", "read", 1)
+	if ok {
+		t.Fatal("local revoke failed")
+	}
+	ok, _ = s.UserAccessible("u", "read", 2)
+	if !ok {
+		t.Fatal("local revoke must not cascade")
+	}
+	if s.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", s.NumNodes())
+	}
+}
+
+func TestStoreVacuum(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+	// Make some updates, then vacuum; queries must be unchanged.
+	pats, _ := s.QueryUnrestricted("//patient")
+	for i, p := range pats {
+		if err := s.SetAccess("alice", "read", p.Node, i%2 == 0, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := s.Query("alice", "read", "//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Query("alice", "read", "//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("Vacuum changed results: %d -> %d", len(before), len(after))
+	}
+}

@@ -1,0 +1,540 @@
+package securexml
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/btree"
+	"dolxml/internal/dol"
+	"dolxml/internal/nok"
+	"dolxml/internal/query"
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+// StoreOptions configure the physical representation.
+type StoreOptions struct {
+	// Path, when set, backs the store with a page file on disk (required
+	// for Save); empty keeps the pages in memory.
+	Path string
+	// PageSize is the block size in bytes (default 4096, the paper's).
+	PageSize int
+	// PoolPages bounds the buffer pool (default 4096 frames).
+	PoolPages int
+	// FillPercent leaves slack in structure blocks for in-place updates
+	// (default 90).
+	FillPercent int
+	// DiscardValues skips the node value store (structure-only store).
+	DiscardValues bool
+}
+
+func (o *StoreOptions) defaults() {
+	if o.PageSize == 0 {
+		o.PageSize = storage.DefaultPageSize
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = 4096
+	}
+	if o.FillPercent == 0 {
+		o.FillPercent = 90
+	}
+}
+
+// Store is a sealed secure XML store. It is safe for concurrent use:
+// queries may run in parallel; update operations are serialized and
+// exclude queries.
+type Store struct {
+	// mu serializes updates against queries. Query paths hold the read
+	// lock; mutating paths hold the write lock.
+	mu       sync.RWMutex
+	opts     StoreOptions
+	pool     *storage.BufferPool
+	ss       *dol.SecureStore
+	dir      *acl.Directory
+	modes    []string
+	modeIdx  map[string]int
+	idxPool  *storage.BufferPool
+	index    *btree.Tree
+	vindex   *btree.ValueTree
+	idxDirty bool
+}
+
+// Seal materializes the policy into a DOL-labeled NoK store and returns
+// the queryable Store. The builder must not be reused afterwards.
+func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.doc == nil {
+		return nil, fmt.Errorf("securexml: Seal before LoadXML")
+	}
+	opts.defaults()
+	matrix, err := b.buildMatrix()
+	if err != nil {
+		return nil, err
+	}
+	var pager storage.Pager
+	if opts.Path != "" {
+		fp, err := storage.OpenFilePager(opts.Path, opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		pager = fp
+	} else {
+		pager = storage.NewMemPager(opts.PageSize)
+	}
+	pool := storage.NewBufferPool(pager, opts.PoolPages)
+	ss, err := dol.BuildSecureStore(pool, b.doc, matrix, nok.BuildOptions{
+		FillPercent: opts.FillPercent,
+		StoreValues: !opts.DiscardValues,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:     opts,
+		pool:     pool,
+		ss:       ss,
+		dir:      b.dir,
+		modes:    b.modes,
+		modeIdx:  b.modeIdx,
+		idxDirty: true,
+	}
+	if err := s.reindex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// reindex rebuilds the in-memory tag index from the structure store. The
+// index is a derived structure (the paper assumes B+-trees as given) and
+// is rebuilt after structural updates rather than persisted.
+func (s *Store) reindex() error {
+	s.idxPool = storage.NewBufferPool(storage.NewMemPager(s.opts.PageSize), 1<<30/s.opts.PageSize)
+	t, err := btree.New(s.idxPool)
+	if err != nil {
+		return err
+	}
+	var vt *btree.ValueTree
+	vs := s.ss.Store().Values()
+	if vs != nil {
+		vt, err = btree.NewValueTree(s.idxPool)
+		if err != nil {
+			return err
+		}
+	}
+	var indexErr error
+	err = s.ss.Store().ForEachExtent(func(n, end xmltree.NodeID, level int, tag int32) {
+		if indexErr != nil {
+			return
+		}
+		p := btree.Posting{Node: n, End: end, Level: uint16(level)}
+		if err := t.Insert(tag, p); err != nil {
+			indexErr = err
+			return
+		}
+		if vt == nil {
+			return
+		}
+		v, err := vs.Value(n)
+		if err != nil {
+			indexErr = err
+			return
+		}
+		if v != "" {
+			if err := vt.Insert(tag, v, p); err != nil {
+				indexErr = err
+			}
+		}
+	})
+	if err == nil {
+		err = indexErr
+	}
+	if err != nil {
+		return err
+	}
+	s.index = t
+	s.vindex = vt
+	s.idxDirty = false
+	return nil
+}
+
+// Match is one query answer.
+type Match struct {
+	// Node is the answer's document-order ID.
+	Node NodeID
+	// Tag and Value describe the answer node.
+	Tag   string
+	Value string
+}
+
+func (s *Store) mode(name string) (int, error) {
+	m, ok := s.modeIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("securexml: unknown mode %q (have %s)", name, strings.Join(s.modes, ", "))
+	}
+	return m, nil
+}
+
+func (s *Store) subject(name string) (acl.SubjectID, error) {
+	id, ok := s.dir.Lookup(name)
+	if !ok {
+		return acl.InvalidSubject, fmt.Errorf("securexml: unknown subject %q", name)
+	}
+	return id, nil
+}
+
+// matches converts result node IDs to Match records.
+func (s *Store) matches(nodes []xmltree.NodeID) ([]Match, error) {
+	st := s.ss.Store()
+	out := make([]Match, 0, len(nodes))
+	for _, n := range nodes {
+		tagCode, err := st.Tag(n)
+		if err != nil {
+			return nil, err
+		}
+		m := Match{Node: NodeID(n), Tag: st.TagName(tagCode)}
+		if vs := st.Values(); vs != nil {
+			v, err := vs.Value(n)
+			if err != nil {
+				return nil, err
+			}
+			m.Value = v
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func (s *Store) run(xpath string, opts query.Options) ([]Match, error) {
+	pt, err := query.Parse(xpath)
+	if err != nil {
+		return nil, err
+	}
+	// A stale index is rebuilt under the write lock before the query
+	// proceeds under the read lock.
+	s.mu.RLock()
+	if s.idxDirty {
+		s.mu.RUnlock()
+		s.mu.Lock()
+		if s.idxDirty {
+			if err := s.reindex(); err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+		}
+		s.mu.Unlock()
+		s.mu.RLock()
+	}
+	defer s.mu.RUnlock()
+	ev := query.NewEvaluator(s.ss.Store(), s.index)
+	if s.vindex != nil {
+		ev.WithValueIndex(s.vindex)
+	}
+	res, err := ev.Evaluate(pt, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.matches(res.Nodes)
+}
+
+// Query evaluates the XPath expression as the given user under the given
+// action mode, with the paper's default (Cho et al.) semantics: every node
+// bound by a match must be accessible to the user or one of their groups.
+func (s *Store) Query(user, mode, xpath string) ([]Match, error) {
+	view, err := s.viewFor(user, mode)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(xpath, query.Options{View: view})
+}
+
+// QueryPruned is Query under the Gabillon–Bruno semantics (§4.2): subtrees
+// rooted at inaccessible nodes contribute nothing, enforced with ε-STD
+// path checks.
+func (s *Store) QueryPruned(user, mode, xpath string) ([]Match, error) {
+	view, err := s.viewFor(user, mode)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(xpath, query.Options{View: view, Semantics: query.SemanticsPrunedSubtree})
+}
+
+// QueryUnrestricted evaluates without access control (administrative use).
+func (s *Store) QueryUnrestricted(xpath string) ([]Match, error) {
+	return s.run(xpath, query.Options{})
+}
+
+// viewFor snapshots the user's effective subject bits under its own read
+// lock (released before query execution takes the lock again, avoiding
+// recursive RLock).
+func (s *Store) viewFor(user, mode string) (*dol.SubjectView, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, err := s.subject(user)
+	if err != nil {
+		return nil, err
+	}
+	mi, err := s.mode(mode)
+	if err != nil {
+		return nil, err
+	}
+	return s.ss.View(effectiveBits(s.dir, len(s.modes), mi, u)), nil
+}
+
+func (s *Store) combinedBit(subject string, mode string) (acl.SubjectID, error) {
+	sub, err := s.subject(subject)
+	if err != nil {
+		return acl.InvalidSubject, err
+	}
+	mi, err := s.mode(mode)
+	if err != nil {
+		return acl.InvalidSubject, err
+	}
+	return acl.SubjectID(int(sub)*len(s.modes) + mi), nil
+}
+
+// Accessible reports whether the named subject alone (no group expansion)
+// may access node n under the mode.
+func (s *Store) Accessible(subject, mode string, n NodeID) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bit, err := s.combinedBit(subject, mode)
+	if err != nil {
+		return false, err
+	}
+	return s.ss.Accessible(xmltree.NodeID(n), bit)
+}
+
+// UserAccessible reports whether the user, including their transitive
+// groups, may access node n under the mode (paper footnote 4).
+func (s *Store) UserAccessible(user, mode string, n NodeID) (bool, error) {
+	view, err := s.viewFor(user, mode) // locks internally
+	if err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return view.Accessible(xmltree.NodeID(n))
+}
+
+// SetAccess grants or revokes the subject's access to node n (or, with
+// wholeSubtree, to n's entire subtree) under the mode — the §3.4
+// accessibility updates, applied in place to the affected blocks only.
+func (s *Store) SetAccess(subject, mode string, n NodeID, allowed, wholeSubtree bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bit, err := s.combinedBit(subject, mode)
+	if err != nil {
+		return err
+	}
+	if wholeSubtree {
+		return s.ss.SetSubtreeAccess(xmltree.NodeID(n), bit, allowed)
+	}
+	return s.ss.SetNodeAccess(xmltree.NodeID(n), bit, allowed)
+}
+
+// AddUser registers a new user with no access anywhere — a codebook-only
+// operation (§3.4).
+func (s *Store) AddUser(name string) error {
+	return s.addSubject(name, false, "")
+}
+
+// AddUserLike registers a new user whose rights match an existing
+// subject's in every mode.
+func (s *Store) AddUserLike(name, like string) error {
+	return s.addSubject(name, false, like)
+}
+
+// AddGroup registers a new group with no access anywhere.
+func (s *Store) AddGroup(name string) error {
+	return s.addSubject(name, true, "")
+}
+
+func (s *Store) addSubject(name string, group bool, like string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var likeID acl.SubjectID = acl.InvalidSubject
+	if like != "" {
+		var err error
+		likeID, err = s.subject(like)
+		if err != nil {
+			return err
+		}
+	}
+	var err error
+	if group {
+		_, err = s.dir.AddGroup(name)
+	} else {
+		_, err = s.dir.AddUser(name)
+	}
+	if err != nil {
+		return err
+	}
+	numModes := len(s.modes)
+	for m := 0; m < numModes; m++ {
+		if likeID == acl.InvalidSubject {
+			s.ss.AddSubject()
+		} else {
+			if _, err := s.ss.AddSubjectLike(acl.SubjectID(int(likeID)*numModes + m)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddMember records a group membership on the sealed store (affects only
+// effective-rights expansion, not the encoding).
+func (s *Store) AddMember(group, member string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.subject(group)
+	if err != nil {
+		return err
+	}
+	m, err := s.subject(member)
+	if err != nil {
+		return err
+	}
+	return s.dir.AddMember(g, m)
+}
+
+// InsertXML inserts the XML fragment as a new child of parent (after the
+// existing child `after`, or first when after is InvalidNode). Per the
+// paper's update model the inserted nodes arrive with access controls:
+// every fragment node receives the access control list currently in force
+// at the parent node.
+func (s *Store) InsertXML(parent, after NodeID, fragment string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frag, err := xmltree.ParseString(fragment)
+	if err != nil {
+		return err
+	}
+	code, err := s.ss.Store().AccessCodeAt(xmltree.NodeID(parent))
+	if err != nil {
+		return err
+	}
+	row := s.ss.Codebook().ACL(code)
+	fm := acl.NewMatrix(frag.Len(), s.ss.Codebook().NumSubjects())
+	for n := 0; n < frag.Len(); n++ {
+		fm.SetRow(xmltree.NodeID(n), row)
+	}
+	if err := s.ss.InsertSubtree(xmltree.NodeID(parent), xmltree.NodeID(after), frag, fm); err != nil {
+		return err
+	}
+	s.idxDirty = true
+	return nil
+}
+
+// Delete removes node n's subtree.
+func (s *Store) Delete(n NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ss.DeleteSubtree(xmltree.NodeID(n)); err != nil {
+		return err
+	}
+	s.idxDirty = true
+	return nil
+}
+
+// Move relocates node n's subtree under newParent (after the sibling
+// `after`, or first when InvalidNode), preserving its access controls.
+func (s *Store) Move(n, newParent, after NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ss.MoveSubtree(xmltree.NodeID(n), xmltree.NodeID(newParent), xmltree.NodeID(after)); err != nil {
+		return err
+	}
+	s.idxDirty = true
+	return nil
+}
+
+// Vacuum performs the paper's lazy redundancy correction (§3.4): it
+// rewrites the embedded access codes canonically, merging transitions made
+// redundant by earlier updates and reclaiming duplicate codebook entries.
+// It is a full-document maintenance pass.
+func (s *Store) Vacuum() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ss.Vacuum()
+}
+
+// NumNodes returns the document's node count.
+func (s *Store) NumNodes() int { return s.ss.Store().NumNodes() }
+
+// Tag returns the tag of node n.
+func (s *Store) Tag(n NodeID) (string, error) {
+	code, err := s.ss.Store().Tag(xmltree.NodeID(n))
+	if err != nil {
+		return "", err
+	}
+	return s.ss.Store().TagName(code), nil
+}
+
+// Value returns the text value of node n ("" when values are not stored).
+func (s *Store) Value(n NodeID) (string, error) {
+	vs := s.ss.Store().Values()
+	if vs == nil {
+		return "", nil
+	}
+	return vs.Value(xmltree.NodeID(n))
+}
+
+// Modes lists the registered action mode names.
+func (s *Store) Modes() []string { return append([]string(nil), s.modes...) }
+
+// Subjects lists the subject names in SubjectID order.
+func (s *Store) Subjects() []string {
+	out := make([]string, s.dir.Len())
+	for i := range out {
+		out[i] = s.dir.Name(acl.SubjectID(i))
+	}
+	return out
+}
+
+// Stats summarizes the physical representation, the quantities of the
+// paper's §5.1 storage analysis.
+type Stats struct {
+	Nodes           int
+	StructurePages  int
+	Transitions     int
+	CodebookEntries int
+	CodebookBytes   int
+	DirectoryBytes  int
+	Pool            storage.PoolStats
+	IO              storage.IOStats
+}
+
+// Stats collects the store's current statistics.
+func (s *Store) Stats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tr, err := s.ss.TransitionCount()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Nodes:           s.ss.Store().NumNodes(),
+		StructurePages:  s.ss.Store().NumPages(),
+		Transitions:     tr,
+		CodebookEntries: s.ss.Codebook().Len(),
+		CodebookBytes:   s.ss.Codebook().Bytes(),
+		DirectoryBytes:  s.ss.Store().DirectoryBytes(),
+		Pool:            s.pool.Stats(),
+		IO:              s.pool.Pager().Stats(),
+	}, nil
+}
+
+// Close flushes and releases the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	return s.pool.Pager().Close()
+}
