@@ -2,10 +2,16 @@
 //
 // Usage:
 //
-//	dolbench [-exp name] [-scale quick|default|paper] [-seed N]
+//	dolbench [-exp name] [-scale quick|default|paper] [-seed N] [-json path]
 //
 // With no -exp flag every experiment runs. Experiment names: fig4a fig4b
-// fig5 fig6 storage fig7 joins updates worstcase.
+// fig5 fig6 storage fig7 joins updates worstcase ablation modes parallel.
+//
+// With -json, every table produced by the run is additionally written to
+// the given file as indented JSON, so tooling can diff results across
+// commits, e.g.:
+//
+//	dolbench -exp parallel -json BENCH_parallel.json
 package main
 
 import (
@@ -22,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(bench.Experiments, ", ")+" or all)")
 	scale := flag.String("scale", "default", "dataset scale: quick, default or paper")
 	seed := flag.Int64("seed", 1, "generator seed")
+	jsonPath := flag.String("json", "", "also write the run's tables as JSON to this file")
 	flag.Parse()
 
 	var cfg bench.Config
@@ -44,6 +51,7 @@ func main() {
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
+	var all []*bench.Table
 	for _, name := range names {
 		start := time.Now()
 		tables, err := bench.Run(strings.TrimSpace(name), cfg)
@@ -54,6 +62,14 @@ func main() {
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
+		all = append(all, tables...)
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteTablesJSON(*jsonPath, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d tables to %s\n", len(all), *jsonPath)
 	}
 }

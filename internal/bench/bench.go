@@ -13,8 +13,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"dolxml/internal/synthacl"
@@ -141,10 +143,25 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// TablesJSON renders tables as indented JSON — the machine-readable twin of
+// Fprint, consumed by tooling that diffs benchmark results across commits.
+func TablesJSON(tables []*Table) ([]byte, error) {
+	return json.MarshalIndent(tables, "", "  ")
+}
+
+// WriteTablesJSON writes tables as JSON to the named file.
+func WriteTablesJSON(path string, tables []*Table) error {
+	data, err := TablesJSON(tables)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // Experiment names accepted by Run.
 var Experiments = []string{
 	"fig4a", "fig4b", "fig5", "fig6", "storage", "fig7", "joins",
-	"updates", "worstcase", "ablation", "modes",
+	"updates", "worstcase", "ablation", "modes", "parallel",
 }
 
 // Run executes the named experiment and returns its tables.
@@ -172,6 +189,8 @@ func Run(name string, cfg Config) ([]*Table, error) {
 		return []*Table{Ablation(cfg)}, nil
 	case "modes":
 		return []*Table{Modes(cfg)}, nil
+	case "parallel":
+		return Parallel(cfg), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

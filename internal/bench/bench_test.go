@@ -245,3 +245,22 @@ func TestModesShape(t *testing.T) {
 		t.Errorf("combined transitions %d > separate %d; merged layout should not exceed per-mode sum", combTrans, sepTrans)
 	}
 }
+
+func TestParallelShape(t *testing.T) {
+	tb := runQuick(t, "parallel")[0]
+	if len(tb.Rows) != len(Table1)*len(ParallelWorkerCounts) {
+		t.Fatalf("parallel rows = %d, want %d", len(tb.Rows), len(Table1)*len(ParallelWorkerCounts))
+	}
+	// Determinism: per query, the answer count is identical at every
+	// worker count (runQuick already fails on ERROR notes).
+	answers := map[string]string{}
+	for _, row := range tb.Rows {
+		if prev, ok := answers[row[0]]; ok && prev != row[4] {
+			t.Errorf("%s: answers %s at %s workers differ from %s", row[0], row[4], row[1], prev)
+		}
+		answers[row[0]] = row[4]
+		if s := cellFloat(t, row[3]); s <= 0 {
+			t.Errorf("%s: non-positive speedup %f", row[0], s)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dolxml/internal/query"
+	"dolxml/internal/xmark"
+)
+
+// ParallelWorkerCounts are the Options.Parallelism settings the parallel
+// experiment sweeps.
+var ParallelWorkerCounts = []int{1, 2, 4, 8}
+
+// Parallel measures the parallel secure-evaluation pipeline: every Table 1
+// query (Q1–Q6) runs under the bindings semantics at increasing worker
+// counts over one in-memory store, reporting wall-clock time and speedup
+// relative to sequential (Parallelism = 1) evaluation. Answers are verified
+// identical across worker counts — parallel evaluation is required to be
+// result-deterministic.
+//
+// The emitted rows are machine-readable via the -json flag of cmd/dolbench
+// (BENCH_parallel.json), so the performance trajectory can be diffed across
+// changes.
+func Parallel(cfg Config) []*Table {
+	doc := xmark.Generate(xmark.Scaled(cfg.Seed, cfg.XMarkNodes))
+	t := &Table{
+		ID: "parallel",
+		Title: fmt.Sprintf("parallel secure evaluation, Q1–Q6 (XMark, %d nodes, GOMAXPROCS=%d)",
+			doc.Len(), runtime.GOMAXPROCS(0)),
+		Columns: []string{"query", "workers", "time", "speedup", "answers"},
+	}
+	m := singleSubjectACL(doc, cfg.Seed+17, 70)
+	env, err := buildQueryEnv(cfg, doc, m)
+	if err != nil {
+		t.Notes = append(t.Notes, "ERROR: "+err.Error())
+		return []*Table{t}
+	}
+	view := env.ss.ViewSubject(0)
+	runs := cfg.QueryRuns
+	if runs < 3 {
+		runs = 3
+	}
+	for _, q := range Table1 {
+		pt := query.MustParse(q.Expr)
+		var baseTime time.Duration
+		baseAns := -1
+		for _, workers := range ParallelWorkerCounts {
+			opts := query.Options{View: view, Parallelism: workers}
+			elapsed, answers, _, err := env.timeQuery(pt, opts, runs)
+			if err != nil {
+				t.Notes = append(t.Notes, "ERROR: "+err.Error())
+				return []*Table{t}
+			}
+			if baseAns < 0 {
+				baseTime, baseAns = elapsed, answers
+			} else if answers != baseAns {
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"ERROR: %s with %d workers returned %d answers, sequential returned %d",
+					q.Name, workers, answers, baseAns))
+			}
+			t.AddRow(q.Name,
+				fmt.Sprintf("%d", workers),
+				elapsed.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.2f", float64(baseTime)/float64(elapsed)),
+				fmt.Sprintf("%d", answers))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"speedup = sequential time / parallel time, best-of-runs warm timings, in-memory pager",
+		"answers must be identical at every worker count (deterministic merge)")
+	return []*Table{t}
+}

@@ -188,6 +188,22 @@ func (b *Bitset) Key() string {
 	return sb.String()
 }
 
+// Intersects reports whether b and o share at least one set bit. It is the
+// allocation-free equivalent of Clone+And+Any, used on the access-decision
+// hot path.
+func (b *Bitset) Intersects(o *Bitset) bool {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // And sets b to the bitwise AND of b and o, keeping b's logical length.
 func (b *Bitset) And(o *Bitset) {
 	for i := range b.words {

@@ -34,6 +34,12 @@ type Codebook struct {
 	refs        []int
 	index       map[string]Code // ACL key -> code
 	free        []Code          // freed codes available for reuse
+	// gen counts mutations that may invalidate externally cached access
+	// decisions (entry create/free/rewrite, subject add/remove, reference
+	// releases accompanying block rewrites). SubjectView decision caches
+	// key themselves by this value. Mutations and Gen reads must not be
+	// concurrent (securexml serializes them behind its store lock).
+	gen uint64
 }
 
 // NewCodebook returns an empty codebook over numSubjects subjects.
@@ -51,6 +57,14 @@ func (cb *Codebook) NumSubjects() int { return cb.numSubjects }
 // entries" metric (Figure 5).
 func (cb *Codebook) Len() int { return len(cb.entries) - len(cb.free) }
 
+// Cap returns the number of code slots ever issued (live + freed). Codes are
+// always smaller than Cap, so per-code caches may size themselves by it.
+func (cb *Codebook) Cap() int { return len(cb.entries) }
+
+// Gen returns the mutation generation. Caches of per-code access decisions
+// are valid only while Gen is unchanged.
+func (cb *Codebook) Gen() uint64 { return cb.gen }
+
 // Intern returns the code for the given ACL, adding a new entry (with
 // reference count zero) if it has not been seen. The caller owns acquiring
 // references via Retain.
@@ -59,6 +73,7 @@ func (cb *Codebook) Intern(a *bitset.Bitset) Code {
 	if c, ok := cb.index[key]; ok {
 		return c
 	}
+	cb.gen++
 	stored := a.Clone()
 	stored.Resize(cb.numSubjects)
 	var c Code
@@ -88,6 +103,10 @@ func (cb *Codebook) Release(c Code) {
 		panic(fmt.Sprintf("dol: release of unreferenced code %d", c))
 	}
 	cb.refs[c]--
+	// Every Release accompanies a representation change (a block rewrite or
+	// an entry freeing), either of which can invalidate cached per-view
+	// decisions and page bitmaps, so the generation always advances.
+	cb.gen++
 	if cb.refs[c] == 0 {
 		delete(cb.index, cb.entries[c].Key())
 		cb.entries[c] = nil
@@ -116,9 +135,7 @@ func (cb *Codebook) Accessible(c Code, s acl.SubjectID) bool {
 // AccessibleAny reports whether any subject of the effective set (user plus
 // transitive groups) is granted by code c.
 func (cb *Codebook) AccessibleAny(c Code, effective *bitset.Bitset) bool {
-	row := cb.ACL(c).Clone()
-	row.And(effective)
-	return row.Any()
+	return cb.ACL(c).Intersects(effective)
 }
 
 // Bytes estimates the storage footprint of the codebook: one bit per
@@ -135,6 +152,7 @@ func (cb *Codebook) Bytes() int {
 func (cb *Codebook) AddSubject() acl.SubjectID {
 	s := acl.SubjectID(cb.numSubjects)
 	cb.numSubjects++
+	cb.gen++
 	for _, e := range cb.entries {
 		if e != nil {
 			e.Resize(cb.numSubjects)
@@ -175,6 +193,7 @@ func (cb *Codebook) RemoveSubject(s acl.SubjectID) error {
 		return fmt.Errorf("dol: RemoveSubject(%d) out of range", s)
 	}
 	cb.numSubjects--
+	cb.gen++
 	cb.index = make(map[string]Code, len(cb.entries))
 	for c, e := range cb.entries {
 		if e == nil {

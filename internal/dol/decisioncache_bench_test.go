@@ -1,0 +1,128 @@
+package dol
+
+import (
+	"math/rand"
+	"testing"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/bitset"
+	"dolxml/internal/nok"
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+// benchStore builds a store with a wide random doc and many subjects (long
+// codebook bitsets), so access decisions cost real bitset intersections.
+// With coarse set, rights are granted on whole subtrees (the paper's
+// correlated-ACL setting: few transitions, uniform pages); otherwise every
+// node draws independently (many codes, mixed pages).
+func benchStore(b *testing.B, nodes, subjects int, coarse bool) (*SecureStore, *bitset.Bitset) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	bld := xmltree.NewBuilder()
+	bld.Begin("r")
+	open := 1
+	for i := 1; i < nodes; i++ {
+		for open > 1 && rng.Intn(3) == 0 {
+			bld.End()
+			open--
+		}
+		bld.Begin([]string{"x", "y", "z", "w"}[rng.Intn(4)])
+		open++
+	}
+	for ; open > 0; open-- {
+		bld.End()
+	}
+	doc := bld.MustFinish()
+	m := acl.NewMatrix(doc.Len(), subjects)
+	if coarse {
+		for k := 0; k < 40; k++ {
+			root := xmltree.NodeID(rng.Intn(doc.Len()))
+			s := acl.SubjectID(rng.Intn(subjects))
+			for n := root; n <= doc.End(root); n++ {
+				m.Set(n, s, true)
+			}
+		}
+	} else {
+		for n := 0; n < doc.Len(); n++ {
+			for s := 0; s < subjects; s++ {
+				if rng.Intn(5) > 0 {
+					m.Set(xmltree.NodeID(n), acl.SubjectID(s), true)
+				}
+			}
+		}
+	}
+	pool := storage.NewBufferPool(storage.NewMemPager(512), 4096)
+	ss, err := BuildSecureStore(pool, doc, m, nok.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ss, bitset.FromIndices(subjects, 0, subjects/2, subjects-1)
+}
+
+// BenchmarkAccessibleAnyNoCache resolves access decisions through the
+// codebook directly: one ACL lookup and bitset intersection per check. The
+// node→code resolution (identical on both paths) is excluded so the
+// benchmark isolates exactly the work the decision cache replaces.
+func BenchmarkAccessibleAnyNoCache(b *testing.B) {
+	ss, eff := benchStore(b, 4000, 2048, false)
+	cb := ss.Codebook()
+	codes := liveCodes(cb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.AccessibleAny(codes[i%len(codes)], eff)
+	}
+}
+
+// BenchmarkAccessibleAnyCached is the same decision through a warm
+// SubjectView cache: one atomic load per check instead of an intersection.
+func BenchmarkAccessibleAnyCached(b *testing.B) {
+	ss, eff := benchStore(b, 4000, 2048, false)
+	view := ss.View(eff)
+	codes := liveCodes(ss.Codebook())
+	ca := view.cacheFor()
+	for _, c := range codes { // warm every decision cell
+		view.accessibleCode(ca, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.accessibleCode(ca, codes[i%len(codes)])
+	}
+}
+
+// liveCodes enumerates the codebook's live codes via the store directory.
+func liveCodes(cb *Codebook) []Code {
+	seen := map[Code]bool{}
+	var out []Code
+	for c := Code(0); int(c) < cb.Cap(); c++ {
+		if cb.Refs(c) > 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BenchmarkSkipPageNoCache evaluates §3.3 page skipping through the
+// directory + codebook on every probe: for a uniform inaccessible page
+// that is a full-width bitset intersection per probe.
+func BenchmarkSkipPageNoCache(b *testing.B) {
+	ss, eff := benchStore(b, 4000, 2048, true)
+	pages := ss.Store().NumPages()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.PageFullyInaccessible(i%pages, eff)
+	}
+}
+
+// BenchmarkSkipPageCached probes the view's lazily-built deny bitmap.
+func BenchmarkSkipPageCached(b *testing.B) {
+	ss, eff := benchStore(b, 4000, 2048, true)
+	view := ss.View(eff)
+	pages := ss.Store().NumPages()
+	view.SkipPage(0) // build the bitmap outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.SkipPage(i % pages)
+	}
+}

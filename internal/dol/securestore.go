@@ -2,6 +2,8 @@ package dol
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dolxml/internal/acl"
 	"dolxml/internal/bitset"
@@ -105,9 +107,90 @@ func (ss *SecureStore) PageFullyInaccessibleTo(pageIdx int, s acl.SubjectID) boo
 
 // SubjectView binds a SecureStore to one effective subject set, giving the
 // single-argument access predicate the secure query evaluator consumes.
+//
+// A view memoizes its access decisions: the first lookup of each distinct
+// DOL code pays one codebook intersection; every later node governed by the
+// same code is a table lookup. A lazily built per-page bitmap likewise
+// reduces the §3.3 page-skipping test to a single bit probe. Both caches key
+// themselves by the codebook's mutation generation, so a view observed
+// across updates transparently rebuilds rather than serving stale
+// decisions. Views are safe for concurrent readers; updates to the
+// underlying store must not run concurrently with view reads (securexml
+// serializes them behind its store lock).
 type SubjectView struct {
 	ss        *SecureStore
 	effective *bitset.Bitset
+	cache     atomic.Pointer[viewCache]
+}
+
+// decision-cache cell states; the zero state means "not yet computed".
+const (
+	decUnknown uint32 = iota
+	decAllow
+	decDeny
+)
+
+// viewCache is one generation's worth of memoized decisions. It is replaced
+// wholesale (never mutated structurally) when the codebook generation moves.
+type viewCache struct {
+	gen uint64
+	// decisions[c] holds the memoized accessibility of code c.
+	decisions []atomic.Uint32
+	// pageOnce guards the lazy build of pageDeny, a bitmap with bit i set
+	// when block i is wholly inaccessible to the view's subject set.
+	pageOnce sync.Once
+	pageDeny []uint64
+}
+
+// cacheFor returns the current-generation cache, building a fresh one when
+// the codebook has mutated since the last lookup. Concurrent callers may
+// race to install the same generation; any winner is correct.
+func (v *SubjectView) cacheFor() *viewCache {
+	cb := v.ss.cb
+	gen := cb.Gen()
+	if c := v.cache.Load(); c != nil && c.gen == gen {
+		return c
+	}
+	c := &viewCache{gen: gen, decisions: make([]atomic.Uint32, cb.Cap())}
+	v.cache.Store(c)
+	return c
+}
+
+// accessibleCode resolves the access decision for code c through the cache.
+func (v *SubjectView) accessibleCode(ca *viewCache, c Code) bool {
+	if int(c) < len(ca.decisions) {
+		switch ca.decisions[c].Load() {
+		case decAllow:
+			return true
+		case decDeny:
+			return false
+		}
+	}
+	ok := v.ss.cb.AccessibleAny(c, v.effective)
+	if int(c) < len(ca.decisions) {
+		if ok {
+			ca.decisions[c].Store(decAllow)
+		} else {
+			ca.decisions[c].Store(decDeny)
+		}
+	}
+	return ok
+}
+
+// buildPageBitmap fills ca.pageDeny from the in-memory page directory: bit
+// i is set exactly when PageFullyInaccessible(i) holds. One pass over the
+// directory (no I/O) turns every later SkipPage call into a bit probe.
+func (v *SubjectView) buildPageBitmap(ca *viewCache) {
+	st := v.ss.store
+	n := st.NumPages()
+	bits := make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		pi := st.PageInfoAt(i)
+		if !pi.ChangeBit && !v.accessibleCode(ca, pi.AccessCode) {
+			bits[i/64] |= 1 << uint(i%64)
+		}
+	}
+	ca.pageDeny = bits
 }
 
 // View returns a SubjectView for the given effective subject set (a user's
@@ -121,16 +204,34 @@ func (ss *SecureStore) ViewSubject(s acl.SubjectID) *SubjectView {
 	return ss.View(bitset.FromIndices(ss.cb.NumSubjects(), int(s)))
 }
 
-// Accessible reports whether the view's subject set may access node n.
+// Accessible reports whether the view's subject set may access node n. The
+// governing code is located in n's block as usual (§3.3); the codebook
+// intersection is memoized per distinct code.
 func (v *SubjectView) Accessible(n xmltree.NodeID) (bool, error) {
-	return v.ss.AccessibleAny(n, v.effective)
+	c, err := v.ss.store.AccessCodeAt(n)
+	if err != nil {
+		return false, err
+	}
+	return v.accessibleCode(v.cacheFor(), c), nil
 }
 
 // SkipPage reports, from the in-memory directory alone, that every node of
-// block pageIdx is inaccessible to the view's subject set.
+// block pageIdx is inaccessible to the view's subject set. The answer comes
+// from a lazily built per-view bitmap, so the per-sibling-step test during
+// ε-NoK scans is a single bit probe.
 func (v *SubjectView) SkipPage(pageIdx int) bool {
-	return v.ss.PageFullyInaccessible(pageIdx, v.effective)
+	ca := v.cacheFor()
+	ca.pageOnce.Do(func() { v.buildPageBitmap(ca) })
+	if pageIdx < 0 || pageIdx >= len(ca.pageDeny)*64 {
+		return false
+	}
+	return ca.pageDeny[pageIdx/64]&(1<<uint(pageIdx%64)) != 0
 }
+
+// InvalidateCache drops the view's memoized decisions. It is not normally
+// needed — caches self-invalidate via the codebook generation — but lets
+// callers that bypass the codebook release memory eagerly.
+func (v *SubjectView) InvalidateCache() { v.cache.Store(nil) }
 
 // Effective returns the view's effective subject set (shared; read-only).
 func (v *SubjectView) Effective() *bitset.Bitset { return v.effective }

@@ -1,10 +1,20 @@
 package join
 
 import (
+	"sync"
+
 	"dolxml/internal/bitset"
 	"dolxml/internal/dol"
 	"dolxml/internal/xmltree"
 )
+
+// levelPool recycles the inaccessible-ancestor level stacks of ε-STD.
+var levelPool = sync.Pool{
+	New: func() any {
+		s := make([]int, 0, 32)
+		return &s
+	},
+}
 
 // SecureSTD performs the secure structural join of paper §4.2 under the
 // Gabillon–Bruno semantics: it returns the pairs (a, d) such that a is a
@@ -24,12 +34,17 @@ func SecureSTD(ss *dol.SecureStore, effective *bitset.Bitset, ancs, descs []Item
 	}
 	st := ss.Store()
 	cb := ss.Codebook()
+	ancBuf := getStack()
+	defer func() { putStack(ancBuf) }()
+	lvlBuf := levelPool.Get().(*[]int)
+	defer func() { levelPool.Put(lvlBuf) }()
 	var (
 		out        []Pair
-		ancStack   []Item
-		inaccLvls  []int // increasing levels of inaccessible ancestors
+		ancStack   = (*ancBuf)[:0]
+		inaccLvls  = (*lvlBuf)[:0] // increasing levels of inaccessible ancestors
 		aIdx, dIdx int
 	)
+	defer func() { *ancBuf, *lvlBuf = ancStack, inaccLvls }()
 	popInacc := func(level int) {
 		for len(inaccLvls) > 0 && inaccLvls[len(inaccLvls)-1] >= level {
 			inaccLvls = inaccLvls[:len(inaccLvls)-1]

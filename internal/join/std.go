@@ -9,9 +9,29 @@ package join
 
 import (
 	"sort"
+	"sync"
 
 	"dolxml/internal/xmltree"
 )
+
+// stackPool recycles the ancestor stacks of the join algorithms: structural
+// joins run once per cut pattern edge per query, and under parallel query
+// traffic the per-join stack allocation shows up. Pooled as *[]Item so the
+// slice header itself does not escape on Put.
+var stackPool = sync.Pool{
+	New: func() any {
+		s := make([]Item, 0, 32)
+		return &s
+	},
+}
+
+func getStack() *[]Item {
+	s := stackPool.Get().(*[]Item)
+	*s = (*s)[:0]
+	return s
+}
+
+func putStack(s *[]Item) { stackPool.Put(s) }
 
 // Item is a join input: a candidate node with its region encoding.
 type Item struct {
@@ -44,7 +64,10 @@ func SortItems(items []Item) {
 // pair per stacked ancestor.
 func STD(ancs, descs []Item) []Pair {
 	var out []Pair
-	var stack []Item
+	stackBuf := getStack()
+	defer func() { putStack(stackBuf) }()
+	stack := *stackBuf
+	defer func() { *stackBuf = stack }()
 	ai := 0
 	for _, d := range descs {
 		// Push ancestors that start before d.

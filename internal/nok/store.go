@@ -70,8 +70,13 @@ type Store struct {
 	// handful of decoded blocks removes the dominant allocation from
 	// query evaluation without changing I/O behavior (the underlying
 	// pages still flow through the buffer pool and its statistics).
-	// Guarded by decMu: concurrent readers share the cache.
-	decMu    sync.Mutex
+	// Guarded by decMu; the read lock covers the lookup so parallel query
+	// workers hitting the cache do not serialize on each other. Cached
+	// slices are immutable once published. Store mutations (RewriteRegion
+	// and friends) must be externally serialized against readers —
+	// securexml does so behind its store lock — but concurrent readers on
+	// their own are always safe.
+	decMu    sync.RWMutex
 	decCache map[storage.PageID][]Entry
 	decOrder []storage.PageID
 }
@@ -81,9 +86,9 @@ const decCacheCap = 16
 
 // cachedEntries returns the decoded entries of the page, read-only.
 func (s *Store) cachedEntries(pid storage.PageID) ([]Entry, bool) {
-	s.decMu.Lock()
-	defer s.decMu.Unlock()
+	s.decMu.RLock()
 	es, ok := s.decCache[pid]
+	s.decMu.RUnlock()
 	return es, ok
 }
 
@@ -573,6 +578,23 @@ func (s *Store) CheckConsistency() error {
 	return nil
 }
 
+// openNode is one still-open subtree during an extent walk.
+type openNode struct {
+	node  xmltree.NodeID
+	level int
+	tag   int32
+}
+
+// extentStackPool recycles the open-subtree stacks of ForEachExtent: the
+// stack grows to document depth and index rebuilds run it over the whole
+// store.
+var extentStackPool = sync.Pool{
+	New: func() any {
+		s := make([]openNode, 0, 64)
+		return &s
+	},
+}
+
 // ForEachExtent streams every node with its subtree extent, level and tag
 // code in document order using a single pass over the structure blocks —
 // the input needed to (re)build a tag index over the store.
@@ -580,12 +602,10 @@ func (s *Store) ForEachExtent(visit func(n, end xmltree.NodeID, level int, tag i
 	if s.numNodes == 0 {
 		return nil
 	}
-	type open struct {
-		node  xmltree.NodeID
-		level int
-		tag   int32
-	}
-	var stack []open
+	stackBuf := extentStackPool.Get().(*[]openNode)
+	defer func() { extentStackPool.Put(stackBuf) }()
+	stack := (*stackBuf)[:0]
+	defer func() { *stackBuf = stack }()
 	for i := range s.dir {
 		pi := s.dir[i]
 		entries, err := s.blockEntries(i)
@@ -595,7 +615,7 @@ func (s *Store) ForEachExtent(visit func(n, end xmltree.NodeID, level int, tag i
 		level := int(pi.StartDepth)
 		id := pi.FirstNode
 		for _, e := range entries {
-			stack = append(stack, open{id, level, e.Tag})
+			stack = append(stack, openNode{id, level, e.Tag})
 			for c := 0; c < e.CloseCount; c++ {
 				top := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"dolxml/internal/btree"
@@ -38,6 +39,20 @@ type Options struct {
 	// DisablePageSkip turns off the §3.3 page-skipping optimization, for
 	// ablation experiments.
 	DisablePageSkip bool
+	// Parallelism bounds the worker pool that fans NoK-subtree candidate
+	// matching out across goroutines. 0 (the zero value) means
+	// runtime.GOMAXPROCS(0); 1 forces fully sequential evaluation.
+	// Results are deterministic: every setting produces byte-identical
+	// Result contents.
+	Parallelism int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is the outcome of evaluating a twig query.
@@ -100,15 +115,21 @@ func (ev *Evaluator) Evaluate(t *PatternTree, opts Options) (*Result, error) {
 		pageSkip: !opts.DisablePageSkip,
 		tracked:  tracked,
 	}
+	// Freeze the matcher's derived state so the candidate fan-out below can
+	// share it across workers.
+	m.prepare(subs)
+	workers := opts.workers()
 
-	// Match every NoK subtree.
+	// Match every NoK subtree, fanning the candidate list of each subtree
+	// out over the worker pool (candidates are independent; chunk-ordered
+	// merging keeps the match list identical to sequential evaluation).
 	matches := make([][]subtreeMatch, len(subs))
 	for i, sub := range subs {
 		cands, err := ev.candidates(t, sub, i == 0)
 		if err != nil {
 			return nil, err
 		}
-		ms, err := m.matchSubtree(sub, cands)
+		ms, err := m.matchSubtreeParallel(sub, cands, workers)
 		if err != nil {
 			return nil, err
 		}

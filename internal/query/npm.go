@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"dolxml/internal/btree"
 	"dolxml/internal/nok"
@@ -54,11 +56,25 @@ type matcher struct {
 	// tracked marks the pattern nodes whose bindings must be recorded.
 	tracked map[*PatternNode]bool
 	// hasTracked caches, per pattern node, whether its NoK subtree
-	// fragment contains a tracked node.
+	// fragment contains a tracked node. It is filled by prepare before
+	// matching begins; afterwards the matcher is read-only and may be
+	// shared by parallel workers.
 	hasTracked map[*PatternNode]bool
 	// skipFn caches checker.SkipPage so the hot sibling scan does not
 	// materialize a method value per step.
 	skipFn func(int) bool
+}
+
+// prepare precomputes every lazily derived field for the given
+// decomposition, leaving the matcher immutable. Required before sharing the
+// matcher across goroutines.
+func (m *matcher) prepare(subs []NoKSubtree) {
+	for i := range subs {
+		m.trackedIn(subs[i].Root)
+	}
+	if m.checker != nil {
+		m.skipFn = m.checker.SkipPage
+	}
 }
 
 // trackedIn reports whether p's child-axis pattern fragment contains a
@@ -255,12 +271,72 @@ func (m *matcher) npm(proot *PatternNode, u binding) (bool, []combo, error) {
 // skipped without I/O (§3.3).
 func (m *matcher) nextSibling(u xmltree.NodeID) (xmltree.NodeID, error) {
 	if m.checker != nil && m.pageSkip {
-		if m.skipFn == nil {
-			m.skipFn = m.checker.SkipPage
+		// prepare normally pre-binds skipFn; fall back locally (without
+		// mutating the shared matcher) for unprepared matchers.
+		skip := m.skipFn
+		if skip == nil {
+			skip = m.checker.SkipPage
 		}
-		return m.store.FollowingSiblingSkip(u, m.skipFn)
+		return m.store.FollowingSiblingSkip(u, skip)
 	}
 	return m.store.FollowingSibling(u)
+}
+
+// minParallelCandidates is the candidate-list size below which fanning out
+// is not worth the goroutine overhead.
+const minParallelCandidates = 16
+
+// matchSubtreeParallel fans matchSubtree out over a bounded worker pool.
+// The candidate list is split into index-ordered chunks claimed by workers
+// off a shared counter; per-chunk match lists are concatenated in chunk
+// order, so the output is byte-identical to the sequential matchSubtree
+// (candidates are processed in the same document order). The matcher must
+// have been prepared and is shared read-only by the workers.
+func (m *matcher) matchSubtreeParallel(sub NoKSubtree, candidates []btree.Posting, workers int) ([]subtreeMatch, error) {
+	if workers <= 1 || len(candidates) < minParallelCandidates {
+		return m.matchSubtree(sub, candidates)
+	}
+	// More chunks than workers evens out skew: one pathological candidate
+	// (a huge subtree) does not leave the other workers idle for long.
+	chunks := workers * 4
+	if chunks > len(candidates) {
+		chunks = len(candidates)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	bounds := func(i int) (int, int) {
+		lo := i * len(candidates) / chunks
+		hi := (i + 1) * len(candidates) / chunks
+		return lo, hi
+	}
+	results := make([][]subtreeMatch, chunks)
+	errs := make([]error, chunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= chunks {
+					return
+				}
+				lo, hi := bounds(i)
+				results[i], errs[i] = m.matchSubtree(sub, candidates[lo:hi])
+			}
+		}()
+	}
+	wg.Wait()
+	var out []subtreeMatch
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
 }
 
 // matchSubtree runs ε-NoK matching for one NoK subtree over the given root

@@ -1,0 +1,122 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/btree"
+	"dolxml/internal/dol"
+	"dolxml/internal/nok"
+	"dolxml/internal/storage"
+	"dolxml/internal/xmltree"
+)
+
+// parallelism settings exercised against the sequential baseline.
+var parallelismLevels = []int{1, 2, 8}
+
+// Parallel evaluation must be invisible: for every worker count the result
+// — Nodes order included — is identical to the sequential path, under both
+// secure semantics and with page skipping on or off.
+func TestEvaluateParallelEquivalence(t *testing.T) {
+	doc := miniXMark(t)
+	m := allowAll(doc, 2)
+	// Deny subject 0 a scattering of nodes so the secure paths do real work.
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n < doc.Len(); n++ {
+		if rng.Intn(3) == 0 {
+			m.Set(xmltree.NodeID(n), 0, false)
+		}
+	}
+	e := newEnv(t, doc, m, 256)
+	view := e.ss.ViewSubject(0)
+
+	queries := []string{
+		`//item/name`,
+		`//item[location='Kenya']`,
+		`//category//text`,
+		`//parlist//keyword`,
+		`/site/regions/africa/item`,
+		`//listitem//listitem`,
+	}
+	for _, expr := range queries {
+		pt := MustParse(expr)
+		for _, base := range []Options{
+			{},
+			{View: view, Semantics: SemanticsBindings},
+			{View: view, Semantics: SemanticsPrunedSubtree},
+			{View: view, Semantics: SemanticsBindings, DisablePageSkip: true},
+			{View: view, Semantics: SemanticsPrunedSubtree, DisablePageSkip: true},
+		} {
+			want, err := e.ev.Evaluate(pt, base)
+			if err != nil {
+				t.Fatalf("%s sequential: %v", expr, err)
+			}
+			for _, p := range parallelismLevels {
+				opts := base
+				opts.Parallelism = p
+				got, err := e.ev.Evaluate(pt, opts)
+				if err != nil {
+					t.Fatalf("%s parallelism=%d: %v", expr, p, err)
+				}
+				if !reflect.DeepEqual(got.Nodes, want.Nodes) {
+					t.Errorf("%s parallelism=%d (opts %+v): nodes %v, sequential %v",
+						expr, p, base, got.Nodes, want.Nodes)
+				}
+				if got.Matches != want.Matches {
+					t.Errorf("%s parallelism=%d (opts %+v): matches %d, sequential %d",
+						expr, p, base, got.Matches, want.Matches)
+				}
+			}
+		}
+	}
+}
+
+// Randomized variant: many documents, patterns and page sizes, larger
+// candidate lists (so the parallel path actually fans out past
+// minParallelCandidates), byte-identical results at every worker count.
+func TestEvaluateParallelEquivalenceRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 50+rng.Intn(400))
+		numSubjects := 1 + rng.Intn(2)
+		m := acl.NewMatrix(doc.Len(), numSubjects)
+		for n := 0; n < doc.Len(); n++ {
+			for s := 0; s < numSubjects; s++ {
+				if rng.Intn(4) > 0 {
+					m.Set(xmltree.NodeID(n), acl.SubjectID(s), true)
+				}
+			}
+		}
+		pageSize := 64 + rng.Intn(200)
+		pool := storage.NewBufferPool(storage.NewMemPager(pageSize), 1024)
+		ss, err := dol.BuildSecureStore(pool, doc, m, nok.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := btree.BuildFromDocument(pool, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := NewEvaluator(ss.Store(), idx)
+		pt := randomPattern(rng)
+		view := ss.ViewSubject(acl.SubjectID(rng.Intn(numSubjects)))
+		for _, sem := range []Semantics{SemanticsBindings, SemanticsPrunedSubtree} {
+			want, err := ev.Evaluate(pt, Options{View: view, Semantics: sem, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, p := range parallelismLevels[1:] {
+				got, err := ev.Evaluate(pt, Options{View: view, Semantics: sem, Parallelism: p})
+				if err != nil {
+					t.Fatalf("seed %d parallelism=%d: %v", seed, p, err)
+				}
+				if !reflect.DeepEqual(got.Nodes, want.Nodes) || got.Matches != want.Matches {
+					t.Fatalf("seed %d sem=%d parallelism=%d: (%v, %d) != sequential (%v, %d)",
+						seed, sem, p, got.Nodes, got.Matches, want.Nodes, want.Matches)
+				}
+			}
+		}
+	}
+}

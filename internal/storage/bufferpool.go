@@ -44,6 +44,14 @@ type Frame struct {
 	pins    int
 	dirty   bool
 	lruElem *list.Element // non-nil only while unpinned
+	// ready is closed once Data holds the page contents. Frames are
+	// published to the pool map before their physical read completes so
+	// that the pool mutex is never held across I/O; concurrent getters of
+	// the same page wait on ready instead of issuing a duplicate read.
+	ready chan struct{}
+	// loadErr is set (before ready closes) when the physical read failed;
+	// the frame is withdrawn from the pool and waiters propagate the error.
+	loadErr error
 }
 
 // ID returns the page this frame buffers.
@@ -79,27 +87,57 @@ func (bp *BufferPool) Pager() Pager { return bp.pager }
 // Capacity returns the maximum number of buffered frames.
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
+// closedReady is shared by frames whose contents are valid from birth
+// (allocations and reloads), so waiting on ready never blocks for them.
+var closedReady = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // Get pins and returns the frame for page id, reading it from the pager on
 // a miss. The caller must Unpin the frame when done.
+//
+// The pool mutex is held only for bookkeeping, never across pager I/O: on a
+// miss the frame is published pinned-but-loading, the read proceeds outside
+// the lock, and concurrent hits on other pages are unaffected. A concurrent
+// Get of the same still-loading page counts as a hit (no second physical
+// read happens) and blocks until the load completes.
 func (bp *BufferPool) Get(id PageID) (*Frame, error) {
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	bp.stats.Gets++
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
 		bp.pin(f)
+		bp.mu.Unlock()
+		<-f.ready
+		if f.loadErr != nil {
+			// The loader withdrew the frame; the pin died with it.
+			return nil, f.loadErr
+		}
 		return f, nil
 	}
 	bp.stats.Misses++
 	f, err := bp.newFrame(id)
 	if err != nil {
+		bp.mu.Unlock()
 		return nil, err
 	}
-	if err := bp.pager.ReadPage(id, f.Data); err != nil {
-		delete(bp.frames, id)
-		return nil, err
-	}
+	f.ready = make(chan struct{})
 	bp.pin(f)
+	bp.mu.Unlock()
+
+	err = bp.pager.ReadPage(id, f.Data)
+	bp.mu.Lock()
+	if err != nil {
+		f.loadErr = err
+		delete(bp.frames, id)
+	}
+	close(f.ready)
+	bp.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -120,15 +158,16 @@ func (bp *BufferPool) Allocate() (*Frame, error) {
 	return f, nil
 }
 
-// newFrame installs an empty frame for id, evicting if needed.
-// Caller holds bp.mu.
+// newFrame installs an empty frame for id, evicting if needed. The frame is
+// born ready (callers that must load it asynchronously replace the channel
+// before releasing the mutex). Caller holds bp.mu.
 func (bp *BufferPool) newFrame(id PageID) (*Frame, error) {
 	if len(bp.frames) >= bp.capacity {
 		if err := bp.evict(); err != nil {
 			return nil, err
 		}
 	}
-	f := &Frame{id: id, Data: make([]byte, bp.pager.PageSize())}
+	f := &Frame{id: id, Data: make([]byte, bp.pager.PageSize()), ready: closedReady}
 	bp.frames[id] = f
 	return f, nil
 }
