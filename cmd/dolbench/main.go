@@ -5,7 +5,8 @@
 //	dolbench [-exp name] [-scale quick|default|paper] [-seed N] [-json path]
 //
 // With no -exp flag every experiment runs. Experiment names: fig4a fig4b
-// fig5 fig6 storage fig7 joins updates worstcase ablation modes parallel.
+// fig5 fig6 storage fig7 joins updates worstcase ablation modes parallel
+// streaming.
 //
 // With -json, every table produced by the run is additionally written to
 // the given file as indented JSON, so tooling can diff results across

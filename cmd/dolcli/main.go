@@ -5,6 +5,7 @@
 //	dolcli build -xml doc.xml -policy rules.acl -store DIR
 //	dolcli query -store DIR -user NAME -mode read -xpath '//item[name]'
 //	dolcli query -store DIR -admin -xpath '//item'
+//	dolcli query -store DIR -user NAME -xpath '//item' -limit 10 -timeout 5s
 //	dolcli grant  -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
 //	dolcli revoke -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
 //	dolcli export -store DIR -user NAME -mode read [-o view.xml]
@@ -27,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -104,7 +106,7 @@ func build(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("stored %d nodes on %d pages; %d transitions, %d codebook entries\n",
+	fmt.Fprintf(os.Stderr, "stored %d nodes on %d pages; %d transitions, %d codebook entries\n",
 		st.Nodes, st.StructurePages, st.Transitions, st.CodebookEntries)
 	return nil
 }
@@ -179,27 +181,32 @@ func runQuery(args []string) error {
 	xpath := fs.String("xpath", "", "twig query")
 	admin := fs.Bool("admin", false, "bypass access control")
 	pruned := fs.Bool("pruned", false, "use the pruned-subtree (Gabillon-Bruno) semantics")
+	limit := fs.Int("limit", 0, "stop after this many answers (0 = all)")
+	timeout := fs.Duration("timeout", 0, "abort the query after this duration (0 = none)")
 	fs.Parse(args)
 	if *storeDir == "" || *xpath == "" {
 		return fmt.Errorf("query requires -store and -xpath")
+	}
+	if !*admin && *user == "" {
+		return fmt.Errorf("query requires -user (or -admin)")
 	}
 	s, err := securexml.Open(*storeDir, securexml.StoreOptions{})
 	if err != nil {
 		return err
 	}
 	defer s.Close()
-	var matches []securexml.Match
-	switch {
-	case *admin:
-		matches, err = s.QueryUnrestricted(*xpath)
-	case *pruned:
-		matches, err = s.QueryPruned(*user, *mode, *xpath)
-	default:
-		if *user == "" {
-			return fmt.Errorf("query requires -user (or -admin)")
-		}
-		matches, err = s.Query(*user, *mode, *xpath)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+	opts := securexml.QueryOptions{
+		Pruned:       *pruned,
+		Unrestricted: *admin,
+		Limit:        *limit,
+	}
+	matches, err := s.QueryCtx(ctx, *user, *mode, *xpath, opts)
 	if err != nil {
 		return err
 	}
@@ -210,7 +217,7 @@ func runQuery(args []string) error {
 			fmt.Printf("node %d <%s>\n", m.Node, m.Tag)
 		}
 	}
-	fmt.Printf("%d answers\n", len(matches))
+	fmt.Fprintf(os.Stderr, "%d answers\n", len(matches))
 	return nil
 }
 
@@ -250,7 +257,7 @@ func setAccess(args []string, allowed bool) error {
 	if allowed {
 		verb = "granted"
 	}
-	fmt.Printf("%s %s/%s on %d targets\n", verb, *subject, *mode, len(targets))
+	fmt.Fprintf(os.Stderr, "%s %s/%s on %d targets\n", verb, *subject, *mode, len(targets))
 	return nil
 }
 

@@ -161,7 +161,7 @@ func WriteTablesJSON(path string, tables []*Table) error {
 // Experiment names accepted by Run.
 var Experiments = []string{
 	"fig4a", "fig4b", "fig5", "fig6", "storage", "fig7", "joins",
-	"updates", "worstcase", "ablation", "modes", "parallel",
+	"updates", "worstcase", "ablation", "modes", "parallel", "streaming",
 }
 
 // Run executes the named experiment and returns its tables.
@@ -191,6 +191,8 @@ func Run(name string, cfg Config) ([]*Table, error) {
 		return []*Table{Modes(cfg)}, nil
 	case "parallel":
 		return Parallel(cfg), nil
+	case "streaming":
+		return Streaming(cfg), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

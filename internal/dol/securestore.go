@@ -1,6 +1,7 @@
 package dol
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -208,7 +209,14 @@ func (ss *SecureStore) ViewSubject(s acl.SubjectID) *SubjectView {
 // governing code is located in n's block as usual (§3.3); the codebook
 // intersection is memoized per distinct code.
 func (v *SubjectView) Accessible(n xmltree.NodeID) (bool, error) {
-	c, err := v.ss.store.AccessCodeAt(n)
+	return v.AccessibleCtx(context.Background(), n)
+}
+
+// AccessibleCtx is Accessible with cancellation: the code lookup honors the
+// context at its page-fetch boundary, so a cancelled query stops without
+// pinning n's block.
+func (v *SubjectView) AccessibleCtx(ctx context.Context, n xmltree.NodeID) (bool, error) {
+	c, err := v.ss.store.AccessCodeAtCtx(ctx, n)
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -157,7 +158,7 @@ func TestSecureSTDBasic(t *testing.T) {
 	eff := bitset.FromIndices(1, 0)
 	ancs := itemsFor(doc, doc.NodesWithTag("b"))
 	descs := itemsFor(doc, doc.NodesWithTag("c"))
-	pairs, err := SecureSTD(ss, eff, ancs, descs)
+	pairs, err := SecureSTD(context.Background(), ss, eff, ancs, descs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestSecureSTDEndpointInaccessible(t *testing.T) {
 	m.Set(2, 0, true) // b (node 1) inaccessible
 	ss := buildSecure(t, doc, m, 4096)
 	eff := bitset.FromIndices(1, 0)
-	pairs, err := SecureSTD(ss, eff, itemsFor(doc, doc.NodesWithTag("b")), itemsFor(doc, doc.NodesWithTag("c")))
+	pairs, err := SecureSTD(context.Background(), ss, eff, itemsFor(doc, doc.NodesWithTag("b")), itemsFor(doc, doc.NodesWithTag("c")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestSecureSTDMatchesOracle(t *testing.T) {
 		eff := bitset.FromIndices(numSubjects, rng.Intn(numSubjects))
 		ancs := itemsFor(doc, doc.NodesWithTag("x"))
 		descs := itemsFor(doc, doc.NodesWithTag("y"))
-		got, err := SecureSTD(ss, eff, ancs, descs)
+		got, err := SecureSTD(context.Background(), ss, eff, ancs, descs)
 		if err != nil {
 			return false
 		}
@@ -256,7 +257,7 @@ func TestSecureSTDReadsOnlyMixedPages(t *testing.T) {
 	eff := bitset.FromIndices(1, 0)
 	ancs := itemsFor(doc, doc.NodesWithTag("x"))
 	descs := itemsFor(doc, doc.NodesWithTag("y"))
-	if _, err := SecureSTD(ss, eff, ancs, descs); err != nil {
+	if _, err := SecureSTD(context.Background(), ss, eff, ancs, descs); err != nil {
 		t.Fatal(err)
 	}
 	if misses := pool.Stats().Misses; misses > int64(mixed) {
@@ -296,7 +297,7 @@ func BenchmarkSecureSTD(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SecureSTD(ss, eff, ancs, descs); err != nil {
+		if _, err := SecureSTD(context.Background(), ss, eff, ancs, descs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,20 +1,11 @@
 package join
 
 import (
-	"sync"
+	"context"
 
 	"dolxml/internal/bitset"
 	"dolxml/internal/dol"
-	"dolxml/internal/xmltree"
 )
-
-// levelPool recycles the inaccessible-ancestor level stacks of ε-STD.
-var levelPool = sync.Pool{
-	New: func() any {
-		s := make([]int, 0, 32)
-		return &s
-	},
-}
 
 // SecureSTD performs the secure structural join of paper §4.2 under the
 // Gabillon–Bruno semantics: it returns the pairs (a, d) such that a is a
@@ -28,135 +19,23 @@ var levelPool = sync.Pool{
 // uniformly accessible or uniformly inaccessible are never physically read
 // — uniform pages contribute only directory-derivable stack updates — so
 // each page is loaded at most once, and only when its change bit is set.
-func SecureSTD(ss *dol.SecureStore, effective *bitset.Bitset, ancs, descs []Item) ([]Pair, error) {
+//
+// SecureSTD is the drain-everything form of EpsJoiner: it probes every
+// descendant in order, honoring ctx at each page-fetch boundary. The
+// streaming query pipeline holds an EpsJoiner directly so it can stop the
+// pass at its last descendant.
+func SecureSTD(ctx context.Context, ss *dol.SecureStore, effective *bitset.Bitset, ancs, descs []Item) ([]Pair, error) {
 	if len(ancs) == 0 || len(descs) == 0 {
 		return nil, nil
 	}
-	st := ss.Store()
-	cb := ss.Codebook()
-	ancBuf := getStack()
-	defer func() { putStack(ancBuf) }()
-	lvlBuf := levelPool.Get().(*[]int)
-	defer func() { levelPool.Put(lvlBuf) }()
-	var (
-		out        []Pair
-		ancStack   = (*ancBuf)[:0]
-		inaccLvls  = (*lvlBuf)[:0] // increasing levels of inaccessible ancestors
-		aIdx, dIdx int
-	)
-	defer func() { *ancBuf, *lvlBuf = ancStack, inaccLvls }()
-	popInacc := func(level int) {
-		for len(inaccLvls) > 0 && inaccLvls[len(inaccLvls)-1] >= level {
-			inaccLvls = inaccLvls[:len(inaccLvls)-1]
-		}
-	}
-	deepestInacc := func() int {
-		if len(inaccLvls) == 0 {
-			return -1
-		}
-		return inaccLvls[len(inaccLvls)-1]
-	}
-	pushAnc := func(a Item) {
-		for len(ancStack) > 0 && ancStack[len(ancStack)-1].End < a.Node {
-			ancStack = ancStack[:len(ancStack)-1]
-		}
-		ancStack = append(ancStack, a)
-	}
-	emit := func(d Item) {
-		for len(ancStack) > 0 && ancStack[len(ancStack)-1].End < d.Node {
-			ancStack = ancStack[:len(ancStack)-1]
-		}
-		m := deepestInacc()
-		for _, a := range ancStack {
-			if a.Node < d.Node && d.Node <= a.End && m < a.Level {
-				out = append(out, Pair{Anc: a.Node, Desc: d.Node})
-			}
-		}
-	}
-
-	numPages := st.NumPages()
-	for k := 0; k < numPages && dIdx < len(descs); k++ {
-		pi := st.PageInfoAt(k)
-		first := pi.FirstNode
-		last := first + xmltree.NodeID(pi.Count) - 1
-		if !pi.ChangeBit {
-			if cb.AccessibleAny(pi.AccessCode, effective) {
-				// Uniformly accessible: candidates are processed from
-				// their own region encodings; the page is not read.
-				for {
-					var nextA, nextD xmltree.NodeID = -1, -1
-					if aIdx < len(ancs) && ancs[aIdx].Node <= last {
-						nextA = ancs[aIdx].Node
-					}
-					if dIdx < len(descs) && descs[dIdx].Node <= last {
-						nextD = descs[dIdx].Node
-					}
-					if nextA < 0 && nextD < 0 {
-						break
-					}
-					if nextA >= 0 && (nextD < 0 || nextA <= nextD) {
-						a := ancs[aIdx]
-						aIdx++
-						popInacc(a.Level)
-						pushAnc(a)
-					} else {
-						d := descs[dIdx]
-						dIdx++
-						popInacc(d.Level)
-						emit(d)
-					}
-				}
-			} else {
-				// Uniformly inaccessible: skip candidates (their pairs
-				// would be invalid) and record the page's still-open
-				// nodes as inaccessible path levels, all derived from
-				// the directory.
-				for aIdx < len(ancs) && ancs[aIdx].Node <= last {
-					aIdx++
-				}
-				for dIdx < len(descs) && descs[dIdx].Node <= last {
-					dIdx++
-				}
-				nextStart := 0
-				if k+1 < numPages {
-					nextStart = int(st.PageInfoAt(k + 1).StartDepth)
-				}
-				popInacc(nextStart)
-				for l := int(pi.StartDepth); l < nextStart; l++ {
-					if len(inaccLvls) == 0 || inaccLvls[len(inaccLvls)-1] < l {
-						inaccLvls = append(inaccLvls, l)
-					}
-				}
-			}
-			continue
-		}
-		// Mixed page: read and process node by node.
-		entries, err := st.BlockEntries(k)
+	j := NewEpsJoiner(ss, effective, ancs)
+	var out []Pair
+	for _, d := range descs {
+		pairs, err := j.Probe(ctx, d)
 		if err != nil {
 			return nil, err
 		}
-		level := int(pi.StartDepth)
-		code := pi.AccessCode
-		node := first
-		for _, e := range entries {
-			if e.HasCode {
-				code = e.Code
-			}
-			popInacc(level)
-			if !cb.AccessibleAny(code, effective) {
-				inaccLvls = append(inaccLvls, level)
-			}
-			if aIdx < len(ancs) && ancs[aIdx].Node == node {
-				pushAnc(ancs[aIdx])
-				aIdx++
-			}
-			if dIdx < len(descs) && descs[dIdx].Node == node {
-				emit(descs[dIdx])
-				dIdx++
-			}
-			level = level + 1 - e.CloseCount
-			node++
-		}
+		out = append(out, pairs...)
 	}
 	return out, nil
 }

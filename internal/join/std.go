@@ -66,29 +66,10 @@ func STD(ancs, descs []Item) []Pair {
 	var out []Pair
 	stackBuf := getStack()
 	defer func() { putStack(stackBuf) }()
-	stack := *stackBuf
-	defer func() { *stackBuf = stack }()
-	ai := 0
+	j := STDJoiner{ancs: ancs, stack: *stackBuf}
+	defer func() { *stackBuf = j.stack[:0] }()
 	for _, d := range descs {
-		// Push ancestors that start before d.
-		for ai < len(ancs) && ancs[ai].Node <= d.Node {
-			a := ancs[ai]
-			ai++
-			// Pop ancestors that end before this one starts.
-			for len(stack) > 0 && stack[len(stack)-1].End < a.Node {
-				stack = stack[:len(stack)-1]
-			}
-			stack = append(stack, a)
-		}
-		// Pop ancestors that end before d.
-		for len(stack) > 0 && stack[len(stack)-1].End < d.Node {
-			stack = stack[:len(stack)-1]
-		}
-		for _, a := range stack {
-			if a.Node < d.Node && d.Node <= a.End {
-				out = append(out, Pair{Anc: a.Node, Desc: d.Node})
-			}
-		}
+		out = append(out, j.Probe(d)...)
 	}
 	return out
 }

@@ -1,0 +1,241 @@
+package join
+
+import (
+	"context"
+
+	"dolxml/internal/bitset"
+	"dolxml/internal/dol"
+	"dolxml/internal/nok"
+	"dolxml/internal/xmltree"
+)
+
+// STDJoiner is the incremental form of the Stack-Tree-Desc join used by the
+// streaming query pipeline: the ancestor list is fixed up front, and
+// descendants arrive one at a time via Probe, in strictly increasing
+// document order. Probing every descendant of a sorted list reproduces
+// STD(ancs, descs) exactly.
+type STDJoiner struct {
+	ancs  []Item
+	ai    int
+	stack []Item
+}
+
+// NewSTDJoiner returns an incremental STD join over the sorted ancestor
+// candidates (use SortItems).
+func NewSTDJoiner(ancs []Item) *STDJoiner {
+	return &STDJoiner{ancs: ancs}
+}
+
+// Probe advances the join to descendant d and returns the (a, d) pairs for
+// every stacked ancestor enclosing it. Descendants must be probed in
+// strictly increasing Node order.
+func (j *STDJoiner) Probe(d Item) []Pair {
+	for j.ai < len(j.ancs) && j.ancs[j.ai].Node <= d.Node {
+		a := j.ancs[j.ai]
+		j.ai++
+		for len(j.stack) > 0 && j.stack[len(j.stack)-1].End < a.Node {
+			j.stack = j.stack[:len(j.stack)-1]
+		}
+		j.stack = append(j.stack, a)
+	}
+	for len(j.stack) > 0 && j.stack[len(j.stack)-1].End < d.Node {
+		j.stack = j.stack[:len(j.stack)-1]
+	}
+	var out []Pair
+	for _, a := range j.stack {
+		if a.Node < d.Node && d.Node <= a.End {
+			out = append(out, Pair{Anc: a.Node, Desc: d.Node})
+		}
+	}
+	return out
+}
+
+// EpsJoiner is the incremental form of the secure ε-STD join (paper §4.2,
+// Gabillon–Bruno semantics): the sorted ancestor list is fixed up front and
+// descendants arrive one at a time via Probe, in strictly increasing Node
+// order. The single document-order page pass of SecureSTD becomes a
+// resumable scan: each Probe advances the pass exactly up to its
+// descendant, so early-terminated queries never touch the pages beyond
+// their last descendant. Pages that the in-memory directory proves uniform
+// are still never physically read; only mixed pages (change bit set) incur
+// I/O, and each at most once.
+type EpsJoiner struct {
+	st  *nok.Store
+	cb  *dol.Codebook
+	eff *bitset.Bitset
+
+	ancs []Item
+	ai   int
+
+	ancStack  []Item
+	inaccLvls []int // increasing levels of inaccessible ancestors
+
+	numPages int
+	pageIdx  int // next (or partially consumed) page of the scan
+
+	// Mixed-page cursor; entries is non-nil while a mixed page is being
+	// consumed entry by entry.
+	entries  []nok.Entry
+	entryIdx int
+	level    int
+	code     uint32
+	node     xmltree.NodeID
+}
+
+// NewEpsJoiner returns an incremental ε-STD join for the effective subject
+// set over the sorted ancestor candidates.
+func NewEpsJoiner(ss *dol.SecureStore, effective *bitset.Bitset, ancs []Item) *EpsJoiner {
+	st := ss.Store()
+	return &EpsJoiner{
+		st:       st,
+		cb:       ss.Codebook(),
+		eff:      effective,
+		ancs:     ancs,
+		numPages: st.NumPages(),
+	}
+}
+
+func (j *EpsJoiner) popInacc(level int) {
+	for len(j.inaccLvls) > 0 && j.inaccLvls[len(j.inaccLvls)-1] >= level {
+		j.inaccLvls = j.inaccLvls[:len(j.inaccLvls)-1]
+	}
+}
+
+func (j *EpsJoiner) deepestInacc() int {
+	if len(j.inaccLvls) == 0 {
+		return -1
+	}
+	return j.inaccLvls[len(j.inaccLvls)-1]
+}
+
+func (j *EpsJoiner) pushAnc(a Item) {
+	for len(j.ancStack) > 0 && j.ancStack[len(j.ancStack)-1].End < a.Node {
+		j.ancStack = j.ancStack[:len(j.ancStack)-1]
+	}
+	j.ancStack = append(j.ancStack, a)
+}
+
+// advance outcomes: how the scan reached the probe target.
+const (
+	advMixed   = iota // target's entry was consumed in a mixed page
+	advAcc            // target lies in a uniformly accessible page
+	advDropped        // target lies in a uniformly inaccessible page
+)
+
+// advance runs the document-order pass up to and including node target,
+// applying ancestor pushes and inaccessible-level bookkeeping on the way.
+func (j *EpsJoiner) advance(ctx context.Context, target xmltree.NodeID) (int, error) {
+	for {
+		if j.entries != nil {
+			// Resume a partially consumed mixed page.
+			for j.entryIdx < len(j.entries) && j.node <= target {
+				e := j.entries[j.entryIdx]
+				if e.HasCode {
+					j.code = e.Code
+				}
+				j.popInacc(j.level)
+				if !j.cb.AccessibleAny(j.code, j.eff) {
+					j.inaccLvls = append(j.inaccLvls, j.level)
+				}
+				if j.ai < len(j.ancs) && j.ancs[j.ai].Node == j.node {
+					j.pushAnc(j.ancs[j.ai])
+					j.ai++
+				}
+				j.level = j.level + 1 - e.CloseCount
+				j.node++
+				j.entryIdx++
+			}
+			if j.node > target {
+				return advMixed, nil
+			}
+			j.entries = nil
+			j.pageIdx++
+			continue
+		}
+		if j.pageIdx >= j.numPages {
+			// Target beyond the last page (defensive; descendants always
+			// lie inside some page).
+			return advAcc, nil
+		}
+		pi := j.st.PageInfoAt(j.pageIdx)
+		first := pi.FirstNode
+		last := first + xmltree.NodeID(pi.Count) - 1
+		if !pi.ChangeBit {
+			if j.cb.AccessibleAny(pi.AccessCode, j.eff) {
+				// Uniformly accessible: candidates are processed from
+				// their own region encodings; the page is not read.
+				for j.ai < len(j.ancs) && j.ancs[j.ai].Node <= last && j.ancs[j.ai].Node <= target {
+					a := j.ancs[j.ai]
+					j.ai++
+					j.popInacc(a.Level)
+					j.pushAnc(a)
+				}
+				if target <= last {
+					return advAcc, nil
+				}
+				j.pageIdx++
+				continue
+			}
+			// Uniformly inaccessible: skip candidates (their pairs would
+			// be invalid) and, once the scan moves past the page, record
+			// its still-open nodes as inaccessible path levels, all
+			// derived from the directory.
+			for j.ai < len(j.ancs) && j.ancs[j.ai].Node <= last {
+				j.ai++
+			}
+			if target <= last {
+				return advDropped, nil
+			}
+			nextStart := 0
+			if j.pageIdx+1 < j.numPages {
+				nextStart = int(j.st.PageInfoAt(j.pageIdx + 1).StartDepth)
+			}
+			j.popInacc(nextStart)
+			for l := int(pi.StartDepth); l < nextStart; l++ {
+				if len(j.inaccLvls) == 0 || j.inaccLvls[len(j.inaccLvls)-1] < l {
+					j.inaccLvls = append(j.inaccLvls, l)
+				}
+			}
+			j.pageIdx++
+			continue
+		}
+		// Mixed page: read and process node by node.
+		es, err := j.st.BlockEntriesCtx(ctx, j.pageIdx)
+		if err != nil {
+			return 0, err
+		}
+		j.entries = es
+		j.entryIdx = 0
+		j.level = int(pi.StartDepth)
+		j.code = pi.AccessCode
+		j.node = first
+	}
+}
+
+// Probe advances the join to descendant d and returns its valid (a, d)
+// pairs: a is a proper ancestor of d and every node on the path from a to
+// d, endpoints included, is accessible. Descendants must be probed in
+// strictly increasing Node order.
+func (j *EpsJoiner) Probe(ctx context.Context, d Item) ([]Pair, error) {
+	state, err := j.advance(ctx, d.Node)
+	if err != nil {
+		return nil, err
+	}
+	if state == advDropped {
+		return nil, nil
+	}
+	if state == advAcc {
+		j.popInacc(d.Level)
+	}
+	for len(j.ancStack) > 0 && j.ancStack[len(j.ancStack)-1].End < d.Node {
+		j.ancStack = j.ancStack[:len(j.ancStack)-1]
+	}
+	m := j.deepestInacc()
+	var out []Pair
+	for _, a := range j.ancStack {
+		if a.Node < d.Node && d.Node <= a.End && m < a.Level {
+			out = append(out, Pair{Anc: a.Node, Desc: d.Node})
+		}
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package nok
 
 import (
+	"context"
 	"fmt"
 
 	"dolxml/internal/storage"
@@ -29,10 +30,16 @@ func (s *Store) FreePages() int { return len(s.freeList) }
 // the read half of a region rewrite; callers may mutate the returned slice
 // (it is a private copy, never shared with the decode cache).
 func (s *Store) BlockEntries(i int) ([]Entry, error) {
+	return s.BlockEntriesCtx(context.Background(), i)
+}
+
+// BlockEntriesCtx is BlockEntries with cancellation at the page-fetch
+// boundary; the streaming ε-STD join uses it to honor query contexts.
+func (s *Store) BlockEntriesCtx(ctx context.Context, i int) ([]Entry, error) {
 	if i < 0 || i >= len(s.dir) {
 		return nil, fmt.Errorf("nok: invalid block %d of %d", i, len(s.dir))
 	}
-	es, err := s.blockEntries(i)
+	es, err := s.blockEntries(ctx, i)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package nok
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -178,9 +179,9 @@ func (s *Store) pageOf(n xmltree.NodeID) int {
 }
 
 // readBlock pins the page of directory entry i and returns its frame. The
-// caller must unpin.
-func (s *Store) readBlock(i int) (*storage.Frame, error) {
-	return s.pool.Get(s.dir[i].Page)
+// caller must unpin. Cancellation is honored at this page-fetch boundary.
+func (s *Store) readBlock(ctx context.Context, i int) (*storage.Frame, error) {
+	return s.pool.GetCtx(ctx, s.dir[i].Page)
 }
 
 // decodeBlock decodes all entries of the block in frame data. It returns
@@ -209,13 +210,14 @@ func (s *Store) decodeBlock(i int, data []byte) ([]Entry, error) {
 
 // blockEntries loads and decodes block i. The returned slice may be shared
 // via the decode cache and must be treated as read-only; use BlockEntries
-// for a mutable copy.
-func (s *Store) blockEntries(i int) ([]Entry, error) {
+// for a mutable copy. The context is consulted at the page-fetch boundary,
+// so a cancelled query stops before pinning another page.
+func (s *Store) blockEntries(ctx context.Context, i int) ([]Entry, error) {
 	pid := s.dir[i].Page
 	if es, ok := s.cachedEntries(pid); ok {
 		// Keep buffer-pool statistics meaningful: a decode-cache hit is
 		// also a pool hit (the page is logically touched).
-		f, err := s.pool.Get(pid)
+		f, err := s.pool.GetCtx(ctx, pid)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +226,7 @@ func (s *Store) blockEntries(i int) ([]Entry, error) {
 		}
 		return es, nil
 	}
-	f, err := s.readBlock(i)
+	f, err := s.readBlock(ctx, i)
 	if err != nil {
 		return nil, err
 	}
@@ -251,8 +253,8 @@ type NodeInfo struct {
 // scanTo decodes block i up to and including node n, returning n's info.
 // This is the paper's access-lookup procedure (§3.3): the governing
 // transition node is always found within n's own block.
-func (s *Store) scanTo(i int, n xmltree.NodeID) (NodeInfo, error) {
-	entries, err := s.blockEntries(i)
+func (s *Store) scanTo(ctx context.Context, i int, n xmltree.NodeID) (NodeInfo, error) {
+	entries, err := s.blockEntries(ctx, i)
 	if err != nil {
 		return NodeInfo{}, err
 	}
@@ -275,10 +277,15 @@ func (s *Store) scanTo(i int, n xmltree.NodeID) (NodeInfo, error) {
 
 // Info returns the decoded state of node n.
 func (s *Store) Info(n xmltree.NodeID) (NodeInfo, error) {
+	return s.InfoCtx(context.Background(), n)
+}
+
+// InfoCtx is Info with cancellation at the page-fetch boundary.
+func (s *Store) InfoCtx(ctx context.Context, n xmltree.NodeID) (NodeInfo, error) {
 	if !s.Valid(n) {
 		return NodeInfo{}, fmt.Errorf("nok: invalid node %d", n)
 	}
-	return s.scanTo(s.pageOf(n), n)
+	return s.scanTo(ctx, s.pageOf(n), n)
 }
 
 // Tag returns the tag code of node n.
@@ -304,7 +311,13 @@ func (s *Store) Level(n xmltree.NodeID) (int, error) {
 // directory), so when the block is already pinned for navigation the check
 // costs no additional I/O.
 func (s *Store) AccessCodeAt(n xmltree.NodeID) (uint32, error) {
-	info, err := s.Info(n)
+	return s.AccessCodeAtCtx(context.Background(), n)
+}
+
+// AccessCodeAtCtx is AccessCodeAt with cancellation at the page-fetch
+// boundary.
+func (s *Store) AccessCodeAtCtx(ctx context.Context, n xmltree.NodeID) (uint32, error) {
+	info, err := s.InfoCtx(ctx, n)
 	if err != nil {
 		return 0, err
 	}
@@ -314,7 +327,12 @@ func (s *Store) AccessCodeAt(n xmltree.NodeID) (uint32, error) {
 // FirstChild returns the first child of n, or InvalidNode if n is a leaf —
 // subroutine FIRST-CHILD of Algorithm 1.
 func (s *Store) FirstChild(n xmltree.NodeID) (xmltree.NodeID, error) {
-	info, err := s.Info(n)
+	return s.FirstChildCtx(context.Background(), n)
+}
+
+// FirstChildCtx is FirstChild with cancellation at the page-fetch boundary.
+func (s *Store) FirstChildCtx(ctx context.Context, n xmltree.NodeID) (xmltree.NodeID, error) {
+	info, err := s.InfoCtx(ctx, n)
 	if err != nil {
 		return xmltree.InvalidNode, err
 	}
@@ -329,7 +347,7 @@ func (s *Store) FirstChild(n xmltree.NodeID) (xmltree.NodeID, error) {
 // in-memory directory alone, every block that provably lies strictly inside
 // n's subtree (MinDepth > level(n)).
 func (s *Store) FollowingSibling(n xmltree.NodeID) (xmltree.NodeID, error) {
-	return s.FollowingSiblingSkip(n, nil)
+	return s.FollowingSiblingSkipCtx(context.Background(), n, nil)
 }
 
 // FollowingSiblingSkip is FollowingSibling extended with a page-skip
@@ -347,11 +365,17 @@ func (s *Store) FollowingSibling(n xmltree.NodeID) (xmltree.NodeID, error) {
 // wholly-skipped block; with a nil predicate it is exactly the next
 // sibling.
 func (s *Store) FollowingSiblingSkip(n xmltree.NodeID, skip func(pageIdx int) bool) (xmltree.NodeID, error) {
+	return s.FollowingSiblingSkipCtx(context.Background(), n, skip)
+}
+
+// FollowingSiblingSkipCtx is FollowingSiblingSkip with cancellation at
+// every page-fetch boundary of the cross-block scan.
+func (s *Store) FollowingSiblingSkipCtx(ctx context.Context, n xmltree.NodeID, skip func(pageIdx int) bool) (xmltree.NodeID, error) {
 	if !s.Valid(n) {
 		return xmltree.InvalidNode, fmt.Errorf("nok: invalid node %d", n)
 	}
 	i := s.pageOf(n)
-	entries, err := s.blockEntries(i)
+	entries, err := s.blockEntries(ctx, i)
 	if err != nil {
 		return xmltree.InvalidNode, err
 	}
@@ -395,7 +419,7 @@ func (s *Store) FollowingSiblingSkip(n xmltree.NodeID, skip func(pageIdx int) bo
 			}
 			return xmltree.InvalidNode, nil
 		}
-		bentries, err := s.blockEntries(k)
+		bentries, err := s.blockEntries(ctx, k)
 		if err != nil {
 			return xmltree.InvalidNode, err
 		}
@@ -422,11 +446,17 @@ func (s *Store) FollowingSiblingSkip(n xmltree.NodeID, skip func(pageIdx int) bo
 // SubtreeEnd returns the last node of n's subtree (n itself for leaves),
 // using the same directory-assisted scan as FollowingSibling.
 func (s *Store) SubtreeEnd(n xmltree.NodeID) (xmltree.NodeID, error) {
+	return s.SubtreeEndCtx(context.Background(), n)
+}
+
+// SubtreeEndCtx is SubtreeEnd with cancellation at every page-fetch
+// boundary of the cross-block scan.
+func (s *Store) SubtreeEndCtx(ctx context.Context, n xmltree.NodeID) (xmltree.NodeID, error) {
 	if !s.Valid(n) {
 		return xmltree.InvalidNode, fmt.Errorf("nok: invalid node %d", n)
 	}
 	i := s.pageOf(n)
-	entries, err := s.blockEntries(i)
+	entries, err := s.blockEntries(ctx, i)
 	if err != nil {
 		return xmltree.InvalidNode, err
 	}
@@ -453,7 +483,7 @@ func (s *Store) SubtreeEnd(n xmltree.NodeID) (xmltree.NodeID, error) {
 		if int(pi.StartDepth) <= targetLevel {
 			return pi.FirstNode - 1, nil
 		}
-		bentries, err := s.blockEntries(k)
+		bentries, err := s.blockEntries(ctx, k)
 		if err != nil {
 			return xmltree.InvalidNode, err
 		}
@@ -486,7 +516,7 @@ func (s *Store) WalkSubtree(n xmltree.NodeID, visit func(NodeInfo) bool) error {
 		if pi.FirstNode > end {
 			break
 		}
-		entries, err := s.blockEntries(i)
+		entries, err := s.blockEntries(context.Background(), i)
 		if err != nil {
 			return err
 		}
@@ -526,7 +556,7 @@ func (s *Store) CheckConsistency() error {
 		if pi.FirstNode != next {
 			return fmt.Errorf("nok: block %d starts at node %d, want %d", i, pi.FirstNode, next)
 		}
-		entries, err := s.blockEntries(i)
+		entries, err := s.blockEntries(context.Background(), i)
 		if err != nil {
 			return err
 		}
@@ -608,7 +638,7 @@ func (s *Store) ForEachExtent(visit func(n, end xmltree.NodeID, level int, tag i
 	defer func() { *stackBuf = stack }()
 	for i := range s.dir {
 		pi := s.dir[i]
-		entries, err := s.blockEntries(i)
+		entries, err := s.blockEntries(context.Background(), i)
 		if err != nil {
 			return err
 		}

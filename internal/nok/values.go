@@ -1,6 +1,7 @@
 package nok
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -73,12 +74,17 @@ func BuildValues(pool *storage.BufferPool, numNodes int, valueOf func(xmltree.No
 
 // Value returns the text value of node n ("" when the node has none).
 func (vs *ValueStore) Value(n xmltree.NodeID) (string, error) {
+	return vs.ValueCtx(context.Background(), n)
+}
+
+// ValueCtx is Value with cancellation at the page-fetch boundary.
+func (vs *ValueStore) ValueCtx(ctx context.Context, n xmltree.NodeID) (string, error) {
 	i := sort.Search(len(vs.refs), func(i int) bool { return vs.refs[i].Node >= n })
 	if i >= len(vs.refs) || vs.refs[i].Node != n {
 		return "", nil
 	}
 	r := vs.refs[i]
-	f, err := vs.pool.Get(r.Page)
+	f, err := vs.pool.GetCtx(ctx, r.Page)
 	if err != nil {
 		return "", err
 	}

@@ -1,13 +1,13 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 
 	"dolxml/internal/btree"
 	"dolxml/internal/dol"
-	"dolxml/internal/join"
 	"dolxml/internal/nok"
 	"dolxml/internal/xmltree"
 )
@@ -45,6 +45,11 @@ type Options struct {
 	// Results are deterministic: every setting produces byte-identical
 	// Result contents.
 	Parallelism int
+	// Limit, when positive, stops evaluation after that many distinct
+	// answers: the cursor pipeline terminates early and the pages beyond
+	// the last match needed are never read. Result.Matches then counts
+	// only the tuples consumed before the limit was reached.
+	Limit int
 }
 
 // workers resolves the effective worker count.
@@ -93,6 +98,51 @@ func (ev *Evaluator) WithValueIndex(vt *btree.ValueTree) *Evaluator {
 // the pattern into NoK subtrees, matches each with (ε-)NoK pattern
 // matching, and combines the matches with (ε-)STD structural joins.
 func (ev *Evaluator) Evaluate(t *PatternTree, opts Options) (*Result, error) {
+	return ev.EvaluateCtx(context.Background(), t, opts)
+}
+
+// EvaluateCtx is Evaluate with cancellation and early termination: it
+// opens the cursor pipeline, drains it (up to opts.Limit answers when
+// set), and assembles the Result. Cancelling ctx aborts the evaluation at
+// the next page-fetch boundary with ctx's error; no buffer-pool frames
+// stay pinned.
+func (ev *Evaluator) EvaluateCtx(ctx context.Context, t *PatternTree, opts Options) (*Result, error) {
+	a, err := ev.Open(ctx, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+	var nodes []xmltree.NodeID
+	for {
+		n, ok, err := a.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return &Result{Nodes: nodes, Matches: a.Matches()}, nil
+}
+
+// Answers is a streaming cursor over a query's answers: the distinct
+// bindings of the returning pattern node, in discovery order (not document
+// order — sort after draining if document order matters). It is the public
+// face of the operator pipeline; Close must be called exactly once, and
+// releases the pipeline's producers and page pins no matter how far the
+// cursor was drained.
+type Answers struct {
+	p       *pipeline
+	retSlot int
+	matches *int
+}
+
+// Open builds the cursor pipeline for the pattern tree without draining
+// it. ctx governs the whole lifetime of the returned cursor: cancelling it
+// aborts in-flight producers at their next page-fetch boundary.
+func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*Answers, error) {
 	subs := t.Decompose()
 	ret := t.ReturningNode()
 
@@ -115,55 +165,11 @@ func (ev *Evaluator) Evaluate(t *PatternTree, opts Options) (*Result, error) {
 		pageSkip: !opts.DisablePageSkip,
 		tracked:  tracked,
 	}
-	// Freeze the matcher's derived state so the candidate fan-out below can
-	// share it across workers.
+	// Freeze the matcher's derived state so match producers can share it
+	// across workers.
 	m.prepare(subs)
 	workers := opts.workers()
 
-	// Match every NoK subtree, fanning the candidate list of each subtree
-	// out over the worker pool (candidates are independent; chunk-ordered
-	// merging keeps the match list identical to sequential evaluation).
-	matches := make([][]subtreeMatch, len(subs))
-	for i, sub := range subs {
-		cands, err := ev.candidates(t, sub, i == 0)
-		if err != nil {
-			return nil, err
-		}
-		ms, err := m.matchSubtreeParallel(sub, cands, workers)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 && opts.View != nil && opts.Semantics == SemanticsPrunedSubtree {
-			ms, err = ev.filterRootPaths(ms, opts)
-			if err != nil {
-				return nil, err
-			}
-		}
-		matches[i] = ms
-		if len(ms) == 0 {
-			return &Result{}, nil
-		}
-	}
-
-	// Combine subtree matches along the cut descendant edges.
-	tuples := make([][]binding, 0, len(matches[0]))
-	for _, sm := range matches[0] {
-		tuples = append(tuples, ev.tupleFrom(subs, 0, sm))
-	}
-	for i := 1; i < len(subs); i++ {
-		sub := subs[i]
-		linkSlot := ev.slotOf(subs, sub.Parent, sub.Link)
-		var err error
-		tuples, err = ev.joinSubtree(tuples, linkSlot, subs, i, matches[i], opts)
-		if err != nil {
-			return nil, err
-		}
-		if len(tuples) == 0 {
-			return &Result{}, nil
-		}
-	}
-
-	// Extract returning bindings.
 	retSlot := -1
 	for i := range subs {
 		if s := ev.slotOfNode(subs, i, ret); s >= 0 {
@@ -174,18 +180,68 @@ func (ev *Evaluator) Evaluate(t *PatternTree, opts Options) (*Result, error) {
 	if retSlot < 0 {
 		return nil, fmt.Errorf("query: returning node not tracked")
 	}
-	seen := map[xmltree.NodeID]bool{}
-	var nodes []xmltree.NodeID
-	for _, tp := range tuples {
-		n := tp[retSlot].node
-		if !seen[n] {
-			seen[n] = true
-			nodes = append(nodes, n)
+
+	// Assemble the operator tree bottom-up: per-subtree match producers,
+	// the pruned-subtree root-path filter on the top subtree, one
+	// structural-join operator per cut edge, then dedup and limit.
+	pctx, cancel := context.WithCancel(ctx)
+	var cur Cursor
+	for i := range subs {
+		cands, err := ev.candidates(pctx, t, subs[i], i == 0)
+		if err != nil {
+			cancel()
+			if cur != nil {
+				cur.Close()
+			}
+			return nil, err
+		}
+		rc := newMatchCursor(pctx, ev, m, subs, i, cands, workers)
+		if i == 0 {
+			if opts.View != nil && opts.Semantics == SemanticsPrunedSubtree {
+				rc = &pathFilterCursor{ev: ev, view: opts.View, in: rc}
+			}
+			cur = rc
+		} else {
+			cur = &joinCursor{
+				ev:       ev,
+				opts:     opts,
+				left:     cur,
+				right:    rc,
+				linkSlot: ev.slotOf(subs, subs[i].Parent, subs[i].Link),
+				base:     ev.slotBase(subs, i),
+				nSlots:   len(ev.slotNodes(subs, i)),
+			}
 		}
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	return &Result{Nodes: nodes, Matches: len(tuples)}, nil
+	dd := &dedupCursor{in: cur, retSlot: retSlot, seen: map[xmltree.NodeID]bool{}}
+	var top Cursor = dd
+	if opts.Limit > 0 {
+		top = &limitCursor{in: dd, remaining: opts.Limit}
+	}
+	return &Answers{
+		p:       &pipeline{Cursor: top, cancel: cancel},
+		retSlot: retSlot,
+		matches: &dd.matches,
+	}, nil
 }
+
+// Next returns the next distinct answer; ok is false once the stream is
+// exhausted or the Limit was reached.
+func (a *Answers) Next(ctx context.Context) (n xmltree.NodeID, ok bool, err error) {
+	tp, err := a.p.Next(ctx)
+	if err != nil || tp == nil {
+		return xmltree.InvalidNode, false, err
+	}
+	return tp[a.retSlot].node, true, nil
+}
+
+// Matches counts the combined pattern-match tuples consumed so far — after
+// a full drain, the Result.Matches of Evaluate.
+func (a *Answers) Matches() int { return *a.matches }
+
+// Close stops the pipeline's producers, waits for them to exit, and
+// releases every buffer-pool pin they held. Idempotent.
+func (a *Answers) Close() error { return a.p.Close() }
 
 // subtreeContains reports whether pattern node p belongs to subtree i
 // (reachable from its root through child-axis edges).
@@ -268,9 +324,9 @@ func (ev *Evaluator) slotOfNode(subs []NoKSubtree, i int, p *PatternNode) int {
 
 // tupleFrom expands a subtree match into a full-width tuple with only this
 // subtree's slots populated.
-func (ev *Evaluator) tupleFrom(subs []NoKSubtree, i int, sm subtreeMatch) []binding {
+func (ev *Evaluator) tupleFrom(subs []NoKSubtree, i int, sm subtreeMatch) Tuple {
 	width := ev.slotBase(subs, len(subs)-1) + len(ev.slotNodes(subs, len(subs)-1))
-	tp := make([]binding, width)
+	tp := make(Tuple, width)
 	for k := range tp {
 		tp[k] = binding{xmltree.InvalidNode, 0}
 	}
@@ -285,87 +341,12 @@ func (ev *Evaluator) tupleFrom(subs []NoKSubtree, i int, sm subtreeMatch) []bind
 	return tp
 }
 
-// joinSubtree joins the accumulated tuples with subtree i's matches via a
-// structural join on (link binding, subtree-root binding).
-func (ev *Evaluator) joinSubtree(tuples [][]binding, linkSlot int, subs []NoKSubtree, i int, ms []subtreeMatch, opts Options) ([][]binding, error) {
-	// Distinct ancestor candidates from the link slot.
-	ancSet := map[xmltree.NodeID]join.Item{}
-	for _, tp := range tuples {
-		b := tp[linkSlot]
-		if _, ok := ancSet[b.node]; ok {
-			continue
-		}
-		end, err := ev.store.SubtreeEnd(b.node)
-		if err != nil {
-			return nil, err
-		}
-		ancSet[b.node] = join.Item{Node: b.node, End: end, Level: b.level}
-	}
-	ancs := make([]join.Item, 0, len(ancSet))
-	for _, it := range ancSet {
-		ancs = append(ancs, it)
-	}
-	join.SortItems(ancs)
-
-	// Distinct descendant candidates from subtree roots; group matches by
-	// root for tuple expansion.
-	byRoot := map[xmltree.NodeID][]subtreeMatch{}
-	var descs []join.Item
-	for _, sm := range ms {
-		if _, ok := byRoot[sm.root.node]; !ok {
-			end, err := ev.store.SubtreeEnd(sm.root.node)
-			if err != nil {
-				return nil, err
-			}
-			descs = append(descs, join.Item{Node: sm.root.node, End: end, Level: sm.root.level})
-		}
-		byRoot[sm.root.node] = append(byRoot[sm.root.node], sm)
-	}
-	join.SortItems(descs)
-
-	var pairs []join.Pair
-	var err error
-	if opts.View != nil && opts.Semantics == SemanticsPrunedSubtree {
-		pairs, err = join.SecureSTD(opts.View.Store(), opts.View.Effective(), ancs, descs)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		pairs = join.STD(ancs, descs)
-	}
-	descsOf := map[xmltree.NodeID][]xmltree.NodeID{}
-	for _, p := range pairs {
-		descsOf[p.Anc] = append(descsOf[p.Anc], p.Desc)
-	}
-
-	base := ev.slotBase(subs, i)
-	slotNodes := ev.slotNodes(subs, i)
-	var out [][]binding
-	for _, tp := range tuples {
-		for _, d := range descsOf[tp[linkSlot].node] {
-			for _, sm := range byRoot[d] {
-				ntp := make([]binding, len(tp))
-				copy(ntp, tp)
-				for k, n := range slotNodes {
-					if b, ok := sm.bindings[n]; ok {
-						ntp[base+k] = b
-					} else if n == subs[i].Root {
-						ntp[base+k] = sm.root
-					}
-				}
-				out = append(out, ntp)
-			}
-		}
-	}
-	return out, nil
-}
-
 // candidates returns the root candidates for a NoK subtree: the document
 // root for an anchored top subtree, otherwise the tag-index postings
 // ("using B+ trees on the subtree root's ... tag names", §4.1).
-func (ev *Evaluator) candidates(t *PatternTree, sub NoKSubtree, top bool) ([]btree.Posting, error) {
+func (ev *Evaluator) candidates(ctx context.Context, t *PatternTree, sub NoKSubtree, top bool) ([]btree.Posting, error) {
 	if top && t.Root.Axis == AxisChild {
-		end, err := ev.store.SubtreeEnd(0)
+		end, err := ev.store.SubtreeEndCtx(ctx, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -392,50 +373,4 @@ func (ev *Evaluator) candidates(t *PatternTree, sub NoKSubtree, top bool) ([]btr
 		return ev.vindex.ValuePostings(code, sub.Root.Value)
 	}
 	return ev.index.Postings(code)
-}
-
-// filterRootPaths keeps only the top-subtree matches whose path from the
-// document root is fully accessible (Gabillon–Bruno semantics): computed
-// with one ε-STD pass using the document root as the lone ancestor.
-func (ev *Evaluator) filterRootPaths(ms []subtreeMatch, opts Options) ([]subtreeMatch, error) {
-	if len(ms) == 0 {
-		return ms, nil
-	}
-	rootEnd, err := ev.store.SubtreeEnd(0)
-	if err != nil {
-		return nil, err
-	}
-	rootItem := []join.Item{{Node: 0, End: rootEnd, Level: 0}}
-	var descs []join.Item
-	byRoot := map[xmltree.NodeID][]subtreeMatch{}
-	for _, sm := range ms {
-		if _, ok := byRoot[sm.root.node]; !ok {
-			end, err := ev.store.SubtreeEnd(sm.root.node)
-			if err != nil {
-				return nil, err
-			}
-			descs = append(descs, join.Item{Node: sm.root.node, End: end, Level: sm.root.level})
-		}
-		byRoot[sm.root.node] = append(byRoot[sm.root.node], sm)
-	}
-	join.SortItems(descs)
-	pairs, err := join.SecureSTD(opts.View.Store(), opts.View.Effective(), rootItem, descs)
-	if err != nil {
-		return nil, err
-	}
-	var out []subtreeMatch
-	for _, p := range pairs {
-		out = append(out, byRoot[p.Desc]...)
-	}
-	// The document root itself, when matched, is valid iff accessible.
-	if sms, ok := byRoot[0]; ok {
-		acc, err := opts.View.Accessible(0)
-		if err != nil {
-			return nil, err
-		}
-		if acc {
-			out = append(sms, out...)
-		}
-	}
-	return out, nil
 }

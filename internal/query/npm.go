@@ -1,11 +1,10 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"dolxml/internal/btree"
 	"dolxml/internal/nok"
@@ -16,8 +15,9 @@ import (
 // needs, bound to one subject view (dol.SubjectView implements it). A nil
 // AccessChecker means non-secure evaluation.
 type AccessChecker interface {
-	// Accessible reports whether the subject may access node n.
-	Accessible(n xmltree.NodeID) (bool, error)
+	// AccessibleCtx reports whether the subject may access node n,
+	// honoring ctx at the page-fetch boundary.
+	AccessibleCtx(ctx context.Context, n xmltree.NodeID) (bool, error)
 	// SkipPage reports, from the in-memory page directory alone, that
 	// every node in block pageIdx is inaccessible.
 	SkipPage(pageIdx int) bool
@@ -105,14 +105,14 @@ func (m *matcher) matchesNode(proot *PatternNode, e nok.Entry) bool {
 	return ok && code == e.Tag
 }
 
-func (m *matcher) matchesValue(proot *PatternNode, u xmltree.NodeID) (bool, error) {
+func (m *matcher) matchesValue(ctx context.Context, proot *PatternNode, u xmltree.NodeID) (bool, error) {
 	if proot.Value == "" {
 		return true, nil
 	}
 	if m.values == nil {
 		return false, nil
 	}
-	v, err := m.values.Value(u)
+	v, err := m.values.ValueCtx(ctx, u)
 	if err != nil {
 		return false, err
 	}
@@ -139,137 +139,213 @@ func comboKey(c combo) string {
 	return sb.String()
 }
 
-// npm matches proot's NoK fragment at data node u (whose tag, value and
-// accessibility the caller has verified). It reports whether the fragment
-// matches and, when the fragment contains tracked nodes, the distinct
-// tracked-binding combinations.
-func (m *matcher) npm(proot *PatternNode, u binding) (bool, []combo, error) {
-	s := nokChildren(proot)
-	// Per pattern child: whether any data child matched, and the tracked
-	// combos contributed.
-	matched := make([]bool, len(s))
-	combosOf := make([][]combo, len(s))
+// emitFn consumes one completed tracked-binding combination; returning
+// false stops the enumeration (early termination) and unwinds the whole
+// match.
+type emitFn func(combo) bool
 
-	if len(s) > 0 {
-		v, err := m.store.FirstChild(u.node)
-		if err != nil {
-			return false, nil, err
+// npmStream matches proot's NoK fragment at data node u (whose tag, value
+// and accessibility the caller has verified), emitting each distinct
+// tracked-binding combination the moment its last component is discovered
+// instead of materializing a cross product after the child scan. It
+// reports whether the fragment matched and whether the consumer stopped
+// the enumeration early.
+//
+// Incremental emission rule: a product (c_1, …, c_k) over the tracked
+// children's combos is emitted exactly once, when its last-arriving
+// component arrives. The first time every pattern child is matched, the
+// full cross product of the combos collected so far goes out; every later
+// combo arrival for child i emits only the products that pin child i to
+// the new combo. Per-child dedup happens on arrival (comboKey), matching
+// the pre-product dedup of a batch cross product, so the emitted multiset
+// is exactly the batch product — but the first combination surfaces as
+// soon as the first witness of every child has been seen, which is what
+// lets Limit-bounded queries stop their page reads mid-scan.
+func (m *matcher) npmStream(ctx context.Context, proot *PatternNode, u binding, emit emitFn) (bool, bool, error) {
+	s := nokChildren(proot)
+	if len(s) == 0 {
+		c := combo{}
+		if m.tracked[proot] {
+			c[proot] = u
 		}
-		for v != xmltree.InvalidNode {
-			info, err := m.store.Info(v)
-			if err != nil {
-				return false, nil, err
+		return true, !emit(c), nil
+	}
+
+	trackedChild := make([]bool, len(s))
+	anyTracked := false
+	for i, pc := range s {
+		trackedChild[i] = m.trackedIn(pc)
+		anyTracked = anyTracked || trackedChild[i]
+	}
+
+	var (
+		matched  = make([]bool, len(s))
+		nMatched int
+		complete bool // every pattern child matched at least once
+		combosOf = make([][]combo, len(s))
+		seen     = make([]map[string]bool, len(s))
+		acc      = combo{} // scratch assignment for product enumeration
+	)
+
+	// product emits the cross product of the collected combos, with child
+	// `fixed` (when >= 0) pinned to fixedCombo, adding proot's own binding
+	// when tracked. Returns false when the consumer stopped.
+	product := func(fixed int, fixedCombo combo) bool {
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == len(s) {
+				out := make(combo, len(acc)+1)
+				for p, b := range acc {
+					out[p] = b
+				}
+				if m.tracked[proot] {
+					out[proot] = u
+				}
+				return emit(out)
 			}
-			accessible := true
-			if m.checker != nil {
-				accessible, err = m.checker.Accessible(v)
-				if err != nil {
-					return false, nil, err
+			if !trackedChild[i] {
+				return rec(i + 1)
+			}
+			list := combosOf[i]
+			if i == fixed {
+				list = []combo{fixedCombo}
+			}
+			for _, c := range list {
+				for p, b := range c {
+					acc[p] = b
+				}
+				ok := rec(i + 1)
+				for p := range c {
+					delete(acc, p)
+				}
+				if !ok {
+					return false
 				}
 			}
-			if accessible {
-				allDone := true
-				for i, pc := range s {
-					if matched[i] && !m.trackedIn(pc) {
-						continue // existential child already satisfied
-					}
-					if !m.matchesNode(pc, info.Entry) {
-						if !matched[i] {
-							allDone = false
-						}
-						continue
-					}
-					ok, err := m.matchesValue(pc, v)
-					if err != nil {
-						return false, nil, err
-					}
-					if !ok {
-						if !matched[i] {
-							allDone = false
-						}
-						continue
-					}
-					sub, subCombos, err := m.npm(pc, binding{v, info.Level})
-					if err != nil {
-						return false, nil, err
-					}
-					if sub {
-						matched[i] = true
-						combosOf[i] = append(combosOf[i], subCombos...)
-					}
+			return true
+		}
+		return rec(0)
+	}
+
+	// arrive records a combo from tracked child i, emitting the products
+	// it completes. Returns false when the consumer stopped.
+	arrive := func(i int, c combo) bool {
+		if seen[i] == nil {
+			seen[i] = make(map[string]bool)
+		}
+		k := comboKey(c)
+		if seen[i][k] {
+			return true
+		}
+		seen[i][k] = true
+		combosOf[i] = append(combosOf[i], c)
+		if !matched[i] {
+			matched[i] = true
+			nMatched++
+		}
+		if nMatched < len(s) {
+			return true
+		}
+		if !complete {
+			complete = true
+			return product(-1, nil)
+		}
+		return product(i, c)
+	}
+
+	// existMatch records that untracked child i matched. Returns false
+	// when the consumer stopped.
+	existMatch := func(i int) bool {
+		if matched[i] {
+			return true
+		}
+		matched[i] = true
+		nMatched++
+		if nMatched == len(s) && !complete {
+			complete = true
+			return product(-1, nil)
+		}
+		return true
+	}
+
+	v, err := m.store.FirstChildCtx(ctx, u.node)
+	if err != nil {
+		return false, false, err
+	}
+	for v != xmltree.InvalidNode {
+		info, err := m.store.InfoCtx(ctx, v)
+		if err != nil {
+			return false, false, err
+		}
+		accessible := true
+		if m.checker != nil {
+			accessible, err = m.checker.AccessibleCtx(ctx, v)
+			if err != nil {
+				return false, false, err
+			}
+		}
+		if accessible {
+			allDone := true
+			for i, pc := range s {
+				if matched[i] && !trackedChild[i] {
+					continue // existential child already satisfied
+				}
+				if !m.matchesNode(pc, info.Entry) {
 					if !matched[i] {
 						allDone = false
 					}
+					continue
 				}
-				// Early exit: everything matched and no tracked child
-				// needs further enumeration.
-				if allDone {
-					trackedLeft := false
-					for _, pc := range s {
-						if m.trackedIn(pc) {
-							trackedLeft = true
-						}
+				ok, err := m.matchesValue(ctx, pc, v)
+				if err != nil {
+					return false, false, err
+				}
+				if !ok {
+					if !matched[i] {
+						allDone = false
 					}
-					if !trackedLeft {
-						break
+					continue
+				}
+				i := i
+				sub, stopped, err := m.npmStream(ctx, pc, binding{v, info.Level}, func(c combo) bool {
+					if !trackedChild[i] {
+						// Existential fragment: only the fact that it
+						// matched matters, handled below.
+						return true
 					}
+					return arrive(i, c)
+				})
+				if err != nil {
+					return false, false, err
+				}
+				if stopped {
+					return false, true, nil
+				}
+				if sub && !trackedChild[i] && !existMatch(i) {
+					return false, true, nil
+				}
+				if !matched[i] {
+					allDone = false
 				}
 			}
-			v, err = m.nextSibling(v)
-			if err != nil {
-				return false, nil, err
+			// Early exit: everything matched and no tracked child needs
+			// further enumeration.
+			if allDone && !anyTracked {
+				break
 			}
 		}
-		for i := range s {
-			if !matched[i] {
-				return false, nil, nil
-			}
+		v, err = m.nextSibling(ctx, v)
+		if err != nil {
+			return false, false, err
 		}
 	}
-
-	// Combine: cross product of tracked children's combos.
-	out := []combo{{}}
-	for i, pc := range s {
-		if !m.trackedIn(pc) {
-			continue
-		}
-		// Dedupe this child's combos first.
-		seen := map[string]bool{}
-		var cs []combo
-		for _, c := range combosOf[i] {
-			k := comboKey(c)
-			if !seen[k] {
-				seen[k] = true
-				cs = append(cs, c)
-			}
-		}
-		var next []combo
-		for _, base := range out {
-			for _, c := range cs {
-				merged := combo{}
-				for p, b := range base {
-					merged[p] = b
-				}
-				for p, b := range c {
-					merged[p] = b
-				}
-				next = append(next, merged)
-			}
-		}
-		out = next
-	}
-	if m.tracked[proot] {
-		for _, c := range out {
-			c[proot] = u
-		}
-	}
-	return true, out, nil
+	return nMatched == len(s), false, nil
 }
 
 // nextSibling advances the child scan. In secure mode with page skipping
 // enabled, blocks that the directory proves wholly inaccessible are
 // skipped without I/O (§3.3).
-func (m *matcher) nextSibling(u xmltree.NodeID) (xmltree.NodeID, error) {
+func (m *matcher) nextSibling(ctx context.Context, u xmltree.NodeID) (xmltree.NodeID, error) {
 	if m.checker != nil && m.pageSkip {
 		// prepare normally pre-binds skipFn; fall back locally (without
 		// mutating the shared matcher) for unprepared matchers.
@@ -277,109 +353,66 @@ func (m *matcher) nextSibling(u xmltree.NodeID) (xmltree.NodeID, error) {
 		if skip == nil {
 			skip = m.checker.SkipPage
 		}
-		return m.store.FollowingSiblingSkip(u, skip)
+		return m.store.FollowingSiblingSkipCtx(ctx, u, skip)
 	}
-	return m.store.FollowingSibling(u)
+	return m.store.FollowingSiblingSkipCtx(ctx, u, nil)
 }
 
 // minParallelCandidates is the candidate-list size below which fanning out
 // is not worth the goroutine overhead.
 const minParallelCandidates = 16
 
-// matchSubtreeParallel fans matchSubtree out over a bounded worker pool.
-// The candidate list is split into index-ordered chunks claimed by workers
-// off a shared counter; per-chunk match lists are concatenated in chunk
-// order, so the output is byte-identical to the sequential matchSubtree
-// (candidates are processed in the same document order). The matcher must
-// have been prepared and is shared read-only by the workers.
-func (m *matcher) matchSubtreeParallel(sub NoKSubtree, candidates []btree.Posting, workers int) ([]subtreeMatch, error) {
-	if workers <= 1 || len(candidates) < minParallelCandidates {
-		return m.matchSubtree(sub, candidates)
+// matchCandidate runs ε-NoK matching for one root candidate (normally a
+// tag-index posting), streaming each successful match to emit. It reports
+// whether emit stopped the enumeration early.
+func (m *matcher) matchCandidate(ctx context.Context, sub NoKSubtree, c btree.Posting, emit func(subtreeMatch) bool) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
-	// More chunks than workers evens out skew: one pathological candidate
-	// (a huge subtree) does not leave the other workers idle for long.
-	chunks := workers * 4
-	if chunks > len(candidates) {
-		chunks = len(candidates)
-	}
-	if workers > chunks {
-		workers = chunks
-	}
-	bounds := func(i int) (int, int) {
-		lo := i * len(candidates) / chunks
-		hi := (i + 1) * len(candidates) / chunks
-		return lo, hi
-	}
-	results := make([][]subtreeMatch, chunks)
-	errs := make([]error, chunks)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= chunks {
-					return
-				}
-				lo, hi := bounds(i)
-				results[i], errs[i] = m.matchSubtree(sub, candidates[lo:hi])
-			}
-		}()
-	}
-	wg.Wait()
-	var out []subtreeMatch
-	for i := range results {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out = append(out, results[i]...)
-	}
-	return out, nil
-}
-
-// matchSubtree runs ε-NoK matching for one NoK subtree over the given root
-// candidates (normally tag-index postings). It returns the successful
-// matches with their tracked bindings.
-func (m *matcher) matchSubtree(sub NoKSubtree, candidates []btree.Posting) ([]subtreeMatch, error) {
-	var out []subtreeMatch
-	for _, c := range candidates {
-		// Pre-condition of Algorithm 1: the data-tree root of the match
-		// must itself be accessible.
-		if m.checker != nil {
-			ok, err := m.checker.Accessible(c.Node)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		info, err := m.store.Info(c.Node)
+	// Pre-condition of Algorithm 1: the data-tree root of the match must
+	// itself be accessible.
+	if m.checker != nil {
+		ok, err := m.checker.AccessibleCtx(ctx, c.Node)
 		if err != nil {
-			return nil, err
-		}
-		if !m.matchesNode(sub.Root, info.Entry) {
-			continue
-		}
-		ok, err := m.matchesValue(sub.Root, c.Node)
-		if err != nil {
-			return nil, err
+			return false, err
 		}
 		if !ok {
-			continue
+			return false, nil
 		}
-		rootBind := binding{c.Node, int(c.Level)}
-		matched, combos, err := m.npm(sub.Root, rootBind)
+	}
+	info, err := m.store.InfoCtx(ctx, c.Node)
+	if err != nil {
+		return false, err
+	}
+	if !m.matchesNode(sub.Root, info.Entry) {
+		return false, nil
+	}
+	ok, err := m.matchesValue(ctx, sub.Root, c.Node)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	rootBind := binding{c.Node, int(c.Level)}
+	_, stopped, err := m.npmStream(ctx, sub.Root, rootBind, func(cb combo) bool {
+		return emit(subtreeMatch{root: rootBind, bindings: cb})
+	})
+	return stopped, err
+}
+
+// matchSubtree collects every match of the given root candidates, in
+// candidate order — the materialized form used by the parallel match
+// cursor's chunk workers.
+func (m *matcher) matchSubtree(ctx context.Context, sub NoKSubtree, candidates []btree.Posting) ([]subtreeMatch, error) {
+	var out []subtreeMatch
+	for _, c := range candidates {
+		_, err := m.matchCandidate(ctx, sub, c, func(sm subtreeMatch) bool {
+			out = append(out, sm)
+			return true
+		})
 		if err != nil {
 			return nil, err
-		}
-		if !matched {
-			continue
-		}
-		for _, cb := range combos {
-			out = append(out, subtreeMatch{root: rootBind, bindings: cb})
 		}
 	}
 	return out, nil

@@ -1,0 +1,213 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dolxml/internal/xmark"
+	"dolxml/internal/xmltree"
+)
+
+// The public cursor must be a faithful streaming view of Evaluate: draining
+// it yields exactly Result.Nodes (as a set; the cursor streams in discovery
+// order) and the same Matches count, under every semantics and parallelism
+// setting.
+func TestAnswersCursorEquivalence(t *testing.T) {
+	doc := miniXMark(t)
+	m := allowAll(doc, 2)
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n < doc.Len(); n++ {
+		if rng.Intn(3) == 0 {
+			m.Set(xmltree.NodeID(n), 0, false)
+		}
+	}
+	e := newEnv(t, doc, m, 256)
+	view := e.ss.ViewSubject(0)
+	ctx := context.Background()
+
+	queries := []string{
+		`//item/name`,
+		`//category//text`,
+		`//parlist//keyword`,
+		`/site/regions/africa/item[location][name][quantity]`,
+		`//listitem//listitem`,
+	}
+	for _, expr := range queries {
+		pt := MustParse(expr)
+		for _, base := range []Options{
+			{},
+			{View: view, Semantics: SemanticsBindings},
+			{View: view, Semantics: SemanticsPrunedSubtree},
+		} {
+			for _, p := range parallelismLevels {
+				opts := base
+				opts.Parallelism = p
+				want, err := e.ev.Evaluate(pt, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", expr, err)
+				}
+				a, err := e.ev.Open(ctx, pt, opts)
+				if err != nil {
+					t.Fatalf("%s open: %v", expr, err)
+				}
+				var got []xmltree.NodeID
+				for {
+					n, ok, err := a.Next(ctx)
+					if err != nil {
+						t.Fatalf("%s next: %v", expr, err)
+					}
+					if !ok {
+						break
+					}
+					got = append(got, n)
+				}
+				matches := a.Matches()
+				if err := a.Close(); err != nil {
+					t.Fatalf("%s close: %v", expr, err)
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if !reflect.DeepEqual(got, want.Nodes) {
+					t.Errorf("%s (p=%d): cursor %v, Evaluate %v", expr, p, got, want.Nodes)
+				}
+				if matches != want.Matches {
+					t.Errorf("%s (p=%d): cursor matches %d, Evaluate %d", expr, p, matches, want.Matches)
+				}
+				if got := e.pool.Pinned(); got != 0 {
+					t.Fatalf("%s (p=%d): %d frames still pinned after Close", expr, p, got)
+				}
+			}
+		}
+	}
+}
+
+// Limit must truncate the answer stream to a subset of the full result and
+// never consume more tuples than needed.
+func TestLimitTruncates(t *testing.T) {
+	doc := miniXMark(t)
+	e := newEnv(t, doc, allowAll(doc, 1), 256)
+	pt := MustParse(`//item/name`)
+	full, err := e.ev.Evaluate(pt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Nodes) < 2 {
+		t.Fatalf("need >= 2 answers, got %d", len(full.Nodes))
+	}
+	fullSet := map[xmltree.NodeID]bool{}
+	for _, n := range full.Nodes {
+		fullSet[n] = true
+	}
+	for limit := 1; limit <= len(full.Nodes)+1; limit++ {
+		res, err := e.ev.Evaluate(pt, Options{Limit: limit})
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		wantLen := limit
+		if wantLen > len(full.Nodes) {
+			wantLen = len(full.Nodes)
+		}
+		if len(res.Nodes) != wantLen {
+			t.Errorf("limit %d: got %d answers, want %d", limit, len(res.Nodes), wantLen)
+		}
+		for _, n := range res.Nodes {
+			if !fullSet[n] {
+				t.Errorf("limit %d: answer %d not in full result", limit, n)
+			}
+		}
+		if res.Matches > full.Matches {
+			t.Errorf("limit %d: consumed %d tuples, full drain has %d", limit, res.Matches, full.Matches)
+		}
+	}
+}
+
+// Cancelling the context mid-scan must surface ctx.Err() on the next pull
+// and, after Close, leave no buffer-pool frame pinned — producers unwind at
+// the page-fetch boundary before pinning.
+func TestCancellationMidScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	doc := randomDoc(rng, 4000)
+	e := newEnv(t, doc, allowAll(doc, 1), 256)
+	pt := MustParse(`//x//y`)
+
+	for _, p := range parallelismLevels {
+		ctx, cancel := context.WithCancel(context.Background())
+		a, err := e.ev.Open(ctx, pt, Options{Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := a.Next(ctx); err != nil || !ok {
+			t.Fatalf("p=%d: first answer: ok=%v err=%v", p, ok, err)
+		}
+		cancel()
+		if _, _, err := a.Next(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("p=%d: Next after cancel = %v, want context.Canceled", p, err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("p=%d: close: %v", p, err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("p=%d: second close: %v", p, err)
+		}
+		if got := e.pool.Pinned(); got != 0 {
+			t.Fatalf("p=%d: %d frames still pinned after cancelled scan", p, got)
+		}
+	}
+
+	// A context cancelled before evaluation starts aborts immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ev.EvaluateCtx(ctx, pt, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if got := e.pool.Pinned(); got != 0 {
+		t.Fatalf("%d frames still pinned after pre-cancelled evaluation", got)
+	}
+}
+
+// Limit = 1 on Q1 must perform strictly fewer page reads than the full
+// drain: Q1 is one anchored NoK subtree with a single candidate (the
+// document root), so the saving can only come from streaming *inside* the
+// ε-NoK match — the matcher emits the first item the moment its predicates
+// are satisfied and the limited pipeline stops the scan.
+func TestLimitOneReadsFewerPages(t *testing.T) {
+	doc := xmark.Generate(xmark.Scaled(3, 8000))
+	e := newEnv(t, doc, allowAll(doc, 1), 512)
+	pt := MustParse(`/site/regions/africa/item[location][name][quantity]`)
+	opts := Options{Parallelism: 1}
+
+	pages := func(o Options) (int64, *Result) {
+		t.Helper()
+		if err := e.pool.DropAll(); err != nil {
+			t.Fatal(err)
+		}
+		e.pool.ResetStats()
+		res, err := e.ev.EvaluateCtx(context.Background(), pt, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.pool.Stats().Misses, res
+	}
+
+	fullPages, full := pages(opts)
+	limited := opts
+	limited.Limit = 1
+	limPages, lim := pages(limited)
+
+	if len(full.Nodes) < 2 {
+		t.Fatalf("Q1 full drain returned %d answers; need >= 2 for the comparison", len(full.Nodes))
+	}
+	if len(lim.Nodes) != 1 {
+		t.Fatalf("Limit=1 returned %d answers", len(lim.Nodes))
+	}
+	if limPages >= fullPages {
+		t.Fatalf("Limit=1 read %d pages, full drain read %d — early termination saved nothing",
+			limPages, fullPages)
+	}
+	if got := e.pool.Pinned(); got != 0 {
+		t.Fatalf("%d frames still pinned", got)
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -104,6 +105,20 @@ var closedReady = func() chan struct{} {
 // Get of the same still-loading page counts as a hit (no second physical
 // read happens) and blocks until the load completes.
 func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	return bp.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get with cancellation. The page-fetch boundary is the natural
+// cancellation point of every scan in the system, so the context is
+// consulted exactly once here, before the frame is pinned: a cancelled
+// query observes ctx.Err() without ever acquiring a pin, which is what lets
+// the query layers guarantee that pin counts return to zero on
+// cancellation. A Get that has already passed the check completes its read
+// normally (worst-case cancellation latency is one physical page read).
+func (bp *BufferPool) GetCtx(ctx context.Context, id PageID) (*Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	bp.mu.Lock()
 	bp.stats.Gets++
 	if f, ok := bp.frames[id]; ok {
@@ -253,6 +268,19 @@ func (bp *BufferPool) ResetStats() {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	bp.stats = PoolStats{}
+}
+
+// Pinned returns the total number of outstanding pins across all frames.
+// Tests use it to assert that cancelled or closed query pipelines released
+// every page they touched.
+func (bp *BufferPool) Pinned() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.frames {
+		n += f.pins
+	}
+	return n
 }
 
 // Buffered returns the number of frames currently in the pool.

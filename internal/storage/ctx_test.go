@@ -1,0 +1,49 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// GetCtx must refuse a cancelled context before pinning anything, so a
+// cancelled query can never leak a pinned frame.
+func TestGetCtxCancelled(t *testing.T) {
+	p := NewMemPager(64)
+	bp := NewBufferPool(p, 4)
+	f, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	if err := bp.Unpin(id, false); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := bp.GetCtx(ctx, id); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if got := bp.Pinned(); got != 0 {
+		t.Fatalf("Pinned = %d after refused GetCtx, want 0", got)
+	}
+
+	// A live context behaves exactly like Get.
+	fr, err := bp.GetCtx(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.ID() != id {
+		t.Fatalf("GetCtx returned frame %v, want %v", fr.ID(), id)
+	}
+	if got := bp.Pinned(); got != 1 {
+		t.Fatalf("Pinned = %d with one frame held, want 1", got)
+	}
+	if err := bp.Unpin(id, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.Pinned(); got != 0 {
+		t.Fatalf("Pinned = %d after Unpin, want 0", got)
+	}
+}

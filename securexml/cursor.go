@@ -1,0 +1,138 @@
+package securexml
+
+import (
+	"context"
+
+	"dolxml/internal/query"
+	"dolxml/internal/xmltree"
+)
+
+// QueryOptions refine query execution for QueryCtx and QueryCursor.
+type QueryOptions struct {
+	// Pruned selects the Gabillon–Bruno semantics (§4.2): subtrees rooted
+	// at inaccessible nodes contribute nothing. Ignored when Unrestricted.
+	Pruned bool
+	// Unrestricted evaluates without access control (administrative use);
+	// the user and mode arguments are ignored.
+	Unrestricted bool
+	// Limit, when positive, stops evaluation after that many answers. The
+	// cursor pipeline terminates early: pages beyond the last needed match
+	// are never read.
+	Limit int
+	// Parallelism bounds the candidate-matching worker pool; 0 means
+	// GOMAXPROCS, 1 forces sequential evaluation. Every setting yields the
+	// same answers.
+	Parallelism int
+}
+
+func (s *Store) queryOptions(user, mode string, opts QueryOptions) (query.Options, error) {
+	qo := query.Options{Limit: opts.Limit, Parallelism: opts.Parallelism}
+	if opts.Unrestricted {
+		return qo, nil
+	}
+	view, err := s.viewFor(user, mode)
+	if err != nil {
+		return query.Options{}, err
+	}
+	qo.View = view
+	if opts.Pruned {
+		qo.Semantics = query.SemanticsPrunedSubtree
+	}
+	return qo, nil
+}
+
+// QueryCtx evaluates the XPath expression as the given user under the
+// given action mode, honoring ctx: cancellation aborts the evaluation at
+// the next page-fetch boundary with ctx's error, leaving no page pinned.
+// With opts.Limit set, at most that many answers are returned.
+func (s *Store) QueryCtx(ctx context.Context, user, mode, xpath string, opts QueryOptions) ([]Match, error) {
+	qo, err := s.queryOptions(user, mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, xpath, qo)
+}
+
+// QueryCursor is a streaming cursor over a query's answers: Next pulls one
+// answer at a time through the operator pipeline, so the first answer
+// surfaces — and, with an early Close, the only pages read are — before
+// the full result is computed. Answers arrive in discovery order, not
+// document order.
+//
+// The cursor holds the store's read lock from QueryCursor until Close:
+// queries may still run concurrently, but updates block. Close is
+// idempotent and must be called exactly once regardless of how far the
+// cursor was drained.
+type QueryCursor struct {
+	s    *Store
+	a    *query.Answers
+	done bool
+}
+
+// QueryCursor opens a streaming cursor for the XPath expression as the
+// given user under the given action mode. ctx governs the cursor's whole
+// lifetime. On error no lock is retained.
+func (s *Store) QueryCursor(ctx context.Context, user, mode, xpath string, opts QueryOptions) (*QueryCursor, error) {
+	qo, err := s.queryOptions(user, mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := query.Parse(xpath)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockForQuery(); err != nil {
+		return nil, err
+	}
+	a, err := s.evaluator().Open(ctx, pt, qo)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, err
+	}
+	return &QueryCursor{s: s, a: a}, nil
+}
+
+// Next returns the next answer; ok is false once the stream is exhausted
+// or the Limit was reached. After an error or ok == false, only Close may
+// be called.
+func (c *QueryCursor) Next(ctx context.Context) (m Match, ok bool, err error) {
+	n, ok, err := c.a.Next(ctx)
+	if err != nil || !ok {
+		return Match{}, false, err
+	}
+	return c.s.matchAt(ctx, n)
+}
+
+// Matches counts the combined pattern-match tuples consumed so far (the
+// Result.Matches of a full drain).
+func (c *QueryCursor) Matches() int { return c.a.Matches() }
+
+// Close stops the pipeline, releases its page pins and the store's read
+// lock. Idempotent.
+func (c *QueryCursor) Close() error {
+	if c.done {
+		return nil
+	}
+	c.done = true
+	err := c.a.Close()
+	c.s.mu.RUnlock()
+	return err
+}
+
+// matchAt converts one result node ID to a Match record, honoring ctx.
+func (s *Store) matchAt(ctx context.Context, n xmltree.NodeID) (Match, bool, error) {
+	st := s.ss.Store()
+	info, err := st.InfoCtx(ctx, n)
+	if err != nil {
+		return Match{}, false, err
+	}
+	m := Match{Node: NodeID(n), Tag: st.TagName(info.Entry.Tag)}
+	if vs := st.Values(); vs != nil {
+		v, err := vs.ValueCtx(ctx, n)
+		if err != nil {
+			return Match{}, false, err
+		}
+		m.Value = v
+	}
+	return m, true, nil
+}

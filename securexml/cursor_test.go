@@ -1,0 +1,137 @@
+package securexml
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+)
+
+func drainCursor(t *testing.T, c *QueryCursor) []Match {
+	t.Helper()
+	var out []Match
+	for {
+		m, ok, err := c.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, m)
+	}
+}
+
+func sortedNodes(ms []Match) []NodeID {
+	out := make([]NodeID, len(ms))
+	for i, m := range ms {
+		out[i] = m.Node
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Draining a cursor must yield exactly the answers of the corresponding
+// batch query, for every user/semantics combination.
+func TestQueryCursorMatchesQuery(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+
+	cases := []struct {
+		name  string
+		opts  QueryOptions
+		user  string
+		xpath string
+	}{
+		{"doctor", QueryOptions{}, "dave", "//patient"},
+		{"doctor pruned", QueryOptions{Pruned: true}, "dave", "//diagnosis"},
+		{"nurse", QueryOptions{}, "alice", "//patient/name"},
+		{"admin", QueryOptions{Unrestricted: true}, "", "//billing"},
+	}
+	for _, tc := range cases {
+		want, err := s.QueryCtx(context.Background(), tc.user, "read", tc.xpath, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		c, err := s.QueryCursor(context.Background(), tc.user, "read", tc.xpath, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := drainCursor(t, c)
+		if err := c.Close(); err != nil {
+			t.Fatalf("%s close: %v", tc.name, err)
+		}
+		gw, ww := sortedNodes(got), sortedNodes(want)
+		if len(gw) != len(ww) {
+			t.Fatalf("%s: cursor %v, query %v", tc.name, gw, ww)
+		}
+		for i := range gw {
+			if gw[i] != ww[i] {
+				t.Fatalf("%s: cursor %v, query %v", tc.name, gw, ww)
+			}
+		}
+	}
+}
+
+// Limit stops the cursor after N answers, and the batch QueryCtx honors it
+// too; an early Close must release the store's read lock so updates can
+// proceed.
+func TestQueryCursorLimitAndEarlyClose(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+
+	all, err := s.Query("dave", "read", "//patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("dave sees %d patients, want 3", len(all))
+	}
+
+	got, err := s.QueryCtx(context.Background(), "dave", "read", "//patient", QueryOptions{Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Limit=2 returned %d answers", len(got))
+	}
+
+	c, err := s.QueryCursor(context.Background(), "dave", "read", "//patient", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Next(context.Background()); err != nil || !ok {
+		t.Fatalf("first answer: ok=%v err=%v", ok, err)
+	}
+	// Close with answers still pending, twice (idempotent).
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The read lock is released: an update must not deadlock.
+	if err := s.SetAccess("alice", "read", all[0].Node, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cancelling the cursor's context surfaces context.Canceled from Next.
+func TestQueryCursorCancellation(t *testing.T) {
+	s := hospitalStore(t, StoreOptions{})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := s.QueryCursor(ctx, "dave", "read", "//patient", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok, err := c.Next(ctx); err != nil || !ok {
+		t.Fatalf("first answer: ok=%v err=%v", ok, err)
+	}
+	cancel()
+	if _, _, err := c.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package securexml
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -208,32 +209,47 @@ func (s *Store) matches(nodes []xmltree.NodeID) ([]Match, error) {
 	return out, nil
 }
 
-func (s *Store) run(xpath string, opts query.Options) ([]Match, error) {
-	pt, err := query.Parse(xpath)
-	if err != nil {
-		return nil, err
-	}
-	// A stale index is rebuilt under the write lock before the query
-	// proceeds under the read lock.
+// lockForQuery takes the read lock for a query, first rebuilding a stale
+// index under the write lock. On success the caller owns one read-lock
+// hold and must release it with s.mu.RUnlock().
+func (s *Store) lockForQuery() error {
 	s.mu.RLock()
-	if s.idxDirty {
-		s.mu.RUnlock()
-		s.mu.Lock()
-		if s.idxDirty {
-			if err := s.reindex(); err != nil {
-				s.mu.Unlock()
-				return nil, err
-			}
-		}
-		s.mu.Unlock()
-		s.mu.RLock()
+	if !s.idxDirty {
+		return nil
 	}
-	defer s.mu.RUnlock()
+	s.mu.RUnlock()
+	s.mu.Lock()
+	if s.idxDirty {
+		if err := s.reindex(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.mu.Unlock()
+	s.mu.RLock()
+	return nil
+}
+
+// evaluator builds the query evaluator over the current indexes; the
+// caller must hold the read lock.
+func (s *Store) evaluator() *query.Evaluator {
 	ev := query.NewEvaluator(s.ss.Store(), s.index)
 	if s.vindex != nil {
 		ev.WithValueIndex(s.vindex)
 	}
-	res, err := ev.Evaluate(pt, opts)
+	return ev
+}
+
+func (s *Store) run(ctx context.Context, xpath string, opts query.Options) ([]Match, error) {
+	pt, err := query.Parse(xpath)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockForQuery(); err != nil {
+		return nil, err
+	}
+	defer s.mu.RUnlock()
+	res, err := s.evaluator().EvaluateCtx(ctx, pt, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -244,27 +260,19 @@ func (s *Store) run(xpath string, opts query.Options) ([]Match, error) {
 // action mode, with the paper's default (Cho et al.) semantics: every node
 // bound by a match must be accessible to the user or one of their groups.
 func (s *Store) Query(user, mode, xpath string) ([]Match, error) {
-	view, err := s.viewFor(user, mode)
-	if err != nil {
-		return nil, err
-	}
-	return s.run(xpath, query.Options{View: view})
+	return s.QueryCtx(context.Background(), user, mode, xpath, QueryOptions{})
 }
 
 // QueryPruned is Query under the Gabillon–Bruno semantics (§4.2): subtrees
 // rooted at inaccessible nodes contribute nothing, enforced with ε-STD
 // path checks.
 func (s *Store) QueryPruned(user, mode, xpath string) ([]Match, error) {
-	view, err := s.viewFor(user, mode)
-	if err != nil {
-		return nil, err
-	}
-	return s.run(xpath, query.Options{View: view, Semantics: query.SemanticsPrunedSubtree})
+	return s.QueryCtx(context.Background(), user, mode, xpath, QueryOptions{Pruned: true})
 }
 
 // QueryUnrestricted evaluates without access control (administrative use).
 func (s *Store) QueryUnrestricted(xpath string) ([]Match, error) {
-	return s.run(xpath, query.Options{})
+	return s.QueryCtx(context.Background(), "", "", xpath, QueryOptions{Unrestricted: true})
 }
 
 // viewFor snapshots the user's effective subject bits under its own read
