@@ -2,11 +2,15 @@
 //
 // Usage:
 //
-//	dolbench [-exp name] [-scale quick|default|paper] [-seed N] [-json path]
+//	dolbench [-exp name] [-scale quick|default|paper] [-seed N] [-json path] [-strict]
 //
 // With no -exp flag every experiment runs. Experiment names: fig4a fig4b
 // fig5 fig6 storage fig7 joins updates worstcase ablation modes parallel
-// streaming.
+// streaming pageskip.
+//
+// With -strict, any table note starting with "VIOLATION" (an experiment's
+// self-check failing, e.g. page skipping reading more pages than its
+// baseline) makes the run exit non-zero — the CI guard mode.
 //
 // With -json, every table produced by the run is additionally written to
 // the given file as indented JSON, so tooling can diff results across
@@ -30,6 +34,7 @@ func main() {
 	scale := flag.String("scale", "default", "dataset scale: quick, default or paper")
 	seed := flag.Int64("seed", 1, "generator seed")
 	jsonPath := flag.String("json", "", "also write the run's tables as JSON to this file")
+	strict := flag.Bool("strict", false, "exit non-zero if any table notes a VIOLATION")
 	flag.Parse()
 
 	var cfg bench.Config
@@ -72,5 +77,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %d tables to %s\n", len(all), *jsonPath)
+	}
+	if *strict {
+		violations := 0
+		for _, t := range all {
+			for _, n := range t.Notes {
+				if strings.HasPrefix(n, "VIOLATION") {
+					fmt.Fprintf(os.Stderr, "%s: %s\n", t.ID, n)
+					violations++
+				}
+			}
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "%d violation(s)\n", violations)
+			os.Exit(1)
+		}
 	}
 }

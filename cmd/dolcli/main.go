@@ -6,6 +6,7 @@
 //	dolcli query -store DIR -user NAME -mode read -xpath '//item[name]'
 //	dolcli query -store DIR -admin -xpath '//item'
 //	dolcli query -store DIR -user NAME -xpath '//item' -limit 10 -timeout 5s
+//	dolcli query -store DIR -user NAME -xpath '//item' -stats [-no-summaries]
 //	dolcli grant  -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
 //	dolcli revoke -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
 //	dolcli export -store DIR -user NAME -mode read [-o view.xml]
@@ -32,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"dolxml/securexml"
@@ -183,6 +185,8 @@ func runQuery(args []string) error {
 	pruned := fs.Bool("pruned", false, "use the pruned-subtree (Gabillon-Bruno) semantics")
 	limit := fs.Int("limit", 0, "stop after this many answers (0 = all)")
 	timeout := fs.Duration("timeout", 0, "abort the query after this duration (0 = none)")
+	noSummaries := fs.Bool("no-summaries", false, "disable structure-aware page skipping")
+	showStats := fs.Bool("stats", false, "print page-read and cache statistics for the query")
 	fs.Parse(args)
 	if *storeDir == "" || *xpath == "" {
 		return fmt.Errorf("query requires -store and -xpath")
@@ -202,13 +206,42 @@ func runQuery(args []string) error {
 		defer cancel()
 	}
 	opts := securexml.QueryOptions{
-		Pruned:       *pruned,
-		Unrestricted: *admin,
-		Limit:        *limit,
+		Pruned:             *pruned,
+		Unrestricted:       *admin,
+		Limit:              *limit,
+		DisableSummarySkip: *noSummaries,
 	}
-	matches, err := s.QueryCtx(ctx, *user, *mode, *xpath, opts)
-	if err != nil {
-		return err
+	var matches []securexml.Match
+	var skips securexml.SkipStats
+	poolBefore, decBefore := s.PoolStats(), s.DecodeCacheStats()
+	if *showStats {
+		// Drive the streaming cursor so skip counters can be sampled, then
+		// sort into document order to match the batch API's output.
+		cur, err := s.QueryCursor(ctx, *user, *mode, *xpath, opts)
+		if err != nil {
+			return err
+		}
+		for {
+			m, ok, err := cur.Next(ctx)
+			if err != nil {
+				cur.Close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			matches = append(matches, m)
+		}
+		skips = cur.SkipStats()
+		if err := cur.Close(); err != nil {
+			return err
+		}
+		sort.Slice(matches, func(i, j int) bool { return matches[i].Node < matches[j].Node })
+	} else {
+		matches, err = s.QueryCtx(ctx, *user, *mode, *xpath, opts)
+		if err != nil {
+			return err
+		}
 	}
 	for _, m := range matches {
 		if m.Value != "" {
@@ -218,6 +251,26 @@ func runQuery(args []string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "%d answers\n", len(matches))
+	if *showStats {
+		// Sampled after Close so every pipeline producer has settled.
+		pool, dec := s.PoolStats(), s.DecodeCacheStats()
+		gets := pool.Gets - poolBefore.Gets
+		hits := pool.Hits - poolBefore.Hits
+		ratio := 0.0
+		if gets > 0 {
+			ratio = float64(hits) / float64(gets)
+		}
+		decHits := dec.Hits - decBefore.Hits
+		decMisses := dec.Misses - decBefore.Misses
+		decRatio := 0.0
+		if decHits+decMisses > 0 {
+			decRatio = float64(decHits) / float64(decHits+decMisses)
+		}
+		fmt.Fprintf(os.Stderr, "pages read:       %d (pool hit ratio %.2f)\n", pool.Misses-poolBefore.Misses, ratio)
+		fmt.Fprintf(os.Stderr, "pages skipped:    %d structure, %d access\n", skips.StructPages, skips.AccessPages)
+		fmt.Fprintf(os.Stderr, "candidates cut:   %d\n", skips.Candidates)
+		fmt.Fprintf(os.Stderr, "decode cache:     %d hits, %d misses (ratio %.2f)\n", decHits, decMisses, decRatio)
+	}
 	return nil
 }
 

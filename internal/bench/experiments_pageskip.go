@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dolxml/internal/query"
+	"dolxml/internal/xmark"
+	"dolxml/internal/xmltree"
+)
+
+// coldQuery runs one evaluation from a cold buffer pool, returning the full
+// result (including skip counters) and the physical pages read. The decoded-
+// block cache deliberately stays warm: its hits still acquire the page
+// through the pool, so the Misses counter remains an honest page-read count.
+func (e *queryEnv) coldQuery(pt *query.PatternTree, opts query.Options) (*query.Result, int64, time.Duration, error) {
+	if err := e.pool.DropAll(); err != nil {
+		return nil, 0, 0, err
+	}
+	e.pool.ResetStats()
+	start := time.Now()
+	res, err := e.ev.Evaluate(pt, opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, e.pool.Stats().Misses, time.Since(start), nil
+}
+
+func equalNodes(a, b []xmltree.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PageSkip measures structure-aware page skipping (the per-page summary
+// layer fused with the access deny bitmap) on the Table 1 workload: every
+// query runs under both secure semantics with summaries enabled and
+// disabled, from a cold pool each time. The guarantees under test: answers
+// are byte-identical either way, and the enabled runs never read more pages
+// — strictly fewer wherever a child scan crosses blocks that hold none of
+// its tags (Q1–Q3 boundary pages; Q4–Q6 have no child scans below the
+// root, so their delta is zero by construction). Any breach is recorded as
+// a "VIOLATION:" note, which `dolbench -strict` turns into a failure.
+func PageSkip(cfg Config) []*Table {
+	// Quarter-size blocks sharpen page granularity: with the default 4 KiB
+	// blocks a handful of pages holds entire XMark sections and there is
+	// little boundary to skip at bench scale.
+	small := cfg
+	small.PageSize = cfg.PageSize / 4
+	if small.PageSize < 256 {
+		small.PageSize = 256
+	}
+
+	doc := xmark.Generate(xmark.Scaled(cfg.Seed, cfg.XMarkNodes))
+	m := singleSubjectACL(doc, cfg.Seed+23, 70)
+
+	t := &Table{
+		ID: "pageskip",
+		Title: fmt.Sprintf("structure-aware page skipping, Q1–Q6 × semantics × summaries (XMark, %d nodes, %d B pages)",
+			doc.Len(), small.PageSize),
+		Columns: []string{"query", "semantics", "summaries",
+			"pages", "skipStruct", "skipAccess", "time", "answers"},
+	}
+
+	env, err := buildQueryEnv(small, doc, m)
+	if err != nil {
+		t.Notes = append(t.Notes, "ERROR: "+err.Error())
+		return []*Table{t}
+	}
+	view := env.ss.ViewSubject(0)
+
+	semantics := []struct {
+		name string
+		opts query.Options
+	}{
+		{"bindings", query.Options{View: view}},
+		{"pruned", query.Options{View: view, Semantics: query.SemanticsPrunedSubtree}},
+	}
+
+	for _, q := range Table1 {
+		pt := query.MustParse(q.Expr)
+		for _, sem := range semantics {
+			type arm struct {
+				res   *query.Result
+				pages int64
+				time  time.Duration
+			}
+			var arms [2]arm // [0] = summaries on, [1] = off
+			for i, disable := range []bool{false, true} {
+				opts := sem.opts
+				opts.Parallelism = 1
+				opts.DisableSummarySkip = disable
+				res, pages, elapsed, err := env.coldQuery(pt, opts)
+				if err != nil {
+					t.Notes = append(t.Notes, "ERROR: "+err.Error())
+					return []*Table{t}
+				}
+				arms[i] = arm{res: res, pages: pages, time: elapsed}
+				label := "on"
+				if disable {
+					label = "off"
+				}
+				t.AddRow(q.Name, sem.name, label,
+					fmt.Sprintf("%d", pages),
+					fmt.Sprintf("%d", res.Skips.StructPages),
+					fmt.Sprintf("%d", res.Skips.AccessPages),
+					elapsed.Round(time.Microsecond).String(),
+					fmt.Sprintf("%d", len(res.Nodes)))
+			}
+			if !equalNodes(arms[0].res.Nodes, arms[1].res.Nodes) {
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"VIOLATION: %s/%s answers differ with summaries enabled", q.Name, sem.name))
+			}
+			if arms[0].pages > arms[1].pages {
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"VIOLATION: %s/%s read %d pages with summaries vs %d without",
+					q.Name, sem.name, arms[0].pages, arms[1].pages))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"summaries on must never read more pages than off, with byte-identical answers",
+		"Q4–Q6 run descendant-axis candidate matching with no child scans, so their page counts match by design")
+	return []*Table{t}
+}

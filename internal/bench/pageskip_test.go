@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"testing"
+
+	"dolxml/internal/query"
+	"dolxml/internal/xmark"
+)
+
+// Satellite guarantee for the page-skip work, asserted at bench scale:
+// every Table 1 query returns byte-identical answers with summaries on and
+// off, under both secure semantics and at worker counts 1 and 4, and the
+// enabled runs never read more pages from a cold pool.
+func TestPageSkipEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale equivalence in short mode")
+	}
+	cfg := QuickConfig()
+	cfg.PageSize = cfg.PageSize / 4
+	doc := xmark.Generate(xmark.Scaled(cfg.Seed, cfg.XMarkNodes))
+	m := singleSubjectACL(doc, cfg.Seed+23, 70)
+	env, err := buildQueryEnv(cfg, doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := env.ss.ViewSubject(0)
+
+	semantics := []struct {
+		name string
+		opts query.Options
+	}{
+		{"bindings", query.Options{View: view}},
+		{"pruned", query.Options{View: view, Semantics: query.SemanticsPrunedSubtree}},
+	}
+
+	for _, q := range Table1 {
+		pt := query.MustParse(q.Expr)
+		for _, sem := range semantics {
+			off := sem.opts
+			off.Parallelism = 1
+			off.DisableSummarySkip = true
+			want, pagesOff, _, err := env.coldQuery(pt, off)
+			if err != nil {
+				t.Fatalf("%s/%s off: %v", q.Name, sem.name, err)
+			}
+			for _, par := range []int{1, 4} {
+				on := sem.opts
+				on.Parallelism = par
+				got, pagesOn, _, err := env.coldQuery(pt, on)
+				if err != nil {
+					t.Fatalf("%s/%s par %d: %v", q.Name, sem.name, par, err)
+				}
+				if !equalNodes(got.Nodes, want.Nodes) || got.Matches != want.Matches {
+					t.Errorf("%s/%s par %d: summaries changed answers (%d/%d vs %d/%d)",
+						q.Name, sem.name, par, len(got.Nodes), got.Matches, len(want.Nodes), want.Matches)
+				}
+				if par == 1 && pagesOn > pagesOff {
+					t.Errorf("%s/%s: summaries read %d pages, disabled read %d",
+						q.Name, sem.name, pagesOn, pagesOff)
+				}
+			}
+		}
+	}
+}
+
+// The pageskip experiment table itself must carry no VIOLATION notes and
+// show a strict page reduction for at least two queries (the CI smoke
+// mirrors the first half via dolbench -strict).
+func TestPageSkipShape(t *testing.T) {
+	tb := runQuick(t, "pageskip")[0]
+	for _, note := range tb.Notes {
+		if len(note) >= 9 && note[:9] == "VIOLATION" {
+			t.Error(note)
+		}
+	}
+	// Rows interleave on/off per query×semantics; compare adjacent pairs.
+	improved := map[string]bool{}
+	for i := 0; i+1 < len(tb.Rows); i += 2 {
+		on, offRow := tb.Rows[i], tb.Rows[i+1]
+		if on[0] != offRow[0] || on[2] != "on" || offRow[2] != "off" {
+			t.Fatalf("row pairing broken at %d: %v / %v", i, on, offRow)
+		}
+		pOn := cellInt(t, on[3])
+		pOff := cellInt(t, offRow[3])
+		if pOn > pOff {
+			t.Errorf("%s/%s: %d pages on vs %d off", on[0], on[1], pOn, pOff)
+		}
+		if pOn < pOff {
+			improved[on[0]] = true
+		}
+		if on[7] != offRow[7] {
+			t.Errorf("%s/%s: answer counts differ (%s vs %s)", on[0], on[1], on[7], offRow[7])
+		}
+	}
+	if len(improved) < 2 {
+		t.Errorf("only %d queries improved; want a strict page reduction on at least 2", len(improved))
+	}
+}

@@ -236,6 +236,18 @@ func (v *SubjectView) SkipPage(pageIdx int) bool {
 	return ca.pageDeny[pageIdx/64]&(1<<uint(pageIdx%64)) != 0
 }
 
+// PageDenyBits returns the view's page-deny bitmap — bit i set exactly when
+// block i is wholly inaccessible to the view's subject set — building it on
+// first use. The slice is shared with the view's cache and must be treated
+// as read-only; it reflects the codebook generation current at the call, so
+// callers that must stay consistent across store updates should re-fetch it
+// per query (securexml's store lock already guarantees this).
+func (v *SubjectView) PageDenyBits() []uint64 {
+	ca := v.cacheFor()
+	ca.pageOnce.Do(func() { v.buildPageBitmap(ca) })
+	return ca.pageDeny
+}
+
 // InvalidateCache drops the view's memoized decisions. It is not normally
 // needed — caches self-invalidate via the codebook generation — but lets
 // callers that bypass the codebook release memory eagerly.

@@ -57,6 +57,7 @@ func Build(pool *storage.BufferPool, doc *xmltree.Document, opts BuildOptions) (
 		tags:     doc.Tags(),
 		tagIndex: make(map[string]int32),
 		numNodes: doc.Len(),
+		dec:      newDecodeCache(DefaultDecodeCacheBudget),
 	}
 	for i, t := range s.tags {
 		s.tagIndex[t] = int32(i)
@@ -107,6 +108,7 @@ func Build(pool *storage.BufferPool, doc *xmltree.Document, opts BuildOptions) (
 			return err
 		}
 		s.dir = append(s.dir, pi)
+		s.summaries = append(s.summaries, summarizeBlock(blockEntries, int(pi.StartDepth)))
 		blockEntries = blockEntries[:0]
 		blockBytes = 0
 		return nil

@@ -62,6 +62,7 @@ func Open(pool *storage.BufferPool, m Meta) (*Store, error) {
 		tags:     append([]string(nil), m.Tags...),
 		tagIndex: make(map[string]int32, len(m.Tags)),
 		numNodes: m.NumNodes,
+		dec:      newDecodeCache(DefaultDecodeCacheBudget),
 	}
 	for i, t := range s.tags {
 		s.tagIndex[t] = int32(i)
@@ -75,13 +76,30 @@ func Open(pool *storage.BufferPool, m Meta) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("nok: reopen block %d: %w", pid, err)
 		}
-		pi, _ := readHeader(pid, f.Data)
+		pi, dataLen := readHeader(pid, f.Data)
+		// The structural summary is rebuilt from the block body while the
+		// page is pinned anyway; headers stay the only persisted metadata.
+		entries := make([]Entry, 0, pi.Count)
+		body := f.Data[headerSize : headerSize+dataLen]
+		for len(body) > 0 {
+			e, n, err := decodeEntry(body)
+			if err != nil {
+				pool.Unpin(pid, false)
+				return nil, fmt.Errorf("nok: reopen block %d: %w", pid, err)
+			}
+			entries = append(entries, e)
+			body = body[n:]
+		}
 		if err := pool.Unpin(pid, false); err != nil {
 			return nil, err
+		}
+		if len(entries) != pi.Count {
+			return nil, fmt.Errorf("nok: reopen block %d: %d entries, header says %d", pid, len(entries), pi.Count)
 		}
 		pi.FirstNode = next
 		next += xmltree.NodeID(pi.Count)
 		s.dir = append(s.dir, pi)
+		s.summaries = append(s.summaries, summarizeBlock(entries, int(pi.StartDepth)))
 	}
 	if len(m.ValueRefs) > 0 {
 		vs := &ValueStore{pool: pool}

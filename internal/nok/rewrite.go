@@ -88,6 +88,7 @@ func (s *Store) RewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 
 	// Lay out new blocks.
 	var newDir []PageInfo
+	var newSums []PageSummary
 	var (
 		blockEntries []Entry
 		blockBytes   int
@@ -135,6 +136,7 @@ func (s *Store) RewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 			return err
 		}
 		newDir = append(newDir, pi)
+		newSums = append(newSums, summarizeBlock(blockEntries, blockStartLv))
 		blockFirst += xmltree.NodeID(len(blockEntries))
 		blockEntries = blockEntries[:0]
 		blockBytes = 0
@@ -170,16 +172,22 @@ func (s *Store) RewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 		s.freePage(p)
 	}
 
-	// Splice the directory and renumber later blocks.
+	// Splice the directory (and the parallel summary slice) and renumber
+	// later blocks.
 	dir := make([]PageInfo, 0, len(s.dir)-(j-i+1)+len(newDir))
 	dir = append(dir, s.dir[:i]...)
 	dir = append(dir, newDir...)
+	sums := make([]PageSummary, 0, cap(dir))
+	sums = append(sums, s.summaries[:i]...)
+	sums = append(sums, newSums...)
+	sums = append(sums, s.summaries[j+1:]...)
 	for k := j + 1; k < len(s.dir); k++ {
 		pi := s.dir[k]
 		pi.FirstNode += xmltree.NodeID(delta)
 		dir = append(dir, pi)
 	}
 	s.dir = dir
+	s.summaries = sums
 	s.numNodes += delta
 	return len(newDir), nil
 }

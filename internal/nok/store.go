@@ -66,67 +66,26 @@ type Store struct {
 	// available for reuse by growing ones.
 	freeList []storage.PageID
 
-	// Decoded-block cache: navigation primitives (FIRST-CHILD,
-	// FOLLOWING-SIBLING, access lookup) re-scan whole blocks; caching a
-	// handful of decoded blocks removes the dominant allocation from
-	// query evaluation without changing I/O behavior (the underlying
-	// pages still flow through the buffer pool and its statistics).
-	// Guarded by decMu; the read lock covers the lookup so parallel query
-	// workers hitting the cache do not serialize on each other. Cached
+	// summaries holds the per-block structural summaries (tag-presence
+	// bitmap + depth range), parallel to dir and maintained by the same
+	// paths (Build, RewriteRegion, Open).
+	summaries []PageSummary
+
+	// dec is the decoded-block cache: navigation primitives (FIRST-CHILD,
+	// FOLLOWING-SIBLING, access lookup) re-scan whole blocks; caching
+	// decoded blocks under a byte budget removes the dominant allocation
+	// from query evaluation without changing I/O behavior (the underlying
+	// pages still flow through the buffer pool and its statistics). Cached
 	// slices are immutable once published. Store mutations (RewriteRegion
 	// and friends) must be externally serialized against readers —
 	// securexml does so behind its store lock — but concurrent readers on
 	// their own are always safe.
-	decMu    sync.RWMutex
-	decCache map[storage.PageID][]Entry
-	decOrder []storage.PageID
-}
-
-// decCacheCap bounds the decoded-block cache (≈ 16 blocks).
-const decCacheCap = 16
-
-// cachedEntries returns the decoded entries of the page, read-only.
-func (s *Store) cachedEntries(pid storage.PageID) ([]Entry, bool) {
-	s.decMu.RLock()
-	es, ok := s.decCache[pid]
-	s.decMu.RUnlock()
-	return es, ok
-}
-
-// cacheDecoded stores a decoded block, evicting FIFO beyond the cap. The
-// slice becomes shared and must never be mutated.
-func (s *Store) cacheDecoded(pid storage.PageID, es []Entry) {
-	s.decMu.Lock()
-	defer s.decMu.Unlock()
-	if s.decCache == nil {
-		s.decCache = make(map[storage.PageID][]Entry, decCacheCap)
-	}
-	if _, ok := s.decCache[pid]; ok {
-		return
-	}
-	if len(s.decOrder) >= decCacheCap {
-		old := s.decOrder[0]
-		s.decOrder = s.decOrder[1:]
-		delete(s.decCache, old)
-	}
-	s.decCache[pid] = es
-	s.decOrder = append(s.decOrder, pid)
+	dec *decodeCache
 }
 
 // invalidateDecoded drops a page from the decode cache (after a rewrite).
 func (s *Store) invalidateDecoded(pid storage.PageID) {
-	s.decMu.Lock()
-	defer s.decMu.Unlock()
-	if _, ok := s.decCache[pid]; !ok {
-		return
-	}
-	delete(s.decCache, pid)
-	for i, p := range s.decOrder {
-		if p == pid {
-			s.decOrder = append(s.decOrder[:i], s.decOrder[i+1:]...)
-			break
-		}
-	}
+	s.dec.invalidate(pid)
 }
 
 // Pool returns the buffer pool backing the store.
@@ -214,7 +173,7 @@ func (s *Store) decodeBlock(i int, data []byte) ([]Entry, error) {
 // so a cancelled query stops before pinning another page.
 func (s *Store) blockEntries(ctx context.Context, i int) ([]Entry, error) {
 	pid := s.dir[i].Page
-	if es, ok := s.cachedEntries(pid); ok {
+	if es, ok := s.dec.get(pid); ok {
 		// Keep buffer-pool statistics meaningful: a decode-cache hit is
 		// also a pool hit (the page is logically touched).
 		f, err := s.pool.GetCtx(ctx, pid)
@@ -235,7 +194,7 @@ func (s *Store) blockEntries(ctx context.Context, i int) ([]Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.cacheDecoded(pid, es)
+	s.dec.put(pid, es)
 	return es, nil
 }
 
@@ -400,17 +359,29 @@ func (s *Store) FollowingSiblingSkipCtx(ctx context.Context, n xmltree.NodeID, s
 		id++
 	}
 	// Continue across blocks, skipping those wholly inside the subtree.
-	for k := i + 1; k < len(s.dir); k++ {
+	return s.scanForLevelCtx(ctx, i+1, targetLevel, skip)
+}
+
+// scanForLevelCtx is the cross-block tail of a sibling scan: starting at
+// directory index k, it returns the first node at exactly targetLevel, or
+// InvalidNode once a shallower node (or a skipped block proving one) shows
+// the enclosing subtree has closed. Blocks for which skip reports true are
+// passed over without a physical read under the §3.3 discipline: when such
+// a block's MinDepth is at least targetLevel it can only hold skippable
+// siblings and their descendants; when it is shallower, the parent subtree
+// ends inside it and the scan concludes with no further sibling.
+func (s *Store) scanForLevelCtx(ctx context.Context, k, targetLevel int, skip func(pageIdx int) bool) (xmltree.NodeID, error) {
+	for ; k < len(s.dir); k++ {
 		pi := s.dir[k]
 		if int(pi.MinDepth) > targetLevel {
-			continue // directory-only skip: block is inside n's subtree
+			continue // directory-only skip: block is inside the subtree
 		}
 		if skip != nil && skip(k) {
 			if int(pi.MinDepth) >= targetLevel {
-				continue // only inaccessible siblings and their subtrees
+				continue // only skippable siblings and their subtrees
 			}
 			// The parent subtree ends inside a fully-skipped block: no
-			// accessible sibling remains.
+			// eligible sibling remains.
 			return xmltree.InvalidNode, nil
 		}
 		if int(pi.StartDepth) <= targetLevel {
@@ -435,12 +406,24 @@ func (s *Store) FollowingSiblingSkipCtx(ctx context.Context, n xmltree.NodeID, s
 			lvl = lvl + 1 - e.CloseCount
 			bid++
 		}
-		if lvl <= targetLevel {
-			// Boundary falls at the start of a later block.
-			continue
-		}
 	}
 	return xmltree.InvalidNode, nil
+}
+
+// NextSiblingFromBlockCtx resumes a sibling scan at a block boundary: it
+// returns the first node at exactly targetLevel in blocks blockIdx,
+// blockIdx+1, …, under the same skip discipline as
+// FollowingSiblingSkipCtx — without decoding block blockIdx when the
+// directory or the skip predicate can dispose of it. The ε-NoK matcher
+// uses it when a child scan lands on the first node of a block its skip
+// mask excludes: every node in that block is then known unmatchable, and
+// the block's MinDepth alone decides whether the scan continues past it or
+// the parent's subtree closes inside it.
+func (s *Store) NextSiblingFromBlockCtx(ctx context.Context, blockIdx, targetLevel int, skip func(pageIdx int) bool) (xmltree.NodeID, error) {
+	if blockIdx < 0 || blockIdx >= len(s.dir) {
+		return xmltree.InvalidNode, fmt.Errorf("nok: invalid block %d of %d", blockIdx, len(s.dir))
+	}
+	return s.scanForLevelCtx(ctx, blockIdx, targetLevel, skip)
 }
 
 // SubtreeEnd returns the last node of n's subtree (n itself for leaves),
@@ -549,6 +532,9 @@ func (s *Store) PageIndexOf(n xmltree.NodeID) int { return s.pageOf(n) }
 // intended for operational sanity checks (e.g. after reopening a store)
 // and for tests.
 func (s *Store) CheckConsistency() error {
+	if len(s.summaries) != len(s.dir) {
+		return fmt.Errorf("nok: %d summaries for %d blocks", len(s.summaries), len(s.dir))
+	}
 	next := xmltree.NodeID(0)
 	depth := -1
 	for i := range s.dir {
@@ -595,6 +581,9 @@ func (s *Store) CheckConsistency() error {
 		}
 		if pi.ChangeBit != change {
 			return fmt.Errorf("nok: block %d change bit %v, recomputed %v", i, pi.ChangeBit, change)
+		}
+		if ps := summarizeBlock(entries, int(pi.StartDepth)); ps != s.summaries[i] {
+			return fmt.Errorf("nok: block %d summary %+v, recomputed %+v", i, s.summaries[i], ps)
 		}
 		depth = level
 		next += xmltree.NodeID(pi.Count)

@@ -1,0 +1,118 @@
+package nok
+
+// Per-page structural summaries.
+//
+// The paper's in-memory page header (§3.2) lets the evaluator skip a block
+// when access control alone proves it useless. The summary layer extends
+// the same idea to query shape: alongside each directory entry the store
+// keeps a tag-presence bitmap and the block's depth range, so a scan can
+// skip a block that cannot contain any node the current pattern step could
+// match — without reading it.
+//
+// The bitmap is exact while every tag code in the block fits the fixed
+// summaryBits width (one bit per dictionary code); blocks referencing
+// larger codes fall back to a Bloom-style double-hashed bitmap over the
+// same words. Hashed summaries admit false positives (a probed tag may
+// appear present when it is not), which only costs a wasted read; false
+// negatives are impossible in either mode, which is what makes skipping
+// sound.
+
+// SummaryWords is the width of a page summary's tag bitmap in uint64 words.
+const SummaryWords = 4
+
+// summaryBits is the tag bitmap width in bits; tag codes below this use the
+// exact one-bit-per-code encoding.
+const summaryBits = SummaryWords * 64
+
+// PageSummary is the structural summary of one block, held in memory next
+// to the page directory and rebuilt whenever the block is rewritten.
+type PageSummary struct {
+	// Tags is the tag-presence bitmap: exact (bit = tag code) unless
+	// Hashed, then a two-probe Bloom filter over the same words.
+	Tags [SummaryWords]uint64
+	// MinDepth and MaxDepth bound the depth of every node in the block.
+	MinDepth uint16
+	MaxDepth uint16
+	// Hashed marks the Bloom encoding, used when the block contains a tag
+	// code ≥ summaryBits.
+	Hashed bool
+}
+
+// summaryHash1 and summaryHash2 are the Bloom probe positions for a tag
+// code (Knuth multiplicative and Fibonacci hashing; any two independent
+// mixes would do — soundness never depends on hash quality).
+func summaryHash1(code int32) uint {
+	return uint(uint32(code)*2654435761) % summaryBits
+}
+
+func summaryHash2(code int32) uint {
+	return uint((uint64(uint32(code))*0x9E3779B97F4A7C15)>>32) % summaryBits
+}
+
+// setTag records the presence of a tag code in the bitmap.
+func (ps *PageSummary) setTag(code int32) {
+	if ps.Hashed {
+		h1, h2 := summaryHash1(code), summaryHash2(code)
+		ps.Tags[h1/64] |= 1 << (h1 % 64)
+		ps.Tags[h2/64] |= 1 << (h2 % 64)
+		return
+	}
+	ps.Tags[uint(code)/64] |= 1 << (uint(code) % 64)
+}
+
+// MayContainTag reports whether the block may contain a node with the given
+// tag code. False means the tag is definitely absent; true may be a false
+// positive under the hashed encoding.
+func (ps PageSummary) MayContainTag(code int32) bool {
+	if code < 0 {
+		return false
+	}
+	if !ps.Hashed {
+		if code >= summaryBits {
+			// An exact summary proves every code in the block is below
+			// summaryBits, so a larger code cannot appear.
+			return false
+		}
+		return ps.Tags[uint(code)/64]&(1<<(uint(code)%64)) != 0
+	}
+	h1, h2 := summaryHash1(code), summaryHash2(code)
+	return ps.Tags[h1/64]&(1<<(h1%64)) != 0 && ps.Tags[h2/64]&(1<<(h2%64)) != 0
+}
+
+// summarizeBlock computes the summary of a block from its decoded entries
+// and the depth of its first entry. It is the single source of truth used
+// by Build, RewriteRegion, Open and CheckConsistency.
+func summarizeBlock(entries []Entry, startDepth int) PageSummary {
+	ps := PageSummary{MinDepth: uint16(startDepth), MaxDepth: uint16(startDepth)}
+	for _, e := range entries {
+		if e.Tag >= summaryBits {
+			ps.Hashed = true
+			break
+		}
+	}
+	level := startDepth
+	for _, e := range entries {
+		if level < int(ps.MinDepth) {
+			ps.MinDepth = uint16(level)
+		}
+		if level > int(ps.MaxDepth) {
+			ps.MaxDepth = uint16(level)
+		}
+		ps.setTag(e.Tag)
+		level = level + 1 - e.CloseCount
+	}
+	return ps
+}
+
+// SummaryAt returns the structural summary of block i.
+func (s *Store) SummaryAt(i int) PageSummary { return s.summaries[i] }
+
+// Summaries returns the per-block summaries (shared; read-only for
+// callers), parallel to Directory().
+func (s *Store) Summaries() []PageSummary { return s.summaries }
+
+// SummaryBytes estimates the in-memory size of the summary layer: the tag
+// bitmap words plus the depth range and mode flag per block.
+func (s *Store) SummaryBytes() int {
+	return len(s.summaries) * (SummaryWords*8 + 5)
+}

@@ -1,0 +1,160 @@
+package nok
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dolxml/internal/xmltree"
+)
+
+// assertSummariesSound re-derives every block's tag set and depth range from
+// its stored entries and checks the summary layer against them: a summary
+// may never exclude a tag the block contains (no false negatives), an exact
+// summary must agree with the block precisely, and the depth bounds must be
+// tight.
+func assertSummariesSound(t *testing.T, s *Store) {
+	t.Helper()
+	if got, want := len(s.Summaries()), s.NumPages(); got != want {
+		t.Fatalf("%d summaries for %d pages", got, want)
+	}
+	for i := 0; i < s.NumPages(); i++ {
+		entries, err := s.BlockEntries(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		present := make(map[int32]bool, len(entries))
+		for _, e := range entries {
+			present[e.Tag] = true
+		}
+		ps := s.SummaryAt(i)
+		for code := int32(0); code < int32(s.NumTags()); code++ {
+			if present[code] && !ps.MayContainTag(code) {
+				t.Fatalf("block %d: contains tag %d but summary excludes it", i, code)
+			}
+			if !ps.Hashed && !present[code] && ps.MayContainTag(code) {
+				t.Errorf("block %d: exact summary claims absent tag %d may be present", i, code)
+			}
+		}
+		pi := s.PageInfoAt(i)
+		level := int(pi.StartDepth)
+		minL, maxL := level, level
+		for _, e := range entries {
+			if level < minL {
+				minL = level
+			}
+			if level > maxL {
+				maxL = level
+			}
+			level = level + 1 - e.CloseCount
+		}
+		if int(ps.MinDepth) != minL || int(ps.MaxDepth) != maxL {
+			t.Errorf("block %d: depth range [%d,%d], summary says [%d,%d]",
+				i, minL, maxL, ps.MinDepth, ps.MaxDepth)
+		}
+		if int(pi.MinDepth) != minL {
+			t.Errorf("block %d: directory MinDepth %d, derived %d", i, pi.MinDepth, minL)
+		}
+	}
+}
+
+// Property: summaries built alongside random documents at random page sizes
+// are sound and exact (all tag codes are tiny, so hashing never kicks in).
+func TestSummarySoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 1+rng.Intn(300))
+		pageSize := 64 + rng.Intn(200)
+		s := buildStore(t, doc, pageSize, BuildOptions{})
+		assertSummariesSound(t, s)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Summaries must track region rewrites: retag a whole block (structure
+// preserved, tag set changed) and require the summary layer — and the
+// store's own consistency check — to reflect the new contents.
+func TestSummaryAfterRewrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	doc := randomDoc(rng, 200)
+	s := buildStore(t, doc, 96, BuildOptions{})
+	if s.NumPages() < 3 {
+		t.Fatalf("want a multi-block store, got %d pages", s.NumPages())
+	}
+	fresh := s.InternTag("only-after-rewrite")
+	target := s.NumPages() / 2
+	entries, err := s.BlockEntries(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range entries {
+		entries[k].Tag = fresh
+	}
+	pi := s.PageInfoAt(target)
+	if _, err := s.RewriteRegion(target, target, entries, int(pi.StartDepth), pi.AccessCode); err != nil {
+		t.Fatal(err)
+	}
+	if !s.SummaryAt(target).MayContainTag(fresh) {
+		t.Fatal("rewritten block's summary excludes its new tag")
+	}
+	old, ok := s.LookupTag("x")
+	if !ok {
+		t.Fatal("tag x missing from dictionary")
+	}
+	if s.SummaryAt(target).MayContainTag(old) {
+		t.Error("rewritten block's summary still claims a retagged-away tag")
+	}
+	assertSummariesSound(t, s)
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A document with more distinct tags than the bitmap has bits forces the
+// Bloom-hashed encoding on blocks holding large codes; hashed summaries may
+// report false positives but never false negatives, and exact summaries
+// must reject any code beyond the bitmap outright.
+func TestSummaryHashed(t *testing.T) {
+	b := xmltree.NewBuilder()
+	b.Begin("root")
+	for i := 0; i < 300; i++ {
+		b.Begin(fmt.Sprintf("t%03d", i))
+		b.End()
+	}
+	b.End()
+	doc := b.MustFinish()
+	s := buildStore(t, doc, 128, BuildOptions{})
+	assertSummariesSound(t, s)
+	hashed := 0
+	for i := 0; i < s.NumPages(); i++ {
+		ps := s.SummaryAt(i)
+		if ps.Hashed {
+			hashed++
+		} else if ps.MayContainTag(summaryBits) {
+			t.Errorf("block %d: exact summary admits out-of-range code %d", i, summaryBits)
+		}
+	}
+	if hashed == 0 {
+		t.Fatalf("no hashed summaries over %d tags and %d pages", s.NumTags(), s.NumPages())
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A tampered summary must fail the store's consistency check.
+func TestSummaryConsistencyDetectsCorruption(t *testing.T) {
+	doc := fig2doc(t)
+	s := buildStore(t, doc, 64, BuildOptions{})
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	s.summaries[0].Tags[0] ^= 1 << 63
+	if err := s.CheckConsistency(); err == nil {
+		t.Fatal("corrupted summary passed CheckConsistency")
+	}
+}

@@ -39,6 +39,11 @@ type Options struct {
 	// DisablePageSkip turns off the §3.3 page-skipping optimization, for
 	// ablation experiments.
 	DisablePageSkip bool
+	// DisableSummarySkip turns off the structure-aware half of the fused
+	// skip mask: child scans then skip pages only on access-control
+	// grounds, never because the per-page summaries exclude the pattern's
+	// tags. For ablation experiments; answers are identical either way.
+	DisableSummarySkip bool
 	// Parallelism bounds the worker pool that fans NoK-subtree candidate
 	// matching out across goroutines. 0 (the zero value) means
 	// runtime.GOMAXPROCS(0); 1 forces fully sequential evaluation.
@@ -68,6 +73,8 @@ type Result struct {
 	// Matches counts the combined pattern-match tuples before returning-
 	// node deduplication.
 	Matches int
+	// Skips reports how many page reads the fused skip mask avoided.
+	Skips SkipStats
 }
 
 // Evaluator evaluates twig queries against one NoK store using a tag
@@ -124,7 +131,7 @@ func (ev *Evaluator) EvaluateCtx(ctx context.Context, t *PatternTree, opts Optio
 		nodes = append(nodes, n)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	return &Result{Nodes: nodes, Matches: a.Matches()}, nil
+	return &Result{Nodes: nodes, Matches: a.Matches(), Skips: a.SkipStats()}, nil
 }
 
 // Answers is a streaming cursor over a query's answers: the distinct
@@ -137,6 +144,7 @@ type Answers struct {
 	p       *pipeline
 	retSlot int
 	matches *int
+	skips   *skipMask
 }
 
 // Open builds the cursor pipeline for the pattern tree without draining
@@ -158,12 +166,22 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 	if opts.View != nil {
 		checker = opts.View
 	}
+	// Compile the query's fused skip mask once: the view's page-deny bitmap
+	// (unless access skipping is ablated) plus, per pattern node, the pages
+	// whose structural summaries exclude every tag its child scans look for.
+	accessSkip := opts.View != nil && !opts.DisablePageSkip
+	structSkip := !opts.DisableSummarySkip
+	var sm *skipMask
+	if accessSkip || structSkip {
+		sm = compileSkipMask(ev.store, t, opts.View, accessSkip, structSkip)
+	}
 	m := &matcher{
 		store:    ev.store,
 		values:   ev.store.Values(),
 		checker:  checker,
 		pageSkip: !opts.DisablePageSkip,
 		tracked:  tracked,
+		masks:    sm,
 	}
 	// Freeze the matcher's derived state so match producers can share it
 	// across workers.
@@ -222,6 +240,7 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 		p:       &pipeline{Cursor: top, cancel: cancel},
 		retSlot: retSlot,
 		matches: &dd.matches,
+		skips:   sm,
 	}, nil
 }
 
@@ -238,6 +257,10 @@ func (a *Answers) Next(ctx context.Context) (n xmltree.NodeID, ok bool, err erro
 // Matches counts the combined pattern-match tuples consumed so far — after
 // a full drain, the Result.Matches of Evaluate.
 func (a *Answers) Matches() int { return *a.matches }
+
+// SkipStats snapshots how many page reads the query's fused skip mask has
+// avoided so far, by cause. Zero when skipping was disabled.
+func (a *Answers) SkipStats() SkipStats { return a.skips.stats() }
 
 // Close stops the pipeline's producers, waits for them to exit, and
 // releases every buffer-pool pin they held. Idempotent.

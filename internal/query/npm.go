@@ -63,6 +63,28 @@ type matcher struct {
 	// skipFn caches checker.SkipPage so the hot sibling scan does not
 	// materialize a method value per step.
 	skipFn func(int) bool
+	// masks is the query's compiled skip mask (nil when both access and
+	// structural skipping are disabled).
+	masks *skipMask
+	// scanSkip holds, per pattern node with child-axis children, the fused
+	// skip state its child scans consult. Filled by prepare; read-only
+	// afterwards.
+	scanSkip map[*PatternNode]*nodeSkip
+}
+
+// nodeSkip pairs one pattern node's fused skip bitmap with its counting
+// scan predicate. The bitmap answers "is this page dead to the scan?"
+// without touching the skip counters; fn is handed to the store's sibling
+// scans, which call it exactly once per block they actually pass over, so
+// the counters stay an honest census of avoided reads.
+type nodeSkip struct {
+	bits []uint64
+	fn   func(int) bool
+}
+
+// masked is the count-free probe of the fused bitmap.
+func (ns *nodeSkip) masked(i int) bool {
+	return i >= 0 && i>>6 < len(ns.bits) && ns.bits[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
 // prepare precomputes every lazily derived field for the given
@@ -74,6 +96,23 @@ func (m *matcher) prepare(subs []NoKSubtree) {
 	}
 	if m.checker != nil {
 		m.skipFn = m.checker.SkipPage
+	}
+	if m.masks != nil {
+		m.scanSkip = make(map[*PatternNode]*nodeSkip)
+		var walk func(p *PatternNode)
+		walk = func(p *PatternNode) {
+			if len(nokChildren(p)) > 0 {
+				if fn := m.masks.scanSkipFn(p); fn != nil {
+					m.scanSkip[p] = &nodeSkip{bits: m.masks.nodeBits(p), fn: fn}
+				}
+			}
+			for _, c := range p.Children {
+				walk(c)
+			}
+		}
+		for i := range subs {
+			walk(subs[i].Root)
+		}
 	}
 }
 
@@ -268,11 +307,29 @@ func (m *matcher) npmStream(ctx context.Context, proot *PatternNode, u binding, 
 		return true
 	}
 
+	childLevel := u.level + 1
+	ns := m.scanSkip[proot] // nil when the query compiled no mask
 	v, err := m.store.FirstChildCtx(ctx, u.node)
 	if err != nil {
 		return false, false, err
 	}
 	for v != xmltree.InvalidNode {
+		if ns != nil {
+			// Block-boundary fast path: when the scan lands on the first
+			// node of a block the fused mask excludes, the whole block is
+			// known unmatchable — dispose of it (and any further maskable
+			// blocks) from the directory without pinning a frame. Only a
+			// block-first v qualifies: mid-block, the block also holds the
+			// prefix up to v, so its directory depths do not describe the
+			// remainder alone.
+			if k := m.store.PageIndexOf(v); m.store.PageInfoAt(k).FirstNode == v && ns.masked(k) {
+				v, err = m.store.NextSiblingFromBlockCtx(ctx, k, childLevel, ns.fn)
+				if err != nil {
+					return false, false, err
+				}
+				continue
+			}
+		}
 		info, err := m.store.InfoCtx(ctx, v)
 		if err != nil {
 			return false, false, err
@@ -334,7 +391,7 @@ func (m *matcher) npmStream(ctx context.Context, proot *PatternNode, u binding, 
 				break
 			}
 		}
-		v, err = m.nextSibling(ctx, v)
+		v, err = m.nextSibling(ctx, proot, v)
 		if err != nil {
 			return false, false, err
 		}
@@ -342,10 +399,15 @@ func (m *matcher) npmStream(ctx context.Context, proot *PatternNode, u binding, 
 	return nMatched == len(s), false, nil
 }
 
-// nextSibling advances the child scan. In secure mode with page skipping
-// enabled, blocks that the directory proves wholly inaccessible are
-// skipped without I/O (§3.3).
-func (m *matcher) nextSibling(ctx context.Context, u xmltree.NodeID) (xmltree.NodeID, error) {
+// nextSibling advances the child scan of pattern node proot. With a
+// compiled skip mask the scan consults proot's fused bitmap, skipping
+// blocks that are wholly inaccessible (§3.3) or that the structural
+// summaries prove free of every tag proot's pattern children could match;
+// otherwise the legacy access-only predicate applies.
+func (m *matcher) nextSibling(ctx context.Context, proot *PatternNode, u xmltree.NodeID) (xmltree.NodeID, error) {
+	if ns := m.scanSkip[proot]; ns != nil {
+		return m.store.FollowingSiblingSkipCtx(ctx, u, ns.fn)
+	}
 	if m.checker != nil && m.pageSkip {
 		// prepare normally pre-binds skipFn; fall back locally (without
 		// mutating the shared matcher) for unprepared matchers.
@@ -370,7 +432,12 @@ func (m *matcher) matchCandidate(ctx context.Context, sub NoKSubtree, c btree.Po
 		return false, err
 	}
 	// Pre-condition of Algorithm 1: the data-tree root of the match must
-	// itself be accessible.
+	// itself be accessible. When the deny bitmap covers the candidate's
+	// whole page, that settles it from the directory alone — no block read.
+	if m.masks != nil && m.masks.pageDenied(m.store.PageIndexOf(c.Node)) {
+		m.masks.candCt.Add(1)
+		return false, nil
+	}
 	if m.checker != nil {
 		ok, err := m.checker.AccessibleCtx(ctx, c.Node)
 		if err != nil {

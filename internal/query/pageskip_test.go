@@ -1,0 +1,177 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"dolxml/internal/acl"
+	"dolxml/internal/xmltree"
+)
+
+// junkDoc builds a document whose root interleaves a few <a><hit/></a>
+// targets with a long run of <junk/> leaves: at a small page size the run
+// fills many blocks whose MinDepth equals the child-scan level, so only the
+// structural summaries (not the depth directory) can prove them skippable.
+func junkDoc(junk int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	b.Begin("r")
+	b.Begin("a")
+	b.Begin("hit")
+	b.End()
+	b.End()
+	for i := 0; i < junk; i++ {
+		b.Begin("junk")
+		b.End()
+	}
+	b.Begin("a")
+	b.Begin("hit")
+	b.End()
+	b.End()
+	b.End()
+	return b.MustFinish()
+}
+
+// coldPages evaluates from a cold pool and returns the result plus the
+// physical pages read.
+func (e *env) coldPages(t *testing.T, pt *PatternTree, opts Options) (*Result, int64) {
+	t.Helper()
+	if err := e.pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	e.pool.ResetStats()
+	res, err := e.ev.Evaluate(pt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, e.pool.Stats().Misses
+}
+
+func TestSummarySkipReducesPages(t *testing.T) {
+	doc := junkDoc(2000)
+	e := newEnv(t, doc, allowAll(doc, 1), 256)
+	pt := MustParse("/r/a[hit]")
+	view := e.ss.ViewSubject(0)
+
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"no view", Options{Parallelism: 1}},
+		{"bindings", Options{View: view, Parallelism: 1}},
+		{"pruned", Options{View: view, Semantics: SemanticsPrunedSubtree, Parallelism: 1}},
+	} {
+		off := cfg.opts
+		off.DisableSummarySkip = true
+		resOff, pagesOff := e.coldPages(t, pt, off)
+		resOn, pagesOn := e.coldPages(t, pt, cfg.opts)
+		if len(resOn.Nodes) != 2 {
+			t.Fatalf("%s: got %d answers, want 2", cfg.name, len(resOn.Nodes))
+		}
+		if !equalIDs(resOn.Nodes, resOff.Nodes) || resOn.Matches != resOff.Matches {
+			t.Fatalf("%s: answers differ with summaries: %v vs %v", cfg.name, resOn.Nodes, resOff.Nodes)
+		}
+		if pagesOn >= pagesOff {
+			t.Fatalf("%s: summaries read %d pages, disabled read %d", cfg.name, pagesOn, pagesOff)
+		}
+		if resOn.Skips.StructPages == 0 {
+			t.Fatalf("%s: no structural skips recorded despite page reduction", cfg.name)
+		}
+		if resOff.Skips.StructPages != 0 {
+			t.Fatalf("%s: disabled run recorded %d structural skips", cfg.name, resOff.Skips.StructPages)
+		}
+	}
+}
+
+// Candidate rejection: when the deny bitmap covers a candidate's whole
+// page, the matcher drops it before any block read, and the answer set is
+// unchanged relative to the unassisted run.
+func TestAccessMaskRejectsCandidates(t *testing.T) {
+	b := xmltree.NewBuilder()
+	b.Begin("r")
+	for i := 0; i < 1500; i++ {
+		b.Begin("x")
+		b.End()
+	}
+	b.End()
+	doc := b.MustFinish()
+	m := allowAll(doc, 1)
+	// Deny a long contiguous middle run so whole pages are denied.
+	for n := 200; n < 1200; n++ {
+		m.Set(xmltree.NodeID(n), 0, false)
+	}
+	e := newEnv(t, doc, m, 256)
+	pt := MustParse("//x")
+	view := e.ss.ViewSubject(0)
+
+	resOn, pagesOn := e.coldPages(t, pt, Options{View: view, Parallelism: 1})
+	resOff, pagesOff := e.coldPages(t, pt, Options{View: view, Parallelism: 1, DisablePageSkip: true, DisableSummarySkip: true})
+	if !equalIDs(resOn.Nodes, resOff.Nodes) {
+		t.Fatalf("answers differ: %d vs %d nodes", len(resOn.Nodes), len(resOff.Nodes))
+	}
+	if resOn.Skips.Candidates == 0 {
+		t.Fatal("no candidates rejected from the deny bitmap")
+	}
+	if pagesOn >= pagesOff {
+		t.Fatalf("mask run read %d pages, unassisted read %d", pagesOn, pagesOff)
+	}
+}
+
+// Property: summaries on/off, with and without a view, under both secure
+// semantics and several parallelism levels, produce byte-identical results
+// on random documents, patterns and ACLs.
+func TestSummarySkipEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 50+rng.Intn(400))
+		const subjects = 3
+		m := acl.NewMatrix(doc.Len(), subjects)
+		for n := 0; n < doc.Len(); n++ {
+			for s := 0; s < subjects; s++ {
+				m.Set(xmltree.NodeID(n), acl.SubjectID(s), rng.Intn(100) < 70)
+			}
+		}
+		pageSize := 96 + rng.Intn(300)
+		e := newEnv(t, doc, m, pageSize)
+		pt := randomPattern(rng)
+		view := e.ss.ViewSubject(acl.SubjectID(rng.Intn(subjects)))
+
+		base := []Options{
+			{},
+			{View: view},
+			{View: view, Semantics: SemanticsPrunedSubtree},
+		}
+		for bi, opts := range base {
+			opts.Parallelism = 1
+			opts.DisableSummarySkip = true
+			want, err := e.ev.Evaluate(pt, opts)
+			if err != nil {
+				t.Fatalf("seed %d base %d: %v", seed, bi, err)
+			}
+			for _, par := range []int{1, 4} {
+				on := opts
+				on.Parallelism = par
+				on.DisableSummarySkip = false
+				got, err := e.ev.Evaluate(pt, on)
+				if err != nil {
+					t.Fatalf("seed %d base %d par %d: %v", seed, bi, par, err)
+				}
+				if !equalIDs(got.Nodes, want.Nodes) || got.Matches != want.Matches {
+					t.Fatalf("seed %d base %d par %d (page %d): summaries changed the result: %v/%d vs %v/%d",
+						seed, bi, par, pageSize, got.Nodes, got.Matches, want.Nodes, want.Matches)
+				}
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []xmltree.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package query
+
+import (
+	"sync/atomic"
+
+	"dolxml/internal/dol"
+	"dolxml/internal/nok"
+)
+
+// SkipStats count the pages a query's evaluation avoided reading, split by
+// the evidence that justified each skip. Counters are per skip event: a
+// block passed over by several scans counts once per scan, mirroring the
+// reads it would otherwise have cost.
+type SkipStats struct {
+	// AccessPages counts scan blocks skipped because the subject view's
+	// page-deny bitmap proves every node in them inaccessible (§3.3).
+	AccessPages int64
+	// StructPages counts scan blocks skipped because the per-page
+	// structural summary proves they contain nothing the current pattern
+	// step could match.
+	StructPages int64
+	// Candidates counts root candidates rejected by the page-deny bitmap
+	// alone, before any page was read for them.
+	Candidates int64
+}
+
+// skipMask is one query's compiled page-skip state: the subject view's
+// page-deny bitmap fused with structural bits derived from the per-page
+// summaries, plus per-pattern-node refinements for child scans. Every probe
+// during evaluation is a single uint64-word bitmap test; compilation itself
+// touches only in-memory state (directory, summaries, deny bitmap) and
+// performs no page I/O.
+type skipMask struct {
+	words int
+	// access is the view's page-deny bitmap (nil without a view or with
+	// access skipping disabled). Shared read-only with the view's cache;
+	// used both for skip attribution and for candidate rejection.
+	access []uint64
+	// global fuses access with query-wide structural bits (depth bound).
+	global []uint64
+	// perNode maps a pattern node with child-axis children to the fused
+	// mask its child scans consult: global plus the pages whose summaries
+	// exclude every tag those pattern children could match. A scan of p's
+	// children may skip such a page because unmatched siblings are never
+	// descended into — the page can only hold unmatchable siblings and
+	// their subtrees.
+	perNode map[*PatternNode][]uint64
+
+	accessCt atomic.Int64
+	structCt atomic.Int64
+	candCt   atomic.Int64
+}
+
+// stats snapshots the mask's counters.
+func (sm *skipMask) stats() SkipStats {
+	if sm == nil {
+		return SkipStats{}
+	}
+	return SkipStats{
+		AccessPages: sm.accessCt.Load(),
+		StructPages: sm.structCt.Load(),
+		Candidates:  sm.candCt.Load(),
+	}
+}
+
+// pageDenied reports whether the deny bitmap covers page i (meaning every
+// node on it is inaccessible to the view).
+func (sm *skipMask) pageDenied(i int) bool {
+	if sm == nil || sm.access == nil || i < 0 || i>>6 >= len(sm.access) {
+		return false
+	}
+	return sm.access[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// nodeBits returns the fused bitmap a child scan of pattern node p consults
+// (read-only), or nil when the mask has nothing for it.
+func (sm *skipMask) nodeBits(p *PatternNode) []uint64 {
+	if sm == nil {
+		return nil
+	}
+	if bits := sm.perNode[p]; bits != nil {
+		return bits
+	}
+	return sm.global
+}
+
+// scanSkipFn returns the skip predicate a child scan of pattern node p
+// should pass to the store's sibling scans, or nil when nothing can be
+// skipped. The predicate attributes each skip to access control when the
+// deny bitmap alone suffices, otherwise to the structural summary.
+func (sm *skipMask) scanSkipFn(p *PatternNode) func(int) bool {
+	bits := sm.nodeBits(p)
+	if bits == nil {
+		return nil
+	}
+	access := sm.access
+	return func(i int) bool {
+		if i < 0 || i>>6 >= len(bits) {
+			return false
+		}
+		b := uint64(1) << (uint(i) & 63)
+		if bits[i>>6]&b == 0 {
+			return false
+		}
+		if access != nil && access[i>>6]&b != 0 {
+			sm.accessCt.Add(1)
+		} else {
+			sm.structCt.Add(1)
+		}
+		return true
+	}
+}
+
+// compileSkipMask intersects the query's shape with the store's per-page
+// summaries (and the view's page-deny bitmap) once, before evaluation.
+// accessSkip gates the §3.3 access-based bits, structSkip the summary-based
+// bits; with both off it returns nil and scans run unassisted.
+func compileSkipMask(st *nok.Store, t *PatternTree, view *dol.SubjectView, accessSkip, structSkip bool) *skipMask {
+	accessSkip = accessSkip && view != nil
+	if !accessSkip && !structSkip {
+		return nil
+	}
+	n := st.NumPages()
+	words := (n + 63) / 64
+	sm := &skipMask{words: words}
+
+	if accessSkip {
+		sm.access = view.PageDenyBits()
+	}
+	if !structSkip {
+		// Access-only mask: the fused global mask is the deny bitmap and no
+		// per-node refinement exists.
+		sm.global = sm.access
+		return sm
+	}
+
+	global := make([]uint64, words)
+	copy(global, sm.access) // nil access copies nothing
+	// Depth bound: a pattern reachable only through child axes from the
+	// document root cannot bind nodes deeper than its deepest pattern node,
+	// so blocks living entirely below that depth are dead to the query.
+	// (Sibling scans at shallower target levels already skip such blocks
+	// via the directory; the bit keeps the fused mask complete for any
+	// consumer.)
+	if maxD, ok := boundedDepth(t); ok {
+		dir := st.Directory()
+		for i := 0; i < n; i++ {
+			if int(dir[i].MinDepth) > maxD {
+				global[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	sm.global = global
+
+	// Per-pattern-node refinement: for each node with child-axis pattern
+	// children, mark the pages whose summaries exclude every tag those
+	// children could match. A wildcard child matches any tag, so its parent
+	// gets no structural refinement.
+	sm.perNode = make(map[*PatternNode][]uint64)
+	sums := st.Summaries()
+	var walk func(p *PatternNode)
+	walk = func(p *PatternNode) {
+		for _, c := range p.Children {
+			walk(c)
+		}
+		kids := nokChildren(p)
+		if len(kids) == 0 {
+			return
+		}
+		codes := make([]int32, 0, len(kids))
+		for _, c := range kids {
+			if c.Tag == "*" {
+				sm.perNode[p] = global
+				return
+			}
+			if code, ok := st.LookupTag(c.Tag); ok {
+				codes = append(codes, code)
+			}
+			// A tag absent from the dictionary matches nowhere and cannot
+			// keep any page alive.
+		}
+		bits := make([]uint64, words)
+		copy(bits, global)
+		for i := 0; i < n; i++ {
+			mayMatch := false
+			for _, code := range codes {
+				if sums[i].MayContainTag(code) {
+					mayMatch = true
+					break
+				}
+			}
+			if !mayMatch {
+				bits[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		sm.perNode[p] = bits
+	}
+	walk(t.Root)
+	return sm
+}
+
+// boundedDepth returns the maximum depth any pattern node can bind when the
+// whole pattern is anchored at the document root through child axes only.
+func boundedDepth(t *PatternTree) (int, bool) {
+	if t.Root.Axis != AxisChild {
+		return 0, false
+	}
+	maxD := 0
+	var walk func(p *PatternNode, d int) bool
+	walk = func(p *PatternNode, d int) bool {
+		if d > maxD {
+			maxD = d
+		}
+		for _, c := range p.Children {
+			if c.Axis != AxisChild {
+				return false
+			}
+			if !walk(c, d+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(t.Root, 0) {
+		return 0, false
+	}
+	return maxD, true
+}

@@ -23,10 +23,18 @@ type QueryOptions struct {
 	// GOMAXPROCS, 1 forces sequential evaluation. Every setting yields the
 	// same answers.
 	Parallelism int
+	// DisableSummarySkip turns off structure-aware page skipping (the
+	// per-page summary half of the fused skip mask), for ablation. Answers
+	// are identical either way; only the pages read differ.
+	DisableSummarySkip bool
 }
 
 func (s *Store) queryOptions(user, mode string, opts QueryOptions) (query.Options, error) {
-	qo := query.Options{Limit: opts.Limit, Parallelism: opts.Parallelism}
+	qo := query.Options{
+		Limit:              opts.Limit,
+		Parallelism:        opts.Parallelism,
+		DisableSummarySkip: opts.DisableSummarySkip,
+	}
 	if opts.Unrestricted {
 		return qo, nil
 	}
@@ -106,6 +114,17 @@ func (c *QueryCursor) Next(ctx context.Context) (m Match, ok bool, err error) {
 // Matches counts the combined pattern-match tuples consumed so far (the
 // Result.Matches of a full drain).
 func (c *QueryCursor) Matches() int { return c.a.Matches() }
+
+// SkipStats reports how many page reads the query's fused skip mask has
+// avoided so far, by cause. Valid until Close; snapshot before closing.
+func (c *QueryCursor) SkipStats() SkipStats {
+	sk := c.a.SkipStats()
+	return SkipStats{
+		AccessPages: sk.AccessPages,
+		StructPages: sk.StructPages,
+		Candidates:  sk.Candidates,
+	}
+}
 
 // Close stops the pipeline, releases its page pins and the store's read
 // lock. Idempotent.

@@ -121,6 +121,7 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 	if err := st.CheckConsistency(); err != nil {
 		return nil, fmt.Errorf("securexml: store failed consistency check: %w", err)
 	}
+	applyDecodeCacheBudget(st, opts.DecodeCacheBytes)
 	cbBytes, err := base64.StdEncoding.DecodeString(ps.Codebook)
 	if err != nil {
 		return nil, fmt.Errorf("securexml: corrupt codebook: %w", err)

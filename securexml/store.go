@@ -29,6 +29,11 @@ type StoreOptions struct {
 	FillPercent int
 	// DiscardValues skips the node value store (structure-only store).
 	DiscardValues bool
+	// DecodeCacheBytes budgets the NoK store's decoded-block cache, which
+	// keeps recently decoded structure blocks in their entry form so hot
+	// scans skip re-parsing (an in-memory complement to the buffer pool).
+	// 0 keeps the default (1 MiB); a negative value disables the cache.
+	DecodeCacheBytes int64
 }
 
 func (o *StoreOptions) defaults() {
@@ -94,6 +99,7 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	applyDecodeCacheBudget(ss.Store(), opts.DecodeCacheBytes)
 	s := &Store{
 		opts:     opts,
 		pool:     pool,
@@ -107,6 +113,18 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// applyDecodeCacheBudget maps the StoreOptions encoding (0 = keep the
+// store's default, negative = disable) onto the NoK decoded-block cache.
+func applyDecodeCacheBudget(st *nok.Store, budget int64) {
+	if budget == 0 {
+		return
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	st.SetDecodeCacheBudget(budget)
 }
 
 // reindex rebuilds the in-memory tag index from the structure store. The
@@ -513,11 +531,41 @@ type Stats struct {
 	CodebookEntries int
 	CodebookBytes   int
 	DirectoryBytes  int
-	Pool            storage.PoolStats
-	IO              storage.IOStats
+	// SummaryBytes is the in-memory footprint of the per-page structural
+	// summaries driving structure-aware page skipping.
+	SummaryBytes int
+	Pool         storage.PoolStats
+	IO           storage.IOStats
+	// DecodeCache reports the decoded-block cache's counters.
+	DecodeCache CacheStats
 }
 
-// Stats collects the store's current statistics.
+// CacheStats mirror the decoded-block cache counters: hit/miss/eviction
+// counts plus the cache's current and budgeted size in (estimated) bytes.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+	Budget    int64
+}
+
+// SkipStats count the page reads one query avoided, by cause: pages
+// skipped because the directory proves them fully inaccessible to the
+// subject (Access), pages skipped because the per-page structural
+// summaries prove them irrelevant to the pattern (Struct), and root
+// candidates rejected from the directory alone (Candidates).
+type SkipStats struct {
+	AccessPages int64
+	StructPages int64
+	Candidates  int64
+}
+
+// Stats collects the store's current statistics. Note that the transition
+// count requires a full walk of the structure store, which itself runs
+// through the buffer pool; use PoolStats or DecodeCacheStats for cheap,
+// walk-free counters around individual queries.
 func (s *Store) Stats() (Stats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -532,9 +580,29 @@ func (s *Store) Stats() (Stats, error) {
 		CodebookEntries: s.ss.Codebook().Len(),
 		CodebookBytes:   s.ss.Codebook().Bytes(),
 		DirectoryBytes:  s.ss.Store().DirectoryBytes(),
+		SummaryBytes:    s.ss.Store().SummaryBytes(),
 		Pool:            s.pool.Stats(),
 		IO:              s.pool.Pager().Stats(),
+		DecodeCache:     s.DecodeCacheStats(),
 	}, nil
+}
+
+// PoolStats returns the buffer pool's counters without touching any page —
+// safe to sample before and after a query to measure its physical reads.
+func (s *Store) PoolStats() storage.PoolStats { return s.pool.Stats() }
+
+// DecodeCacheStats returns the decoded-block cache's counters without
+// touching any page.
+func (s *Store) DecodeCacheStats() CacheStats {
+	ds := s.ss.Store().DecodeCacheStats()
+	return CacheStats{
+		Hits:      ds.Hits,
+		Misses:    ds.Misses,
+		Evictions: ds.Evictions,
+		Entries:   ds.Entries,
+		Bytes:     ds.Bytes,
+		Budget:    ds.Budget,
+	}
 }
 
 // Close flushes and releases the store.
