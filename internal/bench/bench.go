@@ -162,7 +162,7 @@ func WriteTablesJSON(path string, tables []*Table) error {
 var Experiments = []string{
 	"fig4a", "fig4b", "fig5", "fig6", "storage", "fig7", "joins",
 	"updates", "worstcase", "ablation", "modes", "parallel", "streaming",
-	"pageskip",
+	"pageskip", "wal",
 }
 
 // Run executes the named experiment and returns its tables.
@@ -196,6 +196,8 @@ func Run(name string, cfg Config) ([]*Table, error) {
 		return Streaming(cfg), nil
 	case "pageskip":
 		return PageSkip(cfg), nil
+	case "wal":
+		return WAL(cfg), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

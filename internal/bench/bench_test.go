@@ -264,3 +264,35 @@ func TestParallelShape(t *testing.T) {
 		}
 	}
 }
+
+func TestWALShape(t *testing.T) {
+	tables := runQuick(t, "wal")
+	if len(tables) != 2 {
+		t.Fatalf("wal tables = %d, want 2", len(tables))
+	}
+	ops, rec := tables[0], tables[1]
+	for _, tb := range tables {
+		for _, note := range tb.Notes {
+			if strings.HasPrefix(note, "VIOLATION") {
+				t.Errorf("%s: %s", tb.ID, note)
+			}
+		}
+	}
+	if len(ops.Rows) != 4 {
+		t.Fatalf("wal latency rows = %d, want 4", len(ops.Rows))
+	}
+	for _, row := range ops.Rows {
+		if r := cellFloat(t, row[4]); r <= 0 {
+			t.Errorf("%s: non-positive wal/no-wal ratio %f", row[0], r)
+		}
+	}
+	if len(rec.Rows) != 2 {
+		t.Fatalf("wal recovery rows = %d, want 2", len(rec.Rows))
+	}
+	if got := cellInt(t, rec.Rows[0][2]); got != 0 {
+		t.Errorf("clean open redid %d batches", got)
+	}
+	if got := cellInt(t, rec.Rows[1][2]); got != 1 {
+		t.Errorf("crash recovery redid %d batches, want 1", got)
+	}
+}

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dolxml/internal/storage"
+	"dolxml/internal/xmark"
+	"dolxml/securexml"
+)
+
+// WAL measures what the write-ahead log costs and what it buys. Two
+// identical file-backed stores — one journaled, one with the WAL disabled
+// — receive the same deterministic update sequence (node ACL toggles,
+// subtree ACL toggles, structural inserts and deletes), and the per-update
+// latency of each arm is reported with its ratio. The self-checks: both
+// arms must give identical Q1–Q6 answers under both secure semantics
+// afterwards, and a crash injected between commit and page write-back must
+// recover on reopen with exactly one redone batch. The recovery table
+// reports that reopen time next to a clean one.
+func WAL(cfg Config) []*Table {
+	ops := &Table{
+		ID:      "wal",
+		Title:   "update latency with and without the write-ahead log",
+		Columns: []string{"update", "runs", "wal", "no-wal", "wal/no-wal"},
+	}
+	rec := &Table{
+		ID:      "walrecovery",
+		Title:   "store reopen time, clean vs crash recovery",
+		Columns: []string{"scenario", "time", "redone batches"},
+	}
+	tables := []*Table{ops, rec}
+	fail := func(err error) []*Table {
+		ops.Notes = append(ops.Notes, "ERROR: "+err.Error())
+		return tables
+	}
+
+	nodes := cfg.XMarkNodes / 20
+	if nodes < 1500 {
+		nodes = 1500
+	}
+	doc := xmark.Generate(xmark.Scaled(cfg.Seed+31, nodes))
+	var xb strings.Builder
+	if err := doc.WriteXML(&xb); err != nil {
+		return fail(err)
+	}
+	ops.Title += fmt.Sprintf(" (XMark, %d nodes, %d B pages)", doc.Len(), cfg.PageSize)
+
+	build := func(disableWAL bool) (*securexml.Store, string, error) {
+		dir, err := os.MkdirTemp("", "dolbench-wal")
+		if err != nil {
+			return nil, "", err
+		}
+		s, err := securexml.NewBuilder().
+			LoadXMLString(xb.String()).
+			AddGroup("staff").
+			AddUser("u").
+			AddMember("staff", "u").
+			Grant("staff", "read", "/site").
+			Seal(securexml.StoreOptions{
+				Path:       filepath.Join(dir, "pages.db"),
+				PageSize:   cfg.PageSize,
+				PoolPages:  cfg.PoolPages,
+				DisableWAL: disableWAL,
+			})
+		if err != nil {
+			return nil, dir, err
+		}
+		if err := s.Save(dir); err != nil {
+			s.Close()
+			return nil, dir, err
+		}
+		return s, dir, nil
+	}
+	walStore, walDir, err := build(false)
+	if walDir != "" {
+		defer os.RemoveAll(walDir)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	noStore, noDir, err := build(true)
+	if noDir != "" {
+		defer os.RemoveAll(noDir)
+	}
+	if err != nil {
+		walStore.Close()
+		return fail(err)
+	}
+	defer noStore.Close()
+
+	// first resolves the i-th (cycling) match of xpath in s, outside any
+	// timed section; both arms resolve against their own store, so the
+	// sequences stay identical even as structural updates shift node IDs.
+	first := func(s *securexml.Store, xpath string, i int) (securexml.NodeID, error) {
+		ms, err := s.QueryUnrestricted(xpath)
+		if err != nil {
+			return securexml.InvalidNode, err
+		}
+		if len(ms) == 0 {
+			return securexml.InvalidNode, fmt.Errorf("no match for %s", xpath)
+		}
+		return ms[i%len(ms)].Node, nil
+	}
+	const fragment = "<parlist><listitem><text>wal bench probe</text></listitem></parlist>"
+	kinds := []struct {
+		name    string
+		prepare func(s *securexml.Store, i int) (func() error, error)
+	}{
+		{"acl node toggle", func(s *securexml.Store, i int) (func() error, error) {
+			n, err := first(s, "//listitem//keyword", i)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return s.SetAccess("staff", "read", n, i%2 == 0, false) }, nil
+		}},
+		{"acl subtree toggle", func(s *securexml.Store, i int) (func() error, error) {
+			n, err := first(s, "//parlist", i)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return s.SetAccess("staff", "read", n, i%2 == 0, true) }, nil
+		}},
+		{"insert fragment", func(s *securexml.Store, i int) (func() error, error) {
+			n, err := first(s, "/site/regions/africa/item", i)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return s.InsertXML(n, securexml.InvalidNode, fragment) }, nil
+		}},
+		{"delete subtree", func(s *securexml.Store, i int) (func() error, error) {
+			// Deletes consume the fragments the insert kind added.
+			n, err := first(s, "/site/regions/africa/item/parlist", 0)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return s.Delete(n) }, nil
+		}},
+	}
+
+	runs := 2 * cfg.QueryRuns
+	arms := []struct {
+		name  string
+		store *securexml.Store
+	}{{"wal", walStore}, {"no-wal", noStore}}
+	for _, k := range kinds {
+		var elapsed [2]time.Duration
+		for i := 0; i < runs; i++ {
+			for a, arm := range arms {
+				op, err := k.prepare(arm.store, i)
+				if err != nil {
+					return fail(fmt.Errorf("%s (%s): %w", k.name, arm.name, err))
+				}
+				start := time.Now()
+				if err := op(); err != nil {
+					return fail(fmt.Errorf("%s (%s): %w", k.name, arm.name, err))
+				}
+				elapsed[a] += time.Since(start)
+			}
+		}
+		mean := func(d time.Duration) time.Duration {
+			return (d / time.Duration(runs)).Round(time.Microsecond)
+		}
+		ops.AddRow(k.name, fmt.Sprintf("%d", runs),
+			mean(elapsed[0]).String(), mean(elapsed[1]).String(),
+			fmt.Sprintf("%.2f", float64(elapsed[0])/float64(elapsed[1])))
+	}
+
+	// Self-check: the journaled and unjournaled arms must be observably
+	// identical after the same update sequence.
+	for _, q := range Table1 {
+		for _, sem := range []struct {
+			name string
+			eval func(s *securexml.Store) ([]securexml.Match, error)
+		}{
+			{"bindings", func(s *securexml.Store) ([]securexml.Match, error) { return s.Query("u", "read", q.Expr) }},
+			{"pruned", func(s *securexml.Store) ([]securexml.Match, error) { return s.QueryPruned("u", "read", q.Expr) }},
+		} {
+			a, err := sem.eval(walStore)
+			if err != nil {
+				return fail(err)
+			}
+			b, err := sem.eval(noStore)
+			if err != nil {
+				return fail(err)
+			}
+			same := len(a) == len(b)
+			for i := 0; same && i < len(a); i++ {
+				same = a[i].Node == b[i].Node
+			}
+			if !same {
+				ops.Notes = append(ops.Notes, fmt.Sprintf(
+					"VIOLATION: %s/%s answers diverge between the WAL and no-WAL arms", q.Name, sem.name))
+			}
+		}
+	}
+	ops.Notes = append(ops.Notes,
+		"both arms must answer the Table 1 workload identically after the sequence",
+		"the wal arm pays one log write + fsync per update batch on top of the page writes")
+
+	// Recovery: time a clean reopen, then crash an update between its
+	// commit record and the page write-back and time the reopen that has
+	// to redo the batch.
+	if err := walStore.Close(); err != nil {
+		return fail(err)
+	}
+	start := time.Now()
+	clean, err := securexml.Open(walDir, securexml.StoreOptions{})
+	if err != nil {
+		return fail(err)
+	}
+	cleanTime := time.Since(start)
+	rec.AddRow("clean open", cleanTime.Round(time.Microsecond).String(),
+		fmt.Sprintf("%d", clean.Recovery().Redone))
+	if clean.Recovery().Redone != 0 {
+		rec.Notes = append(rec.Notes, "VIOLATION: clean reopen redid batches")
+	}
+	if err := clean.Close(); err != nil {
+		return fail(err)
+	}
+
+	var fp *storage.FaultPager
+	victim, err := securexml.Open(walDir, securexml.StoreOptions{
+		WrapPager: func(p storage.Pager) storage.Pager {
+			fp = storage.NewFaultPager(p)
+			return fp
+		},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	fp.Arm(storage.Fault{Op: storage.FaultWrite, N: 1})
+	target, err := first(victim, "//parlist", 0)
+	if err == nil {
+		err = victim.SetAccess("staff", "read", target, false, true)
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		return fail(fmt.Errorf("crash injection did not trip: %v", err))
+	}
+	_ = victim.Close()
+
+	start = time.Now()
+	recovered, err := securexml.Open(walDir, securexml.StoreOptions{})
+	if err != nil {
+		return fail(fmt.Errorf("recovery open: %w", err))
+	}
+	recTime := time.Since(start)
+	defer recovered.Close()
+	rec.AddRow("crash recovery open", recTime.Round(time.Microsecond).String(),
+		fmt.Sprintf("%d", recovered.Recovery().Redone))
+	if recovered.Recovery().Redone != 1 {
+		rec.Notes = append(rec.Notes, fmt.Sprintf(
+			"VIOLATION: crash recovery redid %d batches, want 1", recovered.Recovery().Redone))
+	}
+	if acc, err := recovered.UserAccessible("u", "read", target); err != nil {
+		return fail(err)
+	} else if acc {
+		rec.Notes = append(rec.Notes,
+			"VIOLATION: recovered store lost the committed revocation")
+	}
+	rec.Notes = append(rec.Notes,
+		"recovery redoes the committed batch whose pages never reached the store, then checkpoints")
+	return tables
+}

@@ -47,8 +47,13 @@ func (ss *SecureStore) SetSubtreeAccess(root xmltree.NodeID, s acl.SubjectID, al
 }
 
 // SetRangeACL applies f to the ACL of every node in [lo, hi] and rewrites
-// the affected blocks.
+// the affected blocks. On a write-ahead-logged pager the rewrite is one
+// atomic batch: a crash leaves either the old or the new region on disk.
 func (ss *SecureStore) SetRangeACL(lo, hi xmltree.NodeID, f func(*bitset.Bitset) *bitset.Bitset) error {
+	return ss.store.WithTxn(func() error { return ss.setRangeACL(lo, hi, f) })
+}
+
+func (ss *SecureStore) setRangeACL(lo, hi xmltree.NodeID, f func(*bitset.Bitset) *bitset.Bitset) error {
 	st := ss.store
 	if !st.Valid(lo) || !st.Valid(hi) || hi < lo {
 		return fmt.Errorf("dol: invalid range [%d,%d]", lo, hi)
@@ -79,6 +84,10 @@ func (ss *SecureStore) SetRangeACL(lo, hi xmltree.NodeID, f func(*bitset.Bitset)
 // above the removed range shift down. Deleting the root is rejected (the
 // store cannot represent an empty document).
 func (ss *SecureStore) DeleteSubtree(n xmltree.NodeID) error {
+	return ss.store.WithTxn(func() error { return ss.deleteSubtree(n) })
+}
+
+func (ss *SecureStore) deleteSubtree(n xmltree.NodeID) error {
 	st := ss.store
 	if !st.Valid(n) {
 		return fmt.Errorf("dol: invalid node %d", n)
@@ -133,6 +142,10 @@ func (ss *SecureStore) DeleteSubtree(n xmltree.NodeID) error {
 // child `after`. The fragment root receives node ID prev+1 where prev is
 // the node preceding the insertion point; later node IDs shift up.
 func (ss *SecureStore) InsertSubtree(parent, after xmltree.NodeID, frag *xmltree.Document, fragMatrix *acl.Matrix) error {
+	return ss.store.WithTxn(func() error { return ss.insertSubtree(parent, after, frag, fragMatrix) })
+}
+
+func (ss *SecureStore) insertSubtree(parent, after xmltree.NodeID, frag *xmltree.Document, fragMatrix *acl.Matrix) error {
 	st := ss.store
 	if !st.Valid(parent) {
 		return fmt.Errorf("dol: invalid parent %d", parent)
@@ -220,8 +233,14 @@ func (ss *SecureStore) InsertSubtree(parent, after xmltree.NodeID, frag *xmltree
 // MoveSubtree relocates the subtree rooted at n to become a child of
 // newParent (after sibling `after`, or first child when after is
 // InvalidNode), preserving the subtree's access controls and values. The
-// destination must not lie inside the moved subtree.
+// destination must not lie inside the moved subtree. The delete and the
+// re-insert join one batch on a write-ahead-logged pager, so a crash never
+// exposes the intermediate deleted-but-not-reinserted document.
 func (ss *SecureStore) MoveSubtree(n, newParent, after xmltree.NodeID) error {
+	return ss.store.WithTxn(func() error { return ss.moveSubtree(n, newParent, after) })
+}
+
+func (ss *SecureStore) moveSubtree(n, newParent, after xmltree.NodeID) error {
 	st := ss.store
 	if !st.Valid(n) || n == 0 {
 		return fmt.Errorf("dol: cannot move node %d", n)

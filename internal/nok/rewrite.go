@@ -61,7 +61,21 @@ func (s *Store) BlockEntriesCtx(ctx context.Context, i int) ([]Entry, error) {
 // headers are positioned by directory order, not by stored node IDs.
 // It returns the number of blocks now occupying the region (directory
 // indices i .. i+n-1).
+//
+// The rewrite runs inside WithTxn: on a write-ahead-logged pager the whole
+// region replacement commits as one atomic batch (joining any batch already
+// open at an outer boundary).
 func (s *Store) RewriteRegion(i, j int, newEntries []Entry, startLevel int, startCode uint32) (int, error) {
+	var n int
+	err := s.WithTxn(func() error {
+		var err error
+		n, err = s.rewriteRegion(i, j, newEntries, startLevel, startCode)
+		return err
+	})
+	return n, err
+}
+
+func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, startCode uint32) (int, error) {
 	if i < 0 || j >= len(s.dir) || i > j {
 		return 0, fmt.Errorf("nok: invalid region [%d,%d] of %d blocks", i, j, len(s.dir))
 	}

@@ -200,8 +200,9 @@ func (p *FilePager) Allocate() (PageID, error) {
 	defer p.mu.Unlock()
 	zero := make([]byte, p.pageSize)
 	off := int64(p.numPages) * int64(p.pageSize)
-	if _, err := p.f.WriteAt(zero, off); err != nil {
-		return InvalidPage, fmt.Errorf("storage: allocate: %w", err)
+	if n, err := p.f.WriteAt(zero, off); err != nil {
+		return InvalidPage, fmt.Errorf("storage: allocate page %d at offset %d: wrote %d of %d bytes: %w",
+			p.numPages, off, n, p.pageSize, err)
 	}
 	id := PageID(p.numPages)
 	p.numPages++
@@ -219,8 +220,10 @@ func (p *FilePager) ReadPage(id PageID, buf []byte) error {
 	if len(buf) != p.pageSize {
 		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), p.pageSize)
 	}
-	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
-		return fmt.Errorf("storage: read page %d: %w", id, err)
+	off := int64(id) * int64(p.pageSize)
+	if n, err := p.f.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("storage: read page %d at offset %d: got %d of %d bytes: %w",
+			id, off, n, p.pageSize, err)
 	}
 	p.stats.Reads++
 	return nil
@@ -236,8 +239,12 @@ func (p *FilePager) WritePage(id PageID, buf []byte) error {
 	if len(buf) != p.pageSize {
 		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), p.pageSize)
 	}
-	if _, err := p.f.WriteAt(buf, int64(id)*int64(p.pageSize)); err != nil {
-		return fmt.Errorf("storage: write page %d: %w", id, err)
+	off := int64(id) * int64(p.pageSize)
+	if n, err := p.f.WriteAt(buf, off); err != nil {
+		// A short write tears the page; the ID and offset say exactly
+		// which one, which recovery diagnostics depend on.
+		return fmt.Errorf("storage: write page %d at offset %d: wrote %d of %d bytes: %w",
+			id, off, n, p.pageSize, err)
 	}
 	p.stats.Writes++
 	return nil

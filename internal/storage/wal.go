@@ -1,0 +1,638 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// This file implements the page-level write-ahead log that makes update
+// batches atomic: a crash at any instant leaves the data pager either
+// exactly as it was before the batch or exactly as the batch committed it —
+// never a torn mixture. The DOL encoding makes this a security property,
+// not merely a consistency one: a transition region torn mid-rewrite can
+// grant access that was being revoked.
+//
+// Protocol. A batch buffers after-images of every page it touches (reads
+// see the batch's own writes); nothing reaches the data pager before
+// commit. Commit appends the batch to the log — begin record, one frame per
+// page, an optional opaque metadata blob, commit record, every record
+// CRC32-guarded — and fsyncs the log. Only then are the images applied to
+// the data pager and fsynced, the metadata handed to the MetaSink, and a
+// checkpoint record appended before the log is truncated back to its
+// header. The fsync ordering is therefore log → data → checkpoint.
+//
+// Recovery. Opening the log classifies its tail:
+//
+//   - a committed batch without a checkpoint is redone (idempotent: the log
+//     holds full after-images) and its metadata re-delivered to the sink;
+//   - an uncommitted batch — missing or CRC-corrupt records, a torn tail —
+//     is discarded; by construction the data pager was never touched, so
+//     the pre-batch state is intact.
+
+// TxnPager is a Pager with atomic update batches. Begin/Commit nest: only
+// the outermost pair acts, so layered update entry points (securexml over
+// dol over nok) compose into a single atomic batch.
+type TxnPager interface {
+	Pager
+	// Begin opens a batch (or joins the enclosing one).
+	Begin() error
+	// Commit seals the batch. meta, when non-nil, is an opaque blob stored
+	// with the commit record and delivered to the recovery sink; the last
+	// non-nil meta of nested commits wins.
+	Commit(meta []byte) error
+	// Rollback abandons the batch. Inside a nesting it poisons the
+	// enclosing batch: the outermost Commit will fail and discard.
+	Rollback() error
+}
+
+// ErrBatchAborted is returned by Commit after an inner Rollback poisoned
+// the batch.
+var ErrBatchAborted = errors.New("storage: update batch aborted")
+
+// walMagic identifies a WAL file and its format version.
+var walMagic = [8]byte{'D', 'O', 'L', 'W', 'A', 'L', '0', '1'}
+
+const walHeaderSize = 12 // magic + u32 pageSize
+
+// WAL record types.
+const (
+	walRecBegin      = 1
+	walRecPage       = 2
+	walRecMeta       = 3
+	walRecCommit     = 4
+	walRecCheckpoint = 5
+)
+
+// WALPager wraps a Pager with write-ahead-logged update batches. Outside a
+// batch it is a transparent proxy (bulk loads journal nothing); inside one,
+// writes and allocations are buffered and only reach the wrapped pager
+// after the commit record is durable.
+type WALPager struct {
+	mu   sync.Mutex
+	data Pager
+	log  File
+	// sink receives the committed metadata blob after the data pager is
+	// synced and before the checkpoint record — both at commit and when
+	// recovery redoes a batch. It must be idempotent.
+	sink func([]byte) error
+
+	seq     uint64
+	depth   int
+	aborted bool
+	// pending maps page → after-image for the open batch; order preserves
+	// first-write order for deterministic apply.
+	pending map[PageID][]byte
+	order   []PageID
+	meta    []byte
+	// numPages is the logical page count (data pages + batch allocations).
+	numPages int
+	// lastAbortDirty records whether the most recent outermost rollback
+	// discarded buffered writes — the caller's in-memory state is then
+	// ahead of disk and must be rebuilt by reopening.
+	lastAbortDirty bool
+}
+
+// RecoveryInfo reports what opening a WAL found.
+type RecoveryInfo struct {
+	// Redone counts committed batches re-applied to the data pager.
+	Redone int
+	// MetaApplied reports that a redone batch carried a metadata blob that
+	// was (re)delivered to the sink.
+	MetaApplied bool
+	// Discarded reports that an uncommitted tail (torn or unfinished
+	// batch) was dropped.
+	Discarded bool
+}
+
+// OpenWALPager wraps data with a write-ahead log stored in log, first
+// running crash recovery: committed-but-unapplied batches are redone into
+// data (and their metadata delivered to sink, which may be nil), torn or
+// uncommitted tails are discarded. The log is truncated to its header
+// afterwards.
+func OpenWALPager(data Pager, log File, sink func([]byte) error) (*WALPager, RecoveryInfo, error) {
+	w := &WALPager{
+		data:     data,
+		log:      log,
+		sink:     sink,
+		numPages: data.NumPages(),
+	}
+	info, err := w.recover()
+	if err != nil {
+		return nil, info, err
+	}
+	return w, info, nil
+}
+
+// Data returns the wrapped pager.
+func (w *WALPager) Data() Pager { return w.data }
+
+// Log returns the log file.
+func (w *WALPager) Log() File { return w.log }
+
+// PageSize implements Pager.
+func (w *WALPager) PageSize() int { return w.data.PageSize() }
+
+// NumPages implements Pager: inside a batch it includes the batch's not
+// yet materialized allocations.
+func (w *WALPager) NumPages() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.numPages
+}
+
+// Allocate implements Pager. Inside a batch the page exists only in the
+// batch until commit.
+func (w *WALPager) Allocate() (PageID, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.depth == 0 {
+		id, err := w.data.Allocate()
+		if err == nil {
+			w.numPages = w.data.NumPages()
+		}
+		return id, err
+	}
+	id := PageID(w.numPages)
+	w.numPages++
+	w.stage(id, make([]byte, w.data.PageSize()))
+	return id, nil
+}
+
+// stage records buf (retained, not copied — callers pass fresh slices) as
+// the batch's after-image of id. Caller holds w.mu.
+func (w *WALPager) stage(id PageID, buf []byte) {
+	if _, ok := w.pending[id]; !ok {
+		w.order = append(w.order, id)
+	}
+	w.pending[id] = buf
+}
+
+// ReadPage implements Pager, reading through the open batch.
+func (w *WALPager) ReadPage(id PageID, buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if int(id) >= w.numPages {
+		return fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, w.numPages)
+	}
+	if img, ok := w.pending[id]; ok {
+		if len(buf) != len(img) {
+			return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), len(img))
+		}
+		copy(buf, img)
+		return nil
+	}
+	return w.data.ReadPage(id, buf)
+}
+
+// WritePage implements Pager. Inside a batch the write is journaled, not
+// applied.
+func (w *WALPager) WritePage(id PageID, buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.depth == 0 {
+		return w.data.WritePage(id, buf)
+	}
+	if int(id) >= w.numPages {
+		return fmt.Errorf("%w: write %d of %d", ErrPageOutOfRange, id, w.numPages)
+	}
+	if len(buf) != w.data.PageSize() {
+		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), w.data.PageSize())
+	}
+	img := make([]byte, len(buf))
+	copy(img, buf)
+	w.stage(id, img)
+	return nil
+}
+
+// Sync implements Pager. Inside a batch durability is deferred to Commit.
+func (w *WALPager) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.depth > 0 {
+		return nil
+	}
+	return w.data.Sync()
+}
+
+// Close implements Pager, discarding any open batch (equivalent to a crash
+// before commit) and closing both files.
+func (w *WALPager) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.discardLocked()
+	lerr := w.log.Close()
+	derr := w.data.Close()
+	if derr != nil {
+		return derr
+	}
+	return lerr
+}
+
+// Stats implements Pager. Batched writes are counted when they reach the
+// data pager at commit, keeping the physical counters honest.
+func (w *WALPager) Stats() IOStats { return w.data.Stats() }
+
+// InBatch reports whether an update batch is open.
+func (w *WALPager) InBatch() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.depth > 0
+}
+
+// Begin implements TxnPager.
+func (w *WALPager) Begin() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.depth++
+	if w.depth == 1 {
+		w.pending = make(map[PageID][]byte)
+		w.order = w.order[:0]
+		w.meta = nil
+		w.aborted = false
+		w.numPages = w.data.NumPages()
+	}
+	return nil
+}
+
+// Rollback implements TxnPager.
+func (w *WALPager) Rollback() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.depth == 0 {
+		return errors.New("storage: rollback without batch")
+	}
+	w.aborted = true
+	w.depth--
+	if w.depth == 0 {
+		w.discardLocked()
+	}
+	return nil
+}
+
+// LastAbortDirty reports whether the most recent outermost rollback threw
+// away buffered page writes. When true, the caller's in-memory structures
+// were built against state that never reached disk; the store must be
+// reopened (recovery restores the pre-batch pages).
+func (w *WALPager) LastAbortDirty() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastAbortDirty
+}
+
+// discardLocked drops the open batch. Caller holds w.mu.
+func (w *WALPager) discardLocked() {
+	w.lastAbortDirty = len(w.order) > 0
+	w.pending = nil
+	w.order = w.order[:0]
+	w.meta = nil
+	w.depth = 0
+	w.aborted = false
+	w.numPages = w.data.NumPages()
+}
+
+// Commit implements TxnPager. The outermost commit makes the batch durable
+// and applies it; nested commits only merge their metadata.
+func (w *WALPager) Commit(meta []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.depth == 0 {
+		return errors.New("storage: commit without batch")
+	}
+	if meta != nil {
+		w.meta = meta
+	}
+	if w.depth > 1 {
+		w.depth--
+		return nil
+	}
+	if w.aborted {
+		w.discardLocked()
+		return ErrBatchAborted
+	}
+	if len(w.order) == 0 && w.meta == nil {
+		w.depth = 0
+		w.pending = nil
+		w.lastAbortDirty = false
+		return nil
+	}
+	err := w.commitLocked()
+	if err != nil {
+		// The caller's in-memory state is ahead of disk whether the batch
+		// died before the commit record (pre-state on disk) or during
+		// apply (recovery will finish the redo); either way it must
+		// reopen. Mark the discard dirty so callers poison themselves.
+		w.discardLocked()
+		w.lastAbortDirty = true
+		return err
+	}
+	w.depth = 0
+	w.pending = nil
+	w.order = w.order[:0]
+	w.meta = nil
+	w.lastAbortDirty = false
+	return nil
+}
+
+// commitLocked runs the durable commit protocol. Caller holds w.mu.
+func (w *WALPager) commitLocked() error {
+	w.seq++
+	if err := w.ensureHeaderLocked(); err != nil {
+		return err
+	}
+	// 1. Journal: begin, frames, meta, commit — then make the log durable.
+	if err := w.appendRecord(encodeBegin(w.seq, w.data.NumPages())); err != nil {
+		return err
+	}
+	for _, id := range w.order {
+		if err := w.appendRecord(encodePage(id, w.pending[id])); err != nil {
+			return err
+		}
+	}
+	if w.meta != nil {
+		if err := w.appendRecord(encodeMeta(w.meta)); err != nil {
+			return err
+		}
+	}
+	if err := w.appendRecord(encodeCommit(w.seq, w.numPages, len(w.order))); err != nil {
+		return err
+	}
+	if err := w.log.Sync(); err != nil {
+		return fmt.Errorf("storage: wal commit sync: %w", err)
+	}
+	// 2. Apply to the data pager and make it durable.
+	if err := w.applyLocked(w.numPages, w.order, w.pending); err != nil {
+		return err
+	}
+	// 3. Deliver metadata, then checkpoint and reset the log.
+	if w.sink != nil && w.meta != nil {
+		if err := w.sink(w.meta); err != nil {
+			return fmt.Errorf("storage: wal meta sink: %w", err)
+		}
+	}
+	if err := w.appendRecord(encodeCheckpoint(w.seq)); err != nil {
+		return err
+	}
+	if err := w.log.Sync(); err != nil {
+		return fmt.Errorf("storage: wal checkpoint sync: %w", err)
+	}
+	if err := w.log.Truncate(walHeaderSize); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	return nil
+}
+
+// applyLocked materializes a batch in the data pager: allocate up to
+// finalPages, write every after-image, sync. Caller holds w.mu.
+func (w *WALPager) applyLocked(finalPages int, order []PageID, images map[PageID][]byte) error {
+	for w.data.NumPages() < finalPages {
+		if _, err := w.data.Allocate(); err != nil {
+			return fmt.Errorf("storage: wal apply allocate: %w", err)
+		}
+	}
+	for _, id := range order {
+		if err := w.data.WritePage(id, images[id]); err != nil {
+			return fmt.Errorf("storage: wal apply: %w", err)
+		}
+	}
+	if err := w.data.Sync(); err != nil {
+		return fmt.Errorf("storage: wal apply sync: %w", err)
+	}
+	return nil
+}
+
+// ensureHeaderLocked writes the log header if the file is empty, and
+// validates it otherwise. Caller holds w.mu.
+func (w *WALPager) ensureHeaderLocked() error {
+	size, err := w.log.Size()
+	if err != nil {
+		return err
+	}
+	if size >= walHeaderSize {
+		return nil
+	}
+	if size != 0 {
+		if err := w.log.Truncate(0); err != nil {
+			return err
+		}
+	}
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(w.data.PageSize()))
+	if _, err := w.log.Append(hdr); err != nil {
+		return fmt.Errorf("storage: wal header: %w", err)
+	}
+	return nil
+}
+
+// appendRecord appends one framed record (payload already includes the
+// type byte) plus its CRC32.
+func (w *WALPager) appendRecord(rec []byte) error {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(rec))
+	if _, err := w.log.Append(append(rec, crc[:]...)); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	return nil
+}
+
+func encodeBegin(seq uint64, basePages int) []byte {
+	b := make([]byte, 13)
+	b[0] = walRecBegin
+	binary.LittleEndian.PutUint64(b[1:], seq)
+	binary.LittleEndian.PutUint32(b[9:], uint32(basePages))
+	return b
+}
+
+func encodePage(id PageID, data []byte) []byte {
+	b := make([]byte, 5+len(data))
+	b[0] = walRecPage
+	binary.LittleEndian.PutUint32(b[1:], uint32(id))
+	copy(b[5:], data)
+	return b
+}
+
+func encodeMeta(meta []byte) []byte {
+	b := make([]byte, 5+len(meta))
+	b[0] = walRecMeta
+	binary.LittleEndian.PutUint32(b[1:], uint32(len(meta)))
+	copy(b[5:], meta)
+	return b
+}
+
+func encodeCommit(seq uint64, finalPages, frames int) []byte {
+	b := make([]byte, 17)
+	b[0] = walRecCommit
+	binary.LittleEndian.PutUint64(b[1:], seq)
+	binary.LittleEndian.PutUint32(b[9:], uint32(finalPages))
+	binary.LittleEndian.PutUint32(b[13:], uint32(frames))
+	return b
+}
+
+func encodeCheckpoint(seq uint64) []byte {
+	b := make([]byte, 9)
+	b[0] = walRecCheckpoint
+	binary.LittleEndian.PutUint64(b[1:], seq)
+	return b
+}
+
+// walBatch is one parsed batch during recovery.
+type walBatch struct {
+	seq          uint64
+	finalPages   int
+	order        []PageID
+	images       map[PageID][]byte
+	meta         []byte
+	committed    bool
+	checkpointed bool
+}
+
+// recover scans the log, redoes committed-but-unapplied batches, discards
+// torn or uncommitted tails, and truncates the log to its header.
+func (w *WALPager) recover() (RecoveryInfo, error) {
+	var info RecoveryInfo
+	size, err := w.log.Size()
+	if err != nil {
+		return info, err
+	}
+	if size < walHeaderSize {
+		// Fresh (or unusable-short) log: reset to a bare header.
+		if size != 0 {
+			info.Discarded = true
+		}
+		if err := w.log.Truncate(0); err != nil {
+			return info, err
+		}
+		return info, w.ensureHeaderLocked()
+	}
+	buf := make([]byte, size)
+	if _, err := w.log.ReadAt(buf, 0); err != nil {
+		return info, fmt.Errorf("storage: wal read: %w", err)
+	}
+	if [8]byte(buf[:8]) != walMagic {
+		return info, fmt.Errorf("storage: wal bad magic %q", buf[:8])
+	}
+	if ps := int(binary.LittleEndian.Uint32(buf[8:12])); ps != w.data.PageSize() {
+		return info, fmt.Errorf("storage: wal page size %d, data pager has %d", ps, w.data.PageSize())
+	}
+	batches, tail := parseWAL(buf[walHeaderSize:], w.data.PageSize())
+	info.Discarded = tail
+	for _, b := range batches {
+		if b.seq > w.seq {
+			w.seq = b.seq
+		}
+		if !b.committed {
+			info.Discarded = true
+			continue
+		}
+		if b.checkpointed {
+			continue
+		}
+		if err := w.applyLocked(b.finalPages, b.order, b.images); err != nil {
+			return info, fmt.Errorf("storage: wal redo batch %d: %w", b.seq, err)
+		}
+		w.numPages = w.data.NumPages()
+		if w.sink != nil && b.meta != nil {
+			if err := w.sink(b.meta); err != nil {
+				return info, fmt.Errorf("storage: wal redo meta sink: %w", err)
+			}
+			info.MetaApplied = true
+		}
+		info.Redone++
+	}
+	if err := w.log.Truncate(walHeaderSize); err != nil {
+		return info, err
+	}
+	if err := w.log.Sync(); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// parseWAL splits the record region into batches. It stops at the first
+// malformed or CRC-corrupt record; tail reports whether such a stop dropped
+// bytes (a torn log).
+func parseWAL(b []byte, pageSize int) (batches []*walBatch, tail bool) {
+	var cur *walBatch
+	for len(b) > 0 {
+		rec, rest, ok := nextRecord(b, pageSize)
+		if !ok {
+			return batches, true
+		}
+		b = rest
+		switch rec[0] {
+		case walRecBegin:
+			cur = &walBatch{
+				seq:    binary.LittleEndian.Uint64(rec[1:]),
+				images: make(map[PageID][]byte),
+			}
+			batches = append(batches, cur)
+		case walRecPage:
+			if cur == nil || cur.committed {
+				return batches, true
+			}
+			id := PageID(binary.LittleEndian.Uint32(rec[1:]))
+			img := append([]byte(nil), rec[5:]...)
+			if _, ok := cur.images[id]; !ok {
+				cur.order = append(cur.order, id)
+			}
+			cur.images[id] = img
+		case walRecMeta:
+			if cur == nil || cur.committed {
+				return batches, true
+			}
+			cur.meta = append([]byte(nil), rec[5:]...)
+		case walRecCommit:
+			if cur == nil || cur.committed ||
+				binary.LittleEndian.Uint64(rec[1:]) != cur.seq ||
+				int(binary.LittleEndian.Uint32(rec[13:])) != len(cur.order) {
+				return batches, true
+			}
+			cur.finalPages = int(binary.LittleEndian.Uint32(rec[9:]))
+			cur.committed = true
+		case walRecCheckpoint:
+			if cur == nil || !cur.committed ||
+				binary.LittleEndian.Uint64(rec[1:]) != cur.seq {
+				return batches, true
+			}
+			cur.checkpointed = true
+		default:
+			return batches, true
+		}
+	}
+	return batches, false
+}
+
+// nextRecord slices one CRC-validated record (without its CRC) off b.
+func nextRecord(b []byte, pageSize int) (rec, rest []byte, ok bool) {
+	if len(b) < 1 {
+		return nil, nil, false
+	}
+	var n int // record length excluding CRC
+	switch b[0] {
+	case walRecBegin:
+		n = 13
+	case walRecPage:
+		n = 5 + pageSize
+	case walRecMeta:
+		if len(b) < 5 {
+			return nil, nil, false
+		}
+		n = 5 + int(binary.LittleEndian.Uint32(b[1:]))
+	case walRecCommit:
+		n = 17
+	case walRecCheckpoint:
+		n = 9
+	default:
+		return nil, nil, false
+	}
+	if n < 0 || len(b) < n+4 {
+		return nil, nil, false
+	}
+	if crc32.ChecksumIEEE(b[:n]) != binary.LittleEndian.Uint32(b[n:]) {
+		return nil, nil, false
+	}
+	return b[:n], b[n+4:], true
+}

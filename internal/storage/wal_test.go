@@ -1,0 +1,420 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// pageBytes builds a page-sized buffer whose first bytes spell out a marker.
+func pageBytes(size int, marker byte) []byte {
+	b := make([]byte, size)
+	for i := 0; i < 8; i++ {
+		b[i] = marker
+	}
+	return b
+}
+
+func readPageOrFatal(t *testing.T, p Pager, id PageID) []byte {
+	t.Helper()
+	buf := make([]byte, p.PageSize())
+	if err := p.ReadPage(id, buf); err != nil {
+		t.Fatalf("read page %d: %v", id, err)
+	}
+	return buf
+}
+
+func newMemWAL(t *testing.T) (*WALPager, *MemPager, *MemFile) {
+	t.Helper()
+	mem := NewMemPager(128)
+	log := NewMemFile()
+	w, _, err := OpenWALPager(mem, log, nil)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	return w, mem, log
+}
+
+func TestWALPassthroughOutsideBatch(t *testing.T) {
+	w, mem, _ := newMemWAL(t)
+	id, err := w.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePage(id, pageBytes(128, 'a')); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPageOrFatal(t, mem, id); got[0] != 'a' {
+		t.Fatalf("write did not pass through: %q", got[0])
+	}
+}
+
+func TestWALCommitAppliesBatch(t *testing.T) {
+	w, mem, log := newMemWAL(t)
+	base, _ := w.Allocate()
+	if err := w.WritePage(base, pageBytes(128, 'a')); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePage(base, pageBytes(128, 'b')); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := w.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePage(grown, pageBytes(128, 'c')); err != nil {
+		t.Fatal(err)
+	}
+	// Batch-local reads see the batch; the data pager does not.
+	if got := readPageOrFatal(t, w, base); got[0] != 'b' {
+		t.Fatalf("batch read = %q, want b", got[0])
+	}
+	if got := readPageOrFatal(t, mem, base); got[0] != 'a' {
+		t.Fatalf("data pager leaked batch write: %q", got[0])
+	}
+	if mem.NumPages() != 1 {
+		t.Fatalf("allocation leaked into data pager: %d pages", mem.NumPages())
+	}
+	if w.NumPages() != 2 {
+		t.Fatalf("logical NumPages = %d, want 2", w.NumPages())
+	}
+
+	if err := w.Commit([]byte("meta-blob")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPageOrFatal(t, mem, base); got[0] != 'b' {
+		t.Fatalf("commit did not apply: %q", got[0])
+	}
+	if got := readPageOrFatal(t, mem, grown); got[0] != 'c' {
+		t.Fatalf("commit did not materialize allocation: %q", got[0])
+	}
+	if sz, _ := log.Size(); sz != walHeaderSize {
+		t.Fatalf("log not truncated after checkpoint: %d bytes", sz)
+	}
+}
+
+func TestWALRollbackDiscards(t *testing.T) {
+	w, mem, _ := newMemWAL(t)
+	id, _ := w.Allocate()
+	if err := w.WritePage(id, pageBytes(128, 'a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePage(id, pageBytes(128, 'x')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.LastAbortDirty() {
+		t.Fatal("rollback with writes should report dirty")
+	}
+	if got := readPageOrFatal(t, mem, id); got[0] != 'a' {
+		t.Fatalf("rollback leaked: %q", got[0])
+	}
+	// A clean (write-free) rollback is not dirty.
+	w.Begin()
+	w.Rollback()
+	if w.LastAbortDirty() {
+		t.Fatal("write-free rollback should not be dirty")
+	}
+}
+
+func TestWALNestedBatches(t *testing.T) {
+	w, mem, _ := newMemWAL(t)
+	id, _ := w.Allocate()
+	w.Begin()
+	w.Begin() // inner
+	if err := w.WritePage(id, pageBytes(128, 'n')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(nil); err != nil {
+		t.Fatal(err) // inner commit: no effect yet
+	}
+	if got := readPageOrFatal(t, mem, id); got[0] == 'n' {
+		t.Fatal("inner commit applied early")
+	}
+	if err := w.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPageOrFatal(t, mem, id); got[0] != 'n' {
+		t.Fatalf("outer commit did not apply: %q", got[0])
+	}
+}
+
+func TestWALInnerRollbackPoisonsOuterCommit(t *testing.T) {
+	w, mem, _ := newMemWAL(t)
+	id, _ := w.Allocate()
+	w.Begin()
+	if err := w.WritePage(id, pageBytes(128, 'p')); err != nil {
+		t.Fatal(err)
+	}
+	w.Begin()
+	if err := w.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(nil); !errors.Is(err, ErrBatchAborted) {
+		t.Fatalf("outer commit after inner rollback: %v, want ErrBatchAborted", err)
+	}
+	if got := readPageOrFatal(t, mem, id); got[0] == 'p' {
+		t.Fatal("aborted batch leaked")
+	}
+}
+
+// TestWALRecoveryRedo simulates a crash after the commit record became
+// durable but before the data pages were written: recovery must redo the
+// batch from the log.
+func TestWALRecoveryRedo(t *testing.T) {
+	mem := NewMemPager(128)
+	log := NewMemFile()
+	fp := NewFaultPager(mem)
+	w, _, err := OpenWALPager(fp, log, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Allocate()
+	if err := w.WritePage(id, pageBytes(128, 'a')); err != nil {
+		t.Fatal(err)
+	}
+	// Crash at the first data write of the apply phase (Arm resets the
+	// counters, so the pre-batch write above is not counted).
+	fp.Arm(Fault{Op: FaultWrite, N: 1})
+	w.Begin()
+	if err := w.WritePage(id, pageBytes(128, 'z')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit([]byte("m")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit survived injected apply failure: %v", err)
+	}
+	if !w.LastAbortDirty() {
+		t.Fatal("failed commit must report dirty")
+	}
+
+	// Reopen "the disk": same MemPager and MemFile, fresh handles.
+	var sunk []byte
+	w2, info, err := OpenWALPager(mem, log, func(m []byte) error {
+		sunk = append([]byte(nil), m...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if info.Redone != 1 {
+		t.Fatalf("Redone = %d, want 1", info.Redone)
+	}
+	if !info.MetaApplied || !bytes.Equal(sunk, []byte("m")) {
+		t.Fatalf("meta not redelivered: applied=%v sunk=%q", info.MetaApplied, sunk)
+	}
+	if got := readPageOrFatal(t, w2, id); got[0] != 'z' {
+		t.Fatalf("redo lost the committed image: %q", got[0])
+	}
+}
+
+// TestWALRecoveryDiscardsUncommitted simulates a crash before the commit
+// record: the log holds a torn batch, the data pager the pre-state.
+func TestWALRecoveryDiscardsUncommitted(t *testing.T) {
+	mem := NewMemPager(128)
+	log := NewMemFile()
+	ff := NewFaultFile(log)
+	w, _, err := OpenWALPager(mem, ff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Allocate()
+	if err := w.WritePage(id, pageBytes(128, 'a')); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the page frame append (header=1, begin=2, page=3).
+	ff.Arm(Fault{Op: FaultWrite, N: 3, Torn: true})
+	w.Begin()
+	if err := w.WritePage(id, pageBytes(128, 'z')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit survived torn log: %v", err)
+	}
+
+	w2, info, err := OpenWALPager(mem, log, nil)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if info.Redone != 0 {
+		t.Fatalf("redid a batch that never committed")
+	}
+	if !info.Discarded {
+		t.Fatal("torn tail not reported as discarded")
+	}
+	if got := readPageOrFatal(t, w2, id); got[0] != 'a' {
+		t.Fatalf("pre-state lost: %q", got[0])
+	}
+}
+
+// TestWALRecoveryEveryLogPrefix replays a crash at every byte length of the
+// log produced by one committed batch: any prefix short of the commit
+// record must recover to the pre-state, any prefix including it to the
+// post-state. This is the torn-log exhaustiveness check.
+func TestWALRecoveryEveryLogPrefix(t *testing.T) {
+	// First, produce a full pre-truncation log image by crashing just
+	// before the apply phase (data write #1).
+	build := func() (*MemPager, []byte, int) {
+		mem := NewMemPager(128)
+		log := NewMemFile()
+		fp := NewFaultPager(mem)
+		w, _, err := OpenWALPager(fp, log, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := w.Allocate()
+		b, _ := w.Allocate()
+		w.WritePage(a, pageBytes(128, 'a'))
+		w.WritePage(b, pageBytes(128, 'b'))
+		fp.Arm(Fault{Op: FaultWrite, N: 1})
+		w.Begin()
+		w.WritePage(a, pageBytes(128, 'A'))
+		w.WritePage(b, pageBytes(128, 'B'))
+		if err := w.Commit(nil); !errors.Is(err, ErrInjected) {
+			t.Fatalf("commit: %v", err)
+		}
+		full := log.Bytes()
+		// Commit-record boundary: everything except the trailing
+		// commit record (17+4 bytes) is "before commit".
+		return mem, full, len(full) - (17 + 4)
+	}
+
+	_, full, commitStart := build()
+	for cut := 0; cut <= len(full); cut++ {
+		mem, fullNow, _ := build()
+		log := NewMemFile()
+		log.SetBytes(fullNow[:cut])
+		w, _, err := OpenWALPager(mem, log, nil)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		pa := readPageOrFatal(t, w, 0)[0]
+		pb := readPageOrFatal(t, w, 1)[0]
+		wantPre := cut < commitStart+17+4
+		switch {
+		case wantPre && (pa != 'a' || pb != 'b'):
+			t.Fatalf("cut %d: want pre-state, got %c%c", cut, pa, pb)
+		case !wantPre && (pa != 'A' || pb != 'B'):
+			t.Fatalf("cut %d: want post-state, got %c%c", cut, pa, pb)
+		}
+		if sz, _ := log.Size(); sz != walHeaderSize {
+			t.Fatalf("cut %d: log not reset (size %d)", cut, sz)
+		}
+	}
+}
+
+// TestWALRecoveryCorruptedCommitCRC flips a byte inside the commit record:
+// the batch must be discarded, not half-applied.
+func TestWALRecoveryCorruptedCommitCRC(t *testing.T) {
+	mem := NewMemPager(128)
+	log := NewMemFile()
+	fp := NewFaultPager(mem)
+	w, _, err := OpenWALPager(fp, log, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Allocate()
+	w.WritePage(id, pageBytes(128, 'a'))
+	fp.Arm(Fault{Op: FaultWrite, N: 1})
+	w.Begin()
+	w.WritePage(id, pageBytes(128, 'z'))
+	if err := w.Commit(nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit: %v", err)
+	}
+	img := log.Bytes()
+	img[len(img)-6] ^= 0xff // inside the commit record payload/CRC
+	log.SetBytes(img)
+	w2, info, err := OpenWALPager(mem, log, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Redone != 0 {
+		t.Fatal("redid a batch with a corrupt commit record")
+	}
+	if got := readPageOrFatal(t, w2, id); got[0] != 'a' {
+		t.Fatalf("pre-state lost: %q", got[0])
+	}
+}
+
+// TestWALFilePair runs the commit + recovery protocol over real files.
+func TestWALFilePair(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "pages.db")
+	walPath := filepath.Join(dir, "wal.log")
+
+	open := func() (*WALPager, func()) {
+		fp, err := OpenFilePager(dataPath, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lf, err := OpenOSFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _, err := OpenWALPager(fp, lf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, func() { w.Close() }
+	}
+
+	w, done := open()
+	id, _ := w.Allocate()
+	if err := w.WritePage(id, pageBytes(256, 'a')); err != nil {
+		t.Fatal(err)
+	}
+	w.Begin()
+	if err := w.WritePage(id, pageBytes(256, 'b')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	done()
+
+	w, done = open()
+	defer done()
+	if got := readPageOrFatal(t, w, id); got[0] != 'b' {
+		t.Fatalf("reopened page = %q, want b", got[0])
+	}
+	info, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != walHeaderSize {
+		t.Fatalf("wal file size %d, want bare header %d", info.Size(), walHeaderSize)
+	}
+}
+
+// TestFilePagerShortWriteContext checks that torn-write errors carry the
+// page ID and byte offset.
+func TestFilePagerShortWriteContext(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenFilePager(filepath.Join(dir, "p.db"), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	err = p.WritePage(7, make([]byte, 512))
+	if err == nil {
+		t.Fatal("out-of-range write succeeded")
+	}
+	if want := "write 7 of 1"; !errors.Is(err, ErrPageOutOfRange) || !contains(err.Error(), want) {
+		t.Fatalf("error %q lacks context %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

@@ -1,11 +1,13 @@
 package securexml
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"dolxml/internal/acl"
 	"dolxml/internal/dol"
@@ -21,6 +23,9 @@ const metaFile = "store.json"
 // pageFile is the default page file name inside a store directory.
 const pageFile = "pages.db"
 
+// walSuffix names the write-ahead log beside a page file.
+const walSuffix = ".wal"
+
 type persistedStore struct {
 	Format   int                   `json:"format"`
 	PageSize int                   `json:"page_size"`
@@ -30,10 +35,101 @@ type persistedStore struct {
 	Codebook string                `json:"codebook"` // base64 of Codebook.MarshalBinary
 }
 
+// metaSink receives the metadata blob of every committed WAL batch — both
+// live commits and batches redone during recovery — and rewrites the
+// store.json sidecar atomically. Until a persisted directory is known
+// (a store sealed but never saved) the blobs are dropped: there is no
+// sidecar on disk whose staleness could matter.
+type metaSink struct {
+	mu  sync.Mutex
+	dir string
+}
+
+func (m *metaSink) set(dir string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dir = dir
+}
+
+func (m *metaSink) deliver(meta []byte) error {
+	m.mu.Lock()
+	dir := m.dir
+	m.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	return writeFileAtomic(filepath.Join(dir, metaFile), meta)
+}
+
+// writeFileAtomic replaces path with data via a same-directory temp file
+// and rename, fsyncing the file before the rename and the directory after,
+// so a crash leaves either the old sidecar or the new one — never a torn
+// or missing file.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op once renamed away
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// marshalMeta serializes the store's current metadata sidecar image — the
+// blob Save writes to store.json and update commits journal in the WAL.
+func (s *Store) marshalMeta() ([]byte, error) {
+	cb, err := s.ss.Codebook().MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	ps := persistedStore{
+		Format:   1,
+		PageSize: s.opts.PageSize,
+		Modes:    s.modes,
+		Dir:      s.dir.Snapshot(),
+		Nok:      s.ss.Store().Meta(),
+		Codebook: base64.StdEncoding.EncodeToString(cb),
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(ps); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // Save persists the store into the directory: the (already file-backed or
 // copied) page file plus a JSON metadata sidecar. A store sealed without
-// StoreOptions.Path is written out page by page.
+// StoreOptions.Path is written out page by page. The sidecar lands via an
+// atomic temp-file-and-rename, and both it and the pages are fsynced, so
+// an interrupted Save never leaves a half-written store behind.
 func (s *Store) Save(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return errStoreFailed
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -68,50 +164,97 @@ func (s *Store) Save(dir string) error {
 		if err := dst.Sync(); err != nil {
 			return err
 		}
+	} else if err := s.pool.Pager().Sync(); err != nil {
+		return err
 	}
-	cb, err := s.ss.Codebook().MarshalBinary()
+	meta, err := s.marshalMeta()
 	if err != nil {
 		return err
 	}
-	ps := persistedStore{
-		Format:   1,
-		PageSize: s.opts.PageSize,
-		Modes:    s.modes,
-		Dir:      s.dir.Snapshot(),
-		Nok:      s.ss.Store().Meta(),
-		Codebook: base64.StdEncoding.EncodeToString(cb),
-	}
-	f, err := os.Create(filepath.Join(dir, metaFile))
-	if err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, metaFile), meta); err != nil {
 		return err
 	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", " ")
-	return enc.Encode(ps)
+	if s.opts.Path == pagePath {
+		// The live page file sits in the saved directory: from now on
+		// every committed update keeps the sidecar current through the
+		// WAL's metadata sink.
+		s.sink.set(dir)
+	}
+	return nil
 }
 
-// Open loads a store previously written by Save.
-func Open(dir string, opts StoreOptions) (*Store, error) {
-	opts.defaults()
-	f, err := os.Open(filepath.Join(dir, metaFile))
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+// readMeta loads and validates the store.json sidecar.
+func readMeta(dir string) (persistedStore, error) {
 	var ps persistedStore
-	if err := json.NewDecoder(f).Decode(&ps); err != nil {
-		return nil, fmt.Errorf("securexml: corrupt metadata: %w", err)
+	b, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return ps, err
+	}
+	if err := json.Unmarshal(b, &ps); err != nil {
+		return ps, fmt.Errorf("securexml: corrupt metadata: %w", err)
 	}
 	if ps.Format != 1 {
-		return nil, fmt.Errorf("securexml: unsupported format %d", ps.Format)
+		return ps, fmt.Errorf("securexml: unsupported format %d", ps.Format)
+	}
+	return ps, nil
+}
+
+// Open loads a store previously written by Save, first running WAL crash
+// recovery: update batches whose commit record reached the log but whose
+// pages (or sidecar) did not all reach the store are redone, and torn or
+// uncommitted batches are discarded, restoring the pre-update state. The
+// page summaries, deny bitmaps, decode cache and tag indexes are derived
+// structures rebuilt here from the recovered pages, so no stale cached
+// view of a rolled-forward or rolled-back page can survive a reopen.
+func Open(dir string, opts StoreOptions) (*Store, error) {
+	opts.defaults()
+	ps, err := readMeta(dir)
+	if err != nil {
+		return nil, err
 	}
 	opts.PageSize = ps.PageSize
 	opts.Path = filepath.Join(dir, pageFile)
 
-	pager, err := storage.OpenFilePager(opts.Path, opts.PageSize)
+	var pager storage.Pager
+	fp, err := storage.OpenFilePager(opts.Path, opts.PageSize)
 	if err != nil {
 		return nil, err
+	}
+	pager = fp
+	if opts.WrapPager != nil {
+		pager = opts.WrapPager(pager)
+	}
+	sink := &metaSink{dir: dir}
+	var info storage.RecoveryInfo
+	if !opts.DisableWAL {
+		osf, err := storage.OpenOSFile(opts.Path + walSuffix)
+		if err != nil {
+			pager.Close()
+			return nil, err
+		}
+		var log storage.File = osf
+		if opts.WrapWALFile != nil {
+			log = opts.WrapWALFile(log)
+		}
+		wp, ri, err := storage.OpenWALPager(pager, log, sink.deliver)
+		if err != nil {
+			log.Close()
+			pager.Close()
+			return nil, fmt.Errorf("securexml: wal recovery: %w", err)
+		}
+		pager, info = wp, ri
+		if info.MetaApplied {
+			// Recovery redid a batch whose sidecar had not landed;
+			// the sink just rewrote store.json — reload it.
+			if ps, err = readMeta(dir); err != nil {
+				pager.Close()
+				return nil, err
+			}
+			if ps.PageSize != opts.PageSize {
+				pager.Close()
+				return nil, fmt.Errorf("securexml: recovered metadata page size %d, had %d", ps.PageSize, opts.PageSize)
+			}
+		}
 	}
 	pool := storage.NewBufferPool(pager, opts.PoolPages)
 	st, err := nok.Open(pool, ps.Nok)
@@ -149,6 +292,8 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 		modes:    ps.Modes,
 		modeIdx:  modeIdx,
 		idxDirty: true,
+		sink:     sink,
+		recovery: info,
 	}
 	if err := s.reindex(); err != nil {
 		return nil, err

@@ -34,6 +34,16 @@ type StoreOptions struct {
 	// scans skip re-parsing (an in-memory complement to the buffer pool).
 	// 0 keeps the default (1 MiB); a negative value disables the cache.
 	DecodeCacheBytes int64
+	// DisableWAL turns off the write-ahead log that file-backed stores
+	// otherwise get, trading crash atomicity of updates for one less file
+	// and fewer fsyncs. Memory-backed stores never have a WAL.
+	DisableWAL bool
+	// WrapPager, when set, wraps the data pager before the store (and the
+	// WAL) sees it — a seam for fault-injection tests.
+	WrapPager func(storage.Pager) storage.Pager
+	// WrapWALFile, when set, wraps the write-ahead log file — the matching
+	// fault-injection seam for the log itself.
+	WrapWALFile func(storage.File) storage.File
 }
 
 func (o *StoreOptions) defaults() {
@@ -65,7 +75,36 @@ type Store struct {
 	index    *btree.Tree
 	vindex   *btree.ValueTree
 	idxDirty bool
+	// sink routes committed update metadata (the store.json image carried
+	// in WAL commit records) to the persisted directory, once one is known.
+	sink *metaSink
+	// recovery records what opening the WAL found (zero value when the
+	// store has no WAL or the log was clean).
+	recovery storage.RecoveryInfo
+	// failed marks the store poisoned: an update batch was rolled back
+	// after buffering page writes, so the in-memory directory, codebook and
+	// buffer pool are ahead of what disk will ever hold. Every subsequent
+	// operation fails and Close skips flushing; reopening the store runs
+	// WAL recovery and rebuilds a consistent image.
+	failed bool
 }
+
+// errStoreFailed poisons a store whose in-memory state diverged from disk
+// when an update batch was discarded. See Store.failed.
+var errStoreFailed = fmt.Errorf("securexml: store failed mid-update; close and reopen to recover")
+
+// Failed reports whether the store has been poisoned by a discarded update
+// batch and must be reopened.
+func (s *Store) Failed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.failed
+}
+
+// Recovery reports what crash recovery found when the store was opened:
+// how many committed batches were redone, whether their metadata sidecar
+// was rewritten, and whether a torn or uncommitted log tail was discarded.
+func (s *Store) Recovery() storage.RecoveryInfo { return s.recovery }
 
 // Seal materializes the policy into a DOL-labeled NoK store and returns
 // the queryable Store. The builder must not be reused afterwards.
@@ -81,6 +120,7 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink := &metaSink{}
 	var pager storage.Pager
 	if opts.Path != "" {
 		fp, err := storage.OpenFilePager(opts.Path, opts.PageSize)
@@ -90,6 +130,30 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 		pager = fp
 	} else {
 		pager = storage.NewMemPager(opts.PageSize)
+	}
+	if opts.WrapPager != nil {
+		pager = opts.WrapPager(pager)
+	}
+	if opts.Path != "" && !opts.DisableWAL {
+		// The initial bulk build runs outside any batch (the WAL is a
+		// transparent proxy until Begin), so sealing journals nothing;
+		// the log starts mattering at the first update.
+		osf, err := storage.OpenOSFile(opts.Path + walSuffix)
+		if err != nil {
+			pager.Close()
+			return nil, err
+		}
+		var log storage.File = osf
+		if opts.WrapWALFile != nil {
+			log = opts.WrapWALFile(log)
+		}
+		wp, _, err := storage.OpenWALPager(pager, log, sink.deliver)
+		if err != nil {
+			log.Close()
+			pager.Close()
+			return nil, err
+		}
+		pager = wp
 	}
 	pool := storage.NewBufferPool(pager, opts.PoolPages)
 	ss, err := dol.BuildSecureStore(pool, b.doc, matrix, nok.BuildOptions{
@@ -108,6 +172,7 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 		modes:    b.modes,
 		modeIdx:  b.modeIdx,
 		idxDirty: true,
+		sink:     sink,
 	}
 	if err := s.reindex(); err != nil {
 		return nil, err
@@ -232,6 +297,10 @@ func (s *Store) matches(nodes []xmltree.NodeID) ([]Match, error) {
 // hold and must release it with s.mu.RUnlock().
 func (s *Store) lockForQuery() error {
 	s.mu.RLock()
+	if s.failed {
+		s.mu.RUnlock()
+		return errStoreFailed
+	}
 	if !s.idxDirty {
 		return nil
 	}
@@ -346,6 +415,60 @@ func (s *Store) UserAccessible(user, mode string, n NodeID) (bool, error) {
 	return view.Accessible(xmltree.NodeID(n))
 }
 
+// withUpdateTxn runs fn as one user-visible atomic update. On a
+// write-ahead-logged pager it opens the outermost batch (the nok/dol
+// layers' own batches nest inside), flushes every dirty buffer-pool frame
+// into it, and commits with the serialized metadata sidecar — so the page
+// images and the codebook/directory state they reference become durable
+// together. The caller must hold the write lock.
+//
+// If the batch is rolled back or the commit fails after page writes were
+// buffered, the in-memory store is ahead of what disk will ever hold; the
+// store is then poisoned (see Store.failed) and must be reopened.
+func (s *Store) withUpdateTxn(fn func() error) error {
+	if s.failed {
+		return errStoreFailed
+	}
+	tp, ok := s.pool.Pager().(storage.TxnPager)
+	if !ok {
+		return fn()
+	}
+	if err := tp.Begin(); err != nil {
+		return err
+	}
+	runErr := fn()
+	// Flush unconditionally: on success the dirty frames must join the
+	// batch before commit; on failure they must join it before rollback so
+	// the pager's dirty-abort report distinguishes a clean validation
+	// failure from a discarded half-written update.
+	flushErr := s.pool.FlushAll()
+	if runErr == nil {
+		runErr = flushErr
+	}
+	if runErr == nil {
+		var meta []byte
+		if meta, runErr = s.marshalMeta(); runErr == nil {
+			if runErr = tp.Commit(meta); runErr == nil {
+				return nil
+			}
+			s.noteAbort(tp)
+			return runErr
+		}
+	}
+	_ = tp.Rollback()
+	s.noteAbort(tp)
+	return runErr
+}
+
+// noteAbort poisons the store when the pager reports that an abort
+// discarded buffered writes. The caller must hold the write lock.
+func (s *Store) noteAbort(tp storage.TxnPager) {
+	type dirtyReporter interface{ LastAbortDirty() bool }
+	if d, ok := tp.(dirtyReporter); ok && d.LastAbortDirty() {
+		s.failed = true
+	}
+}
+
 // SetAccess grants or revokes the subject's access to node n (or, with
 // wholeSubtree, to n's entire subtree) under the mode — the §3.4
 // accessibility updates, applied in place to the affected blocks only.
@@ -356,10 +479,12 @@ func (s *Store) SetAccess(subject, mode string, n NodeID, allowed, wholeSubtree 
 	if err != nil {
 		return err
 	}
-	if wholeSubtree {
-		return s.ss.SetSubtreeAccess(xmltree.NodeID(n), bit, allowed)
-	}
-	return s.ss.SetNodeAccess(xmltree.NodeID(n), bit, allowed)
+	return s.withUpdateTxn(func() error {
+		if wholeSubtree {
+			return s.ss.SetSubtreeAccess(xmltree.NodeID(n), bit, allowed)
+		}
+		return s.ss.SetNodeAccess(xmltree.NodeID(n), bit, allowed)
+	})
 }
 
 // AddUser registers a new user with no access anywhere — a codebook-only
@@ -390,26 +515,30 @@ func (s *Store) addSubject(name string, group bool, like string) error {
 			return err
 		}
 	}
-	var err error
-	if group {
-		_, err = s.dir.AddGroup(name)
-	} else {
-		_, err = s.dir.AddUser(name)
-	}
-	if err != nil {
-		return err
-	}
-	numModes := len(s.modes)
-	for m := 0; m < numModes; m++ {
-		if likeID == acl.InvalidSubject {
-			s.ss.AddSubject()
+	// Codebook-only update: no pages change, but the commit still journals
+	// the refreshed metadata sidecar so the new subject survives a crash.
+	return s.withUpdateTxn(func() error {
+		var err error
+		if group {
+			_, err = s.dir.AddGroup(name)
 		} else {
-			if _, err := s.ss.AddSubjectLike(acl.SubjectID(int(likeID)*numModes + m)); err != nil {
-				return err
+			_, err = s.dir.AddUser(name)
+		}
+		if err != nil {
+			return err
+		}
+		numModes := len(s.modes)
+		for m := 0; m < numModes; m++ {
+			if likeID == acl.InvalidSubject {
+				s.ss.AddSubject()
+			} else {
+				if _, err := s.ss.AddSubjectLike(acl.SubjectID(int(likeID)*numModes + m)); err != nil {
+					return err
+				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // AddMember records a group membership on the sealed store (affects only
@@ -425,7 +554,8 @@ func (s *Store) AddMember(group, member string) error {
 	if err != nil {
 		return err
 	}
-	return s.dir.AddMember(g, m)
+	// Directory-only update; the commit journals the refreshed sidecar.
+	return s.withUpdateTxn(func() error { return s.dir.AddMember(g, m) })
 }
 
 // InsertXML inserts the XML fragment as a new child of parent (after the
@@ -449,7 +579,9 @@ func (s *Store) InsertXML(parent, after NodeID, fragment string) error {
 	for n := 0; n < frag.Len(); n++ {
 		fm.SetRow(xmltree.NodeID(n), row)
 	}
-	if err := s.ss.InsertSubtree(xmltree.NodeID(parent), xmltree.NodeID(after), frag, fm); err != nil {
+	if err := s.withUpdateTxn(func() error {
+		return s.ss.InsertSubtree(xmltree.NodeID(parent), xmltree.NodeID(after), frag, fm)
+	}); err != nil {
 		return err
 	}
 	s.idxDirty = true
@@ -460,7 +592,7 @@ func (s *Store) InsertXML(parent, after NodeID, fragment string) error {
 func (s *Store) Delete(n NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.ss.DeleteSubtree(xmltree.NodeID(n)); err != nil {
+	if err := s.withUpdateTxn(func() error { return s.ss.DeleteSubtree(xmltree.NodeID(n)) }); err != nil {
 		return err
 	}
 	s.idxDirty = true
@@ -472,7 +604,9 @@ func (s *Store) Delete(n NodeID) error {
 func (s *Store) Move(n, newParent, after NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.ss.MoveSubtree(xmltree.NodeID(n), xmltree.NodeID(newParent), xmltree.NodeID(after)); err != nil {
+	if err := s.withUpdateTxn(func() error {
+		return s.ss.MoveSubtree(xmltree.NodeID(n), xmltree.NodeID(newParent), xmltree.NodeID(after))
+	}); err != nil {
 		return err
 	}
 	s.idxDirty = true
@@ -486,7 +620,7 @@ func (s *Store) Move(n, newParent, after NodeID) error {
 func (s *Store) Vacuum() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.ss.Vacuum()
+	return s.withUpdateTxn(s.ss.Vacuum)
 }
 
 // NumNodes returns the document's node count.
@@ -605,10 +739,16 @@ func (s *Store) DecodeCacheStats() CacheStats {
 	}
 }
 
-// Close flushes and releases the store.
+// Close flushes and releases the store. A poisoned store (see Failed) is
+// closed without flushing: its buffers were built against discarded batch
+// state, and writing them outside a batch would tear the on-disk image
+// that WAL recovery otherwise guarantees intact.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failed {
+		return s.pool.Pager().Close()
+	}
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
