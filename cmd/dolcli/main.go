@@ -11,6 +11,7 @@
 //	dolcli revoke -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
 //	dolcli export -store DIR -user NAME -mode read [-o view.xml]
 //	dolcli stats -store DIR
+//	dolcli serve -store DIR -addr 127.0.0.1:9464 [-slow 100ms]
 //
 // The policy file is line-oriented:
 //
@@ -30,8 +31,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -57,6 +62,8 @@ func main() {
 		err = export(os.Args[2:])
 	case "stats":
 		err = stats(os.Args[2:])
+	case "serve":
+		err = serve(os.Args[2:])
 	default:
 		usage()
 	}
@@ -67,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dolcli {build|query|grant|revoke|export|stats} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dolcli {build|query|grant|revoke|export|stats|serve} [flags]")
 	os.Exit(2)
 }
 
@@ -212,8 +219,7 @@ func runQuery(args []string) error {
 		DisableSummarySkip: *noSummaries,
 	}
 	var matches []securexml.Match
-	var skips securexml.SkipStats
-	poolBefore, decBefore := s.PoolStats(), s.DecodeCacheStats()
+	before := s.MetricsSnapshot()
 	if *showStats {
 		// Drive the streaming cursor so skip counters can be sampled, then
 		// sort into document order to match the batch API's output.
@@ -232,7 +238,6 @@ func runQuery(args []string) error {
 			}
 			matches = append(matches, m)
 		}
-		skips = cur.SkipStats()
 		if err := cur.Close(); err != nil {
 			return err
 		}
@@ -252,26 +257,85 @@ func runQuery(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "%d answers\n", len(matches))
 	if *showStats {
-		// Sampled after Close so every pipeline producer has settled.
-		pool, dec := s.PoolStats(), s.DecodeCacheStats()
-		gets := pool.Gets - poolBefore.Gets
-		hits := pool.Hits - poolBefore.Hits
+		// Sampled after Close so every pipeline producer has settled. All
+		// numbers come from the store's one metrics registry — the same
+		// counters MetricsSnapshot, dolcli serve and dolbench report.
+		after := s.MetricsSnapshot()
+		d := func(name string) int64 { return after.Get(name) - before.Get(name) }
+		gets, hits := d("pool_gets"), d("pool_hits")
 		ratio := 0.0
 		if gets > 0 {
 			ratio = float64(hits) / float64(gets)
 		}
-		decHits := dec.Hits - decBefore.Hits
-		decMisses := dec.Misses - decBefore.Misses
+		decHits, decMisses := d("decode_cache_hits"), d("decode_cache_misses")
 		decRatio := 0.0
 		if decHits+decMisses > 0 {
 			decRatio = float64(decHits) / float64(decHits+decMisses)
 		}
-		fmt.Fprintf(os.Stderr, "pages read:       %d (pool hit ratio %.2f)\n", pool.Misses-poolBefore.Misses, ratio)
-		fmt.Fprintf(os.Stderr, "pages skipped:    %d structure, %d access\n", skips.StructPages, skips.AccessPages)
-		fmt.Fprintf(os.Stderr, "candidates cut:   %d\n", skips.Candidates)
+		fmt.Fprintf(os.Stderr, "pages read:       %d (pool hit ratio %.2f)\n", d("pool_misses"), ratio)
+		fmt.Fprintf(os.Stderr, "pages skipped:    %d structure, %d access\n",
+			d("query_pages_skipped_struct"), d("query_pages_skipped_access"))
+		fmt.Fprintf(os.Stderr, "candidates cut:   %d\n", d("query_candidates_rejected"))
 		fmt.Fprintf(os.Stderr, "decode cache:     %d hits, %d misses (ratio %.2f)\n", decHits, decMisses, decRatio)
 	}
 	return nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	addr := fs.String("addr", "127.0.0.1:9464", "listen address")
+	slow := fs.Duration("slow", 0, "slow-query threshold: queries at least this slow dump their trace to stderr (0 = off)")
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("serve requires -store")
+	}
+	s, err := securexml.Open(*storeDir, securexml.StoreOptions{SlowQueryThreshold: *slow})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	mux := http.NewServeMux()
+	// DebugHandler carries /debug/vars (JSON) and /metrics (Prometheus).
+	mux.Handle("/debug/vars", s.DebugHandler())
+	mux.Handle("/metrics", s.DebugHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		opts := securexml.QueryOptions{
+			Unrestricted: q.Get("admin") != "",
+			Pruned:       q.Get("pruned") != "",
+		}
+		if lim := q.Get("limit"); lim != "" {
+			fmt.Sscanf(lim, "%d", &opts.Limit)
+		}
+		mode := q.Get("mode")
+		if mode == "" {
+			mode = "read"
+		}
+		ms, err := s.QueryCtx(r.Context(), q.Get("user"), mode, q.Get("xpath"), opts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(ms)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dolcli: serving on http://%s (/debug/vars, /metrics, /query, /healthz, /debug/pprof/)\n", ln.Addr())
+	return http.Serve(ln, mux)
 }
 
 // setAccess applies an accessibility update to a persisted store: the

@@ -162,7 +162,7 @@ func WriteTablesJSON(path string, tables []*Table) error {
 var Experiments = []string{
 	"fig4a", "fig4b", "fig5", "fig6", "storage", "fig7", "joins",
 	"updates", "worstcase", "ablation", "modes", "parallel", "streaming",
-	"pageskip", "wal",
+	"pageskip", "wal", "obs",
 }
 
 // Run executes the named experiment and returns its tables.
@@ -198,6 +198,8 @@ func Run(name string, cfg Config) ([]*Table, error) {
 		return PageSkip(cfg), nil
 	case "wal":
 		return WAL(cfg), nil
+	case "obs":
+		return Obs(cfg), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

@@ -9,6 +9,7 @@ import (
 	"dolxml/internal/acl"
 	"dolxml/internal/bitset"
 	"dolxml/internal/nok"
+	"dolxml/internal/obs"
 	"dolxml/internal/storage"
 	"dolxml/internal/xmltree"
 )
@@ -19,6 +20,15 @@ import (
 type SecureStore struct {
 	store *nok.Store
 	cb    *Codebook
+
+	// View-layer counters, shared by every SubjectView over this store and
+	// registered under view_* via RegisterMetrics. viewChecks counts
+	// memoized access-decision lookups, viewDecisions the slow-path
+	// codebook intersections behind them, viewBitmapBuilds the per-view
+	// page-deny bitmap constructions.
+	viewChecks       obs.Counter
+	viewDecisions    obs.Counter
+	viewBitmapBuilds obs.Counter
 }
 
 // BuildSecureStore labels doc with the accessibility matrix m and writes
@@ -59,6 +69,30 @@ func OpenSecureStore(store *nok.Store, cb *Codebook) *SecureStore {
 
 // Store returns the underlying NoK structure store.
 func (ss *SecureStore) Store() *nok.Store { return ss.store }
+
+// RegisterMetrics registers the view-layer counters and codebook gauges
+// with reg under prefix (prefix "view" yields view_checks,
+// view_decisions_computed, view_bitmap_builds; the codebook gauges are
+// registered as codebook_entries and codebook_subjects regardless of
+// prefix).
+func (ss *SecureStore) RegisterMetrics(reg *obs.Registry, prefix string) error {
+	for _, m := range []struct {
+		name string
+		c    *obs.Counter
+	}{
+		{"checks", &ss.viewChecks},
+		{"decisions_computed", &ss.viewDecisions},
+		{"bitmap_builds", &ss.viewBitmapBuilds},
+	} {
+		if err := reg.RegisterCounter(prefix+"_"+m.name, m.c); err != nil {
+			return err
+		}
+	}
+	if err := reg.RegisterGauge("codebook_entries", func() int64 { return int64(ss.cb.Len()) }); err != nil {
+		return err
+	}
+	return reg.RegisterGauge("codebook_subjects", func() int64 { return int64(ss.cb.NumSubjects()) })
+}
 
 // Codebook returns the in-memory codebook.
 func (ss *SecureStore) Codebook() *Codebook { return ss.cb }
@@ -159,6 +193,7 @@ func (v *SubjectView) cacheFor() *viewCache {
 
 // accessibleCode resolves the access decision for code c through the cache.
 func (v *SubjectView) accessibleCode(ca *viewCache, c Code) bool {
+	v.ss.viewChecks.Inc()
 	if int(c) < len(ca.decisions) {
 		switch ca.decisions[c].Load() {
 		case decAllow:
@@ -167,6 +202,7 @@ func (v *SubjectView) accessibleCode(ca *viewCache, c Code) bool {
 			return false
 		}
 	}
+	v.ss.viewDecisions.Inc()
 	ok := v.ss.cb.AccessibleAny(c, v.effective)
 	if int(c) < len(ca.decisions) {
 		if ok {
@@ -182,6 +218,7 @@ func (v *SubjectView) accessibleCode(ca *viewCache, c Code) bool {
 // i is set exactly when PageFullyInaccessible(i) holds. One pass over the
 // directory (no I/O) turns every later SkipPage call into a bit probe.
 func (v *SubjectView) buildPageBitmap(ca *viewCache) {
+	v.ss.viewBitmapBuilds.Inc()
 	st := v.ss.store
 	n := st.NumPages()
 	bits := make([]uint64, (n+63)/64)

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dolxml/internal/obs"
 	"dolxml/internal/storage"
 )
 
@@ -55,8 +56,9 @@ type decodeCache struct {
 	bytes  int64
 	budget int64
 
-	clock                   atomic.Int64
-	hits, misses, evictions atomic.Int64
+	clock atomic.Int64
+	// Registered under decode_cache_* via Store.RegisterMetrics.
+	hits, misses, evictions obs.Counter
 }
 
 func newDecodeCache(budget int64) *decodeCache {
@@ -76,11 +78,11 @@ func (c *decodeCache) get(pid storage.PageID) ([]Entry, bool) {
 	e := c.m[pid]
 	c.mu.RUnlock()
 	if e == nil {
-		c.misses.Add(1)
+		c.misses.Inc()
 		return nil, false
 	}
 	e.stamp.Store(c.clock.Add(1))
-	c.hits.Add(1)
+	c.hits.Inc()
 	return e.entries, true
 }
 
@@ -117,7 +119,7 @@ func (c *decodeCache) evictLocked() {
 		}
 		c.bytes -= c.m[victim].cost
 		delete(c.m, victim)
-		c.evictions.Add(1)
+		c.evictions.Inc()
 	}
 }
 
@@ -163,3 +165,35 @@ func (s *Store) SetDecodeCacheBudget(budget int64) { s.dec.setBudget(budget) }
 
 // DecodeCacheStats returns the decoded-block cache's counters.
 func (s *Store) DecodeCacheStats() DecodeCacheStats { return s.dec.stats() }
+
+// RegisterMetrics registers the decode cache's counters and content gauges
+// with reg under prefix (prefix "decode_cache" yields decode_cache_hits,
+// decode_cache_bytes, …).
+func (s *Store) RegisterMetrics(reg *obs.Registry, prefix string) error {
+	c := s.dec
+	for _, m := range []struct {
+		name string
+		ctr  *obs.Counter
+	}{
+		{"hits", &c.hits},
+		{"misses", &c.misses},
+		{"evictions", &c.evictions},
+	} {
+		if err := reg.RegisterCounter(prefix+"_"+m.name, m.ctr); err != nil {
+			return err
+		}
+	}
+	for _, g := range []struct {
+		name string
+		fn   obs.Gauge
+	}{
+		{"entries", func() int64 { return int64(c.stats().Entries) }},
+		{"bytes", func() int64 { return c.stats().Bytes }},
+		{"budget_bytes", func() int64 { return c.stats().Budget }},
+	} {
+		if err := reg.RegisterGauge(prefix+"_"+g.name, g.fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"dolxml/internal/obs"
 	"dolxml/internal/storage"
 	"dolxml/internal/xmltree"
 )
@@ -190,6 +191,7 @@ func (s *Store) blockEntries(ctx context.Context, i int) ([]Entry, error) {
 		return nil, err
 	}
 	defer s.pool.Unpin(f.ID(), false)
+	obs.TraceFromContext(ctx).PageDecode(int64(pid))
 	es, err := s.decodeBlock(i, f.Data)
 	if err != nil {
 		return nil, err

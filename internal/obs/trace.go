@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind classifies one trace event. Span-ish kinds (parse, compile,
+// open, join_open) carry a duration; page kinds carry the page and the
+// evidence that justified reading or skipping it.
+type EventKind string
+
+// Trace event kinds. Page events are the heart of the trace: together they
+// account for every page the query pinned or skipped, and the invariant
+// tests hold them against the buffer pool's own counters.
+const (
+	// EvParse covers query parsing (recorded by the facade).
+	EvParse EventKind = "parse"
+	// EvCompile covers skip-mask compilation (in-memory only, no I/O).
+	EvCompile EventKind = "compile_skip_mask"
+	// EvOpen covers building the cursor pipeline.
+	EvOpen EventKind = "open_pipeline"
+	// EvPagePin records one buffer-pool page acquisition (Hit tells
+	// whether it was served without physical I/O). Exactly one EvPagePin
+	// is recorded per pool Get, so trace pins == pool pin count.
+	EvPagePin EventKind = "page_pin"
+	// EvPageDecode records an actual block decode (absent when the decoded
+	// form came from the decode cache).
+	EvPageDecode EventKind = "page_decode"
+	// EvPageSkipAccess records a scan block skipped because the subject
+	// view's deny bitmap proves every node in it inaccessible (§3.3).
+	EvPageSkipAccess EventKind = "page_skip_access"
+	// EvPageSkipStruct records a scan block skipped because the per-page
+	// structural summary excludes every tag the scan could match.
+	EvPageSkipStruct EventKind = "page_skip_struct"
+	// EvCandidateReject records a root candidate rejected from the deny
+	// bitmap alone, before any page was read for it.
+	EvCandidateReject EventKind = "candidate_reject"
+	// EvJoinOpen covers draining a join's left side and building the
+	// joiner.
+	EvJoinOpen EventKind = "join_open"
+	// EvJoinProbe records one structural-join probe (STD or ε-STD).
+	EvJoinProbe EventKind = "join_probe"
+	// EvMerge records one chunk of the parallel match cursor's ordered
+	// merge being forwarded.
+	EvMerge EventKind = "merge_chunk"
+	// EvEmit records one answer leaving the pipeline.
+	EvEmit EventKind = "emit"
+	// EvDone marks the end of the drain (recorded by the facade).
+	EvDone EventKind = "done"
+)
+
+// TraceEvent is one timestamped entry of a query trace.
+type TraceEvent struct {
+	// At is the offset from the trace's start.
+	At time.Duration `json:"at_us"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// Page is the page touched or skipped (-1 when not page-related).
+	Page int64 `json:"page,omitempty"`
+	// Node is the data node involved (-1 when not node-related).
+	Node int64 `json:"node,omitempty"`
+	// Hit marks a pool hit on pin events.
+	Hit bool `json:"hit,omitempty"`
+	// Dur is the span duration for span-ish events.
+	Dur time.Duration `json:"dur_us,omitempty"`
+	// N carries an event-specific count (pairs of a probe, tuples of a
+	// merged chunk).
+	N int64 `json:"n,omitempty"`
+}
+
+// DefaultTraceLimit bounds a trace's event count; past it events are
+// dropped (counted in Dropped) rather than growing without bound on huge
+// scans.
+const DefaultTraceLimit = 1 << 20
+
+// Trace is one query's event log. It is safe for concurrent use: parallel
+// match workers and the consumer append through one mutex. A nil *Trace is
+// valid and records nothing, so call sites need no guards beyond the usual
+// pointer check when building events is itself costly.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	limit   int
+	events  []TraceEvent
+	dropped int64
+}
+
+// NewTrace returns an empty trace starting now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now(), limit: DefaultTraceLimit}
+}
+
+// add appends one event, stamping it.
+func (t *Trace) add(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	e.At = now
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Mark records a point event.
+func (t *Trace) Mark(kind EventKind) {
+	t.add(TraceEvent{Kind: kind, Page: -1, Node: -1})
+}
+
+// Span starts a span of the given kind and returns the function that ends
+// it, recording one event carrying the span's duration.
+func (t *Trace) Span(kind EventKind) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		t.add(TraceEvent{Kind: kind, Page: -1, Node: -1, Dur: time.Since(begin)})
+	}
+}
+
+// PagePin records one buffer-pool page acquisition.
+func (t *Trace) PagePin(page int64, hit bool) {
+	t.add(TraceEvent{Kind: EvPagePin, Page: page, Node: -1, Hit: hit})
+}
+
+// PageDecode records an actual decode of a block (a decode-cache miss).
+func (t *Trace) PageDecode(page int64) {
+	t.add(TraceEvent{Kind: EvPageDecode, Page: page, Node: -1})
+}
+
+// PageSkip records a scan block passed over without I/O; access tells
+// whether the deny bitmap alone justified it (else the structural
+// summary).
+func (t *Trace) PageSkip(page int64, access bool) {
+	kind := EvPageSkipStruct
+	if access {
+		kind = EvPageSkipAccess
+	}
+	t.add(TraceEvent{Kind: kind, Page: page, Node: -1})
+}
+
+// CandidateReject records a root candidate rejected pre-I/O.
+func (t *Trace) CandidateReject(node int64, page int64) {
+	t.add(TraceEvent{Kind: EvCandidateReject, Page: page, Node: node})
+}
+
+// JoinProbe records one structural-join probe and its pair count.
+func (t *Trace) JoinProbe(node int64, pairs int) {
+	t.add(TraceEvent{Kind: EvJoinProbe, Page: -1, Node: node, N: int64(pairs)})
+}
+
+// MergeChunk records one ordered-merge chunk forwarded by the parallel
+// match cursor.
+func (t *Trace) MergeChunk(chunk int, tuples int) {
+	t.add(TraceEvent{Kind: EvMerge, Page: -1, Node: int64(chunk), N: int64(tuples)})
+}
+
+// Emit records one answer leaving the pipeline.
+func (t *Trace) Emit(node int64) {
+	t.add(TraceEvent{Kind: EvEmit, Page: -1, Node: node})
+}
+
+// Events returns a copy of the recorded events.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Dropped returns how many events were discarded past the trace limit
+// (0 means the trace is complete).
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// PageReads counts page-pin events — one per buffer-pool Get the traced
+// work performed.
+func (t *Trace) PageReads() int64 { return t.countKinds(EvPagePin) }
+
+// PageSkips counts page-skip events of both causes.
+func (t *Trace) PageSkips() int64 {
+	return t.countKinds(EvPageSkipAccess, EvPageSkipStruct)
+}
+
+// PagesConsidered counts every page decision in the trace: pins plus skips
+// of either cause. The metrics-invariant tests hold
+// PageReads + PageSkips == PagesConsidered against the registry's
+// independently maintained counters.
+func (t *Trace) PagesConsidered() int64 {
+	return t.countKinds(EvPagePin, EvPageSkipAccess, EvPageSkipStruct)
+}
+
+func (t *Trace) countKinds(kinds ...EventKind) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, e := range t.events {
+		for _, k := range kinds {
+			if e.Kind == k {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// WriteTo dumps the trace as one event per line with microsecond offsets —
+// the slow-query-log format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	if t == nil {
+		return 0, nil
+	}
+	t.mu.Lock()
+	events := make([]TraceEvent, len(t.events))
+	copy(events, t.events)
+	dropped := t.dropped
+	t.mu.Unlock()
+	var total int64
+	p := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, e := range events {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%10.1fus %-18s", float64(e.At.Nanoseconds())/1e3, e.Kind)
+		if e.Page >= 0 {
+			fmt.Fprintf(&sb, " page=%d", e.Page)
+		}
+		if e.Node >= 0 {
+			fmt.Fprintf(&sb, " node=%d", e.Node)
+		}
+		if e.Kind == EvPagePin {
+			fmt.Fprintf(&sb, " hit=%v", e.Hit)
+		}
+		if e.Dur > 0 {
+			fmt.Fprintf(&sb, " dur=%v", e.Dur)
+		}
+		if e.N > 0 {
+			fmt.Fprintf(&sb, " n=%d", e.N)
+		}
+		if err := p("%s\n", sb.String()); err != nil {
+			return total, err
+		}
+	}
+	if dropped > 0 {
+		if err := p("(%d events dropped past the %d-event limit)\n", dropped, t.limit); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the trace via WriteTo.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	t.WriteTo(&sb)
+	return sb.String()
+}
+
+// traceKey is the context key carrying the active trace.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t; the buffer pool and decode layer
+// record their page events through it, so every pin performed under this
+// context is attributed to the trace no matter which goroutine performs
+// it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFromContext returns the context's trace, or nil. The nil return is
+// the tracing-disabled fast path: one context lookup, no allocation.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

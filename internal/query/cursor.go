@@ -8,6 +8,7 @@ import (
 	"dolxml/internal/btree"
 	"dolxml/internal/dol"
 	"dolxml/internal/join"
+	"dolxml/internal/obs"
 	"dolxml/internal/xmltree"
 )
 
@@ -215,6 +216,7 @@ func newParallelMatchCursor(parent context.Context, ev *Evaluator, m *matcher, s
 				sendMsg(ctx, out, matchMsg{err: res.err})
 				return
 			}
+			m.trace.MergeChunk(k, len(res.ms))
 			for _, sm := range res.ms {
 				if !sendMsg(ctx, out, matchMsg{t: ev.tupleFrom(subs, i, sm)}) {
 					return
@@ -324,6 +326,7 @@ type joinCursor struct {
 }
 
 func (jc *joinCursor) open(ctx context.Context) error {
+	defer jc.opts.Trace.Span(obs.EvJoinOpen)()
 	jc.opened = true
 	for {
 		t, err := jc.left.Next(ctx)
@@ -408,6 +411,7 @@ func (jc *joinCursor) Next(ctx context.Context) (Tuple, error) {
 			} else {
 				pairs = jc.std.Probe(d)
 			}
+			jc.opts.Trace.JoinProbe(int64(root.node), len(pairs))
 			jc.lastRoot, jc.lastRootValid = root.node, true
 			jc.lastAncs = jc.lastAncs[:0]
 			for _, p := range pairs {

@@ -9,6 +9,7 @@ import (
 	"dolxml/internal/btree"
 	"dolxml/internal/dol"
 	"dolxml/internal/nok"
+	"dolxml/internal/obs"
 	"dolxml/internal/xmltree"
 )
 
@@ -55,6 +56,13 @@ type Options struct {
 	// the last match needed are never read. Result.Matches then counts
 	// only the tuples consumed before the limit was reached.
 	Limit int
+	// Trace, when non-nil, records the evaluation's span and page events:
+	// skip-mask compilation, every page skipped (with cause), candidate
+	// rejections, join probes, parallel merge chunks, and emitted answers.
+	// Carry the same trace in the ctx passed to Open/Next (obs.WithTrace)
+	// so buffer-pool pin events are attributed too — the securexml facade
+	// does both.
+	Trace *obs.Trace
 }
 
 // workers resolves the effective worker count.
@@ -145,12 +153,14 @@ type Answers struct {
 	retSlot int
 	matches *int
 	skips   *skipMask
+	trace   *obs.Trace
 }
 
 // Open builds the cursor pipeline for the pattern tree without draining
 // it. ctx governs the whole lifetime of the returned cursor: cancelling it
 // aborts in-flight producers at their next page-fetch boundary.
 func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*Answers, error) {
+	defer opts.Trace.Span(obs.EvOpen)()
 	subs := t.Decompose()
 	ret := t.ReturningNode()
 
@@ -173,7 +183,10 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 	structSkip := !opts.DisableSummarySkip
 	var sm *skipMask
 	if accessSkip || structSkip {
+		endCompile := opts.Trace.Span(obs.EvCompile)
 		sm = compileSkipMask(ev.store, t, opts.View, accessSkip, structSkip)
+		sm.trace = opts.Trace
+		endCompile()
 	}
 	m := &matcher{
 		store:    ev.store,
@@ -182,6 +195,7 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 		pageSkip: !opts.DisablePageSkip,
 		tracked:  tracked,
 		masks:    sm,
+		trace:    opts.Trace,
 	}
 	// Freeze the matcher's derived state so match producers can share it
 	// across workers.
@@ -241,6 +255,7 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 		retSlot: retSlot,
 		matches: &dd.matches,
 		skips:   sm,
+		trace:   opts.Trace,
 	}, nil
 }
 
@@ -251,7 +266,9 @@ func (a *Answers) Next(ctx context.Context) (n xmltree.NodeID, ok bool, err erro
 	if err != nil || tp == nil {
 		return xmltree.InvalidNode, false, err
 	}
-	return tp[a.retSlot].node, true, nil
+	n = tp[a.retSlot].node
+	a.trace.Emit(int64(n))
+	return n, true, nil
 }
 
 // Matches counts the combined pattern-match tuples consumed so far — after

@@ -8,6 +8,7 @@ import (
 
 	"dolxml/internal/btree"
 	"dolxml/internal/nok"
+	"dolxml/internal/obs"
 	"dolxml/internal/xmltree"
 )
 
@@ -70,6 +71,9 @@ type matcher struct {
 	// skip state its child scans consult. Filled by prepare; read-only
 	// afterwards.
 	scanSkip map[*PatternNode]*nodeSkip
+	// trace, when non-nil, receives candidate-reject and merge-chunk
+	// events (page pins and skips are recorded elsewhere).
+	trace *obs.Trace
 }
 
 // nodeSkip pairs one pattern node's fused skip bitmap with its counting
@@ -434,9 +438,12 @@ func (m *matcher) matchCandidate(ctx context.Context, sub NoKSubtree, c btree.Po
 	// Pre-condition of Algorithm 1: the data-tree root of the match must
 	// itself be accessible. When the deny bitmap covers the candidate's
 	// whole page, that settles it from the directory alone — no block read.
-	if m.masks != nil && m.masks.pageDenied(m.store.PageIndexOf(c.Node)) {
-		m.masks.candCt.Add(1)
-		return false, nil
+	if m.masks != nil {
+		if pi := m.store.PageIndexOf(c.Node); m.masks.pageDenied(pi) {
+			m.masks.candCt.Inc()
+			m.trace.CandidateReject(int64(c.Node), m.masks.pageIDOf(pi))
+			return false, nil
+		}
 	}
 	if m.checker != nil {
 		ok, err := m.checker.AccessibleCtx(ctx, c.Node)

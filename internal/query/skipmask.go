@@ -1,10 +1,9 @@
 package query
 
 import (
-	"sync/atomic"
-
 	"dolxml/internal/dol"
 	"dolxml/internal/nok"
+	"dolxml/internal/obs"
 )
 
 // SkipStats count the pages a query's evaluation avoided reading, split by
@@ -45,10 +44,17 @@ type skipMask struct {
 	// descended into — the page can only hold unmatchable siblings and
 	// their subtrees.
 	perNode map[*PatternNode][]uint64
+	// pages is the store's page directory, for resolving a block index to
+	// its storage page when recording trace events.
+	pages []nok.PageInfo
+	// trace, when non-nil, receives one page-skip event per skip and one
+	// candidate-reject event per pre-I/O rejection (set from Options.Trace
+	// at Open).
+	trace *obs.Trace
 
-	accessCt atomic.Int64
-	structCt atomic.Int64
-	candCt   atomic.Int64
+	accessCt obs.Counter
+	structCt obs.Counter
+	candCt   obs.Counter
 }
 
 // stats snapshots the mask's counters.
@@ -61,6 +67,14 @@ func (sm *skipMask) stats() SkipStats {
 		StructPages: sm.structCt.Load(),
 		Candidates:  sm.candCt.Load(),
 	}
+}
+
+// pageIDOf resolves block index i to its storage page for trace events.
+func (sm *skipMask) pageIDOf(i int) int64 {
+	if sm == nil || i < 0 || i >= len(sm.pages) {
+		return -1
+	}
+	return int64(sm.pages[i].Page)
 }
 
 // pageDenied reports whether the deny bitmap covers page i (meaning every
@@ -102,10 +116,14 @@ func (sm *skipMask) scanSkipFn(p *PatternNode) func(int) bool {
 		if bits[i>>6]&b == 0 {
 			return false
 		}
-		if access != nil && access[i>>6]&b != 0 {
-			sm.accessCt.Add(1)
+		byAccess := access != nil && access[i>>6]&b != 0
+		if byAccess {
+			sm.accessCt.Inc()
 		} else {
-			sm.structCt.Add(1)
+			sm.structCt.Inc()
+		}
+		if sm.trace != nil {
+			sm.trace.PageSkip(sm.pageIDOf(i), byAccess)
 		}
 		return true
 	}
@@ -122,7 +140,7 @@ func compileSkipMask(st *nok.Store, t *PatternTree, view *dol.SubjectView, acces
 	}
 	n := st.NumPages()
 	words := (n + 63) / 64
-	sm := &skipMask{words: words}
+	sm := &skipMask{words: words, pages: st.Directory()}
 
 	if accessSkip {
 		sm.access = view.PageDenyBits()

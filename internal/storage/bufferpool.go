@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"dolxml/internal/obs"
 )
 
 // PoolStats counts logical page requests against the buffer pool. Together
@@ -66,7 +68,15 @@ type BufferPool struct {
 	capacity int
 	frames   map[PageID]*Frame
 	lru      *list.List // of PageID, front = most recently used
-	stats    PoolStats
+	// Counters are obs atomics rather than fields of a mutex-guarded
+	// struct: Stats() and the metrics registry read them while workers
+	// update them, without coordinating on bp.mu. They register under
+	// pool_* via RegisterMetrics.
+	gets      obs.Counter
+	hits      obs.Counter
+	misses    obs.Counter
+	evictions obs.Counter
+	flushes   obs.Counter
 }
 
 // NewBufferPool wraps pager with a pool of at most capacity frames.
@@ -119,12 +129,16 @@ func (bp *BufferPool) GetCtx(ctx context.Context, id PageID) (*Frame, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := obs.TraceFromContext(ctx)
 	bp.mu.Lock()
-	bp.stats.Gets++
+	bp.gets.Inc()
 	if f, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
+		bp.hits.Inc()
 		bp.pin(f)
 		bp.mu.Unlock()
+		// Recorded per Get, mirroring the gets counter exactly: the
+		// invariant tests hold trace pin events == pool Gets delta.
+		tr.PagePin(int64(id), true)
 		<-f.ready
 		if f.loadErr != nil {
 			// The loader withdrew the frame; the pin died with it.
@@ -132,7 +146,7 @@ func (bp *BufferPool) GetCtx(ctx context.Context, id PageID) (*Frame, error) {
 		}
 		return f, nil
 	}
-	bp.stats.Misses++
+	bp.misses.Inc()
 	f, err := bp.newFrame(id)
 	if err != nil {
 		bp.mu.Unlock()
@@ -141,6 +155,7 @@ func (bp *BufferPool) GetCtx(ctx context.Context, id PageID) (*Frame, error) {
 	f.ready = make(chan struct{})
 	bp.pin(f)
 	bp.mu.Unlock()
+	tr.PagePin(int64(id), false)
 
 	err = bp.pager.ReadPage(id, f.Data)
 	bp.mu.Lock()
@@ -164,7 +179,7 @@ func (bp *BufferPool) Allocate() (*Frame, error) {
 	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	bp.stats.Gets++
+	bp.gets.Inc()
 	f, err := bp.newFrame(id)
 	if err != nil {
 		return nil, err
@@ -231,11 +246,11 @@ func (bp *BufferPool) evict() error {
 		if err := bp.pager.WritePage(id, f.Data); err != nil {
 			return err
 		}
-		bp.stats.Flushes++
+		bp.flushes.Inc()
 	}
 	bp.lru.Remove(elem)
 	delete(bp.frames, id)
-	bp.stats.Evictions++
+	bp.evictions.Inc()
 	return nil
 }
 
@@ -249,25 +264,60 @@ func (bp *BufferPool) FlushAll() error {
 				return err
 			}
 			f.dirty = false
-			bp.stats.Flushes++
+			bp.flushes.Inc()
 		}
 	}
 	return bp.pager.Sync()
 }
 
-// Stats returns cumulative pool counters.
+// Stats returns cumulative pool counters. Each field is an atomic load, so
+// Stats never races with concurrent workers (the fields are not sampled at
+// one instant, but each is individually exact).
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return PoolStats{
+		Gets:      bp.gets.Load(),
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Evictions: bp.evictions.Load(),
+		Flushes:   bp.flushes.Load(),
+	}
 }
 
 // ResetStats zeroes the pool counters (the pager's physical counters are
 // unaffected).
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	bp.gets.Reset()
+	bp.hits.Reset()
+	bp.misses.Reset()
+	bp.evictions.Reset()
+	bp.flushes.Reset()
+}
+
+// RegisterMetrics registers the pool's counters plus pinned/buffered/
+// capacity gauges with reg under prefix (prefix "pool" yields pool_gets,
+// pool_hits, …).
+func (bp *BufferPool) RegisterMetrics(reg *obs.Registry, prefix string) error {
+	for _, m := range []struct {
+		name string
+		c    *obs.Counter
+	}{
+		{"gets", &bp.gets},
+		{"hits", &bp.hits},
+		{"misses", &bp.misses},
+		{"evictions", &bp.evictions},
+		{"flushes", &bp.flushes},
+	} {
+		if err := reg.RegisterCounter(prefix+"_"+m.name, m.c); err != nil {
+			return err
+		}
+	}
+	if err := reg.RegisterGauge(prefix+"_pinned", func() int64 { return int64(bp.Pinned()) }); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge(prefix+"_buffered", func() int64 { return int64(bp.Buffered()) }); err != nil {
+		return err
+	}
+	return reg.RegisterGauge(prefix+"_capacity", func() int64 { return int64(bp.capacity) })
 }
 
 // Pinned returns the total number of outstanding pins across all frames.
@@ -304,7 +354,7 @@ func (bp *BufferPool) DropAll() error {
 			if err := bp.pager.WritePage(id, f.Data); err != nil {
 				return err
 			}
-			bp.stats.Flushes++
+			bp.flushes.Inc()
 		}
 	}
 	bp.frames = make(map[PageID]*Frame, bp.capacity)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+
+	"dolxml/internal/obs"
 )
 
 // This file implements the page-level write-ahead log that makes update
@@ -93,6 +95,16 @@ type WALPager struct {
 	// discarded buffered writes — the caller's in-memory state is then
 	// ahead of disk and must be rebuilt by reopening.
 	lastAbortDirty bool
+
+	// Protocol counters, registered under wal_* via RegisterMetrics. Only
+	// outermost Begin/Commit/Rollback count; fsyncs counts every Sync the
+	// commit protocol and recovery issue (log → data → checkpoint).
+	begins     obs.Counter
+	commits    obs.Counter
+	rollbacks  obs.Counter
+	fsyncs     obs.Counter
+	logAppends obs.Counter
+	logBytes   obs.Counter
 }
 
 // RecoveryInfo reports what opening a WAL found.
@@ -248,6 +260,7 @@ func (w *WALPager) Begin() error {
 	defer w.mu.Unlock()
 	w.depth++
 	if w.depth == 1 {
+		w.begins.Inc()
 		w.pending = make(map[PageID][]byte)
 		w.order = w.order[:0]
 		w.meta = nil
@@ -267,6 +280,7 @@ func (w *WALPager) Rollback() error {
 	w.aborted = true
 	w.depth--
 	if w.depth == 0 {
+		w.rollbacks.Inc()
 		w.discardLocked()
 	}
 	return nil
@@ -316,6 +330,7 @@ func (w *WALPager) Commit(meta []byte) error {
 		w.depth = 0
 		w.pending = nil
 		w.lastAbortDirty = false
+		w.commits.Inc()
 		return nil
 	}
 	err := w.commitLocked()
@@ -333,6 +348,7 @@ func (w *WALPager) Commit(meta []byte) error {
 	w.order = w.order[:0]
 	w.meta = nil
 	w.lastAbortDirty = false
+	w.commits.Inc()
 	return nil
 }
 
@@ -359,6 +375,7 @@ func (w *WALPager) commitLocked() error {
 	if err := w.appendRecord(encodeCommit(w.seq, w.numPages, len(w.order))); err != nil {
 		return err
 	}
+	w.fsyncs.Inc()
 	if err := w.log.Sync(); err != nil {
 		return fmt.Errorf("storage: wal commit sync: %w", err)
 	}
@@ -375,6 +392,7 @@ func (w *WALPager) commitLocked() error {
 	if err := w.appendRecord(encodeCheckpoint(w.seq)); err != nil {
 		return err
 	}
+	w.fsyncs.Inc()
 	if err := w.log.Sync(); err != nil {
 		return fmt.Errorf("storage: wal checkpoint sync: %w", err)
 	}
@@ -397,6 +415,7 @@ func (w *WALPager) applyLocked(finalPages int, order []PageID, images map[PageID
 			return fmt.Errorf("storage: wal apply: %w", err)
 		}
 	}
+	w.fsyncs.Inc()
 	if err := w.data.Sync(); err != nil {
 		return fmt.Errorf("storage: wal apply sync: %w", err)
 	}
@@ -434,6 +453,29 @@ func (w *WALPager) appendRecord(rec []byte) error {
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(rec))
 	if _, err := w.log.Append(append(rec, crc[:]...)); err != nil {
 		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.logAppends.Inc()
+	w.logBytes.Add(int64(len(rec) + 4))
+	return nil
+}
+
+// RegisterMetrics registers the WAL protocol counters with reg under
+// prefix (prefix "wal" yields wal_begins, wal_commits, …).
+func (w *WALPager) RegisterMetrics(reg *obs.Registry, prefix string) error {
+	for _, m := range []struct {
+		name string
+		c    *obs.Counter
+	}{
+		{"begins", &w.begins},
+		{"commits", &w.commits},
+		{"rollbacks", &w.rollbacks},
+		{"fsyncs", &w.fsyncs},
+		{"log_appends", &w.logAppends},
+		{"log_bytes", &w.logBytes},
+	} {
+		if err := reg.RegisterCounter(prefix+"_"+m.name, m.c); err != nil {
+			return err
+		}
 	}
 	return nil
 }

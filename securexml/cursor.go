@@ -3,6 +3,7 @@ package securexml
 import (
 	"context"
 
+	"dolxml/internal/obs"
 	"dolxml/internal/query"
 	"dolxml/internal/xmltree"
 )
@@ -27,6 +28,12 @@ type QueryOptions struct {
 	// per-page summary half of the fused skip mask), for ablation. Answers
 	// are identical either way; only the pages read differ.
 	DisableSummarySkip bool
+	// Trace, when set, receives the query's timestamped event log: every
+	// span, page pin, page skip (with cause), candidate rejection, join
+	// probe and emitted answer. Tracing is off (zero cost beyond nil
+	// checks) when unset, unless StoreOptions.SlowQueryThreshold forces an
+	// internal trace.
+	Trace *QueryTrace
 }
 
 func (s *Store) queryOptions(user, mode string, opts QueryOptions) (query.Options, error) {
@@ -34,6 +41,7 @@ func (s *Store) queryOptions(user, mode string, opts QueryOptions) (query.Option
 		Limit:              opts.Limit,
 		Parallelism:        opts.Parallelism,
 		DisableSummarySkip: opts.DisableSummarySkip,
+		Trace:              opts.Trace.inner(),
 	}
 	if opts.Unrestricted {
 		return qo, nil
@@ -75,6 +83,12 @@ type QueryCursor struct {
 	s    *Store
 	a    *query.Answers
 	done bool
+	// tr is the effective trace (the caller's, or the slow-query log's
+	// internal one); it must ride every ctx handed to the pipeline so page
+	// pins during Next are attributed to this query.
+	tr     *obs.Trace
+	xpath  string
+	finish func(xpath string, err error)
 }
 
 // QueryCursor opens a streaming cursor for the XPath expression as the
@@ -85,29 +99,38 @@ func (s *Store) QueryCursor(ctx context.Context, user, mode, xpath string, opts 
 	if err != nil {
 		return nil, err
 	}
+	tr, finish := s.startQuery(&qo)
+	ctx = obs.WithTrace(ctx, tr)
+	endParse := tr.Span(obs.EvParse)
 	pt, err := query.Parse(xpath)
+	endParse()
 	if err != nil {
+		finish(xpath, err)
 		return nil, err
 	}
 	if err := s.lockForQuery(); err != nil {
+		finish(xpath, err)
 		return nil, err
 	}
 	a, err := s.evaluator().Open(ctx, pt, qo)
 	if err != nil {
 		s.mu.RUnlock()
+		finish(xpath, err)
 		return nil, err
 	}
-	return &QueryCursor{s: s, a: a}, nil
+	return &QueryCursor{s: s, a: a, tr: tr, xpath: xpath, finish: finish}, nil
 }
 
 // Next returns the next answer; ok is false once the stream is exhausted
 // or the Limit was reached. After an error or ok == false, only Close may
 // be called.
 func (c *QueryCursor) Next(ctx context.Context) (m Match, ok bool, err error) {
+	ctx = obs.WithTrace(ctx, c.tr)
 	n, ok, err := c.a.Next(ctx)
 	if err != nil || !ok {
 		return Match{}, false, err
 	}
+	c.s.queryAnswers.Inc()
 	return c.s.matchAt(ctx, n)
 }
 
@@ -133,8 +156,14 @@ func (c *QueryCursor) Close() error {
 		return nil
 	}
 	c.done = true
+	// The cursor's contribution to the store-wide counters lands here,
+	// once, so partial drains still account their skips and matches.
+	c.s.queryMatches.Add(int64(c.a.Matches()))
+	c.s.recordSkips(c.a.SkipStats())
 	err := c.a.Close()
 	c.s.mu.RUnlock()
+	c.tr.Mark(obs.EvDone)
+	c.finish(c.xpath, err)
 	return err
 }
 

@@ -1,0 +1,126 @@
+package securexml
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"dolxml/internal/obs"
+	"dolxml/internal/query"
+	"dolxml/internal/storage"
+)
+
+// initObs builds the store's metrics registry and registers every layer's
+// counters under their canonical names (the table in DESIGN.md §11). Called
+// once from Seal and Open, after the pool, secure store and pager exist.
+func (s *Store) initObs() error {
+	s.reg = obs.NewRegistry()
+	if err := s.pool.RegisterMetrics(s.reg, "pool"); err != nil {
+		return err
+	}
+	pager := s.pool.Pager()
+	for _, g := range []struct {
+		name string
+		fn   obs.Gauge
+	}{
+		{"io_reads", func() int64 { return pager.Stats().Reads }},
+		{"io_writes", func() int64 { return pager.Stats().Writes }},
+		{"io_allocs", func() int64 { return pager.Stats().Allocs }},
+	} {
+		if err := s.reg.RegisterGauge(g.name, g.fn); err != nil {
+			return err
+		}
+	}
+	if wp, ok := pager.(*storage.WALPager); ok {
+		if err := wp.RegisterMetrics(s.reg, "wal"); err != nil {
+			return err
+		}
+	}
+	if err := s.ss.Store().RegisterMetrics(s.reg, "decode_cache"); err != nil {
+		return err
+	}
+	if err := s.ss.RegisterMetrics(s.reg, "view"); err != nil {
+		return err
+	}
+	// Store-shape gauges sample under the read lock: updates mutate the
+	// directory and codebook they read.
+	for _, g := range []struct {
+		name string
+		fn   func() int64
+	}{
+		{"store_nodes", func() int64 { return int64(s.ss.Store().NumNodes()) }},
+		{"store_pages", func() int64 { return int64(s.ss.Store().NumPages()) }},
+		{"directory_bytes", func() int64 { return int64(s.ss.Store().DirectoryBytes()) }},
+		{"summary_bytes", func() int64 { return int64(s.ss.Store().SummaryBytes()) }},
+		{"codebook_bytes", func() int64 { return int64(s.ss.Codebook().Bytes()) }},
+	} {
+		fn := g.fn
+		if err := s.reg.RegisterGauge(g.name, func() int64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return fn()
+		}); err != nil {
+			return err
+		}
+	}
+	s.queryTotal = s.reg.Counter("query_total")
+	s.queryErrors = s.reg.Counter("query_errors")
+	s.querySlow = s.reg.Counter("query_slow_total")
+	s.queryAnswers = s.reg.Counter("query_answers_total")
+	s.queryMatches = s.reg.Counter("query_matches_total")
+	s.skipAccess = s.reg.Counter("query_pages_skipped_access")
+	s.skipStruct = s.reg.Counter("query_pages_skipped_struct")
+	s.candRejects = s.reg.Counter("query_candidates_rejected")
+	s.queryLatency = s.reg.Histogram("query_latency_us")
+	return nil
+}
+
+// recordSkips folds one query's skip counters into the store-wide
+// registry. dolcli's -stats output and dolbench both read the registry, so
+// every reporting surface sees the same numbers.
+func (s *Store) recordSkips(sk query.SkipStats) {
+	s.skipAccess.Add(sk.AccessPages)
+	s.skipStruct.Add(sk.StructPages)
+	s.candRejects.Add(sk.Candidates)
+}
+
+// startQuery prepares one query's observability state: it resolves the
+// effective trace (the caller's, or an internal one when the slow-query
+// log is armed), stamps the start time, and returns the finish hook that
+// records latency, error and slow-query metrics.
+func (s *Store) startQuery(qo *query.Options) (tr *obs.Trace, finish func(xpath string, err error)) {
+	tr = qo.Trace
+	slow := s.opts.SlowQueryThreshold
+	if tr == nil && slow > 0 {
+		// The slow-query log needs the trace that explains the offending
+		// query, so the threshold forces tracing on.
+		tr = obs.NewTrace()
+		qo.Trace = tr
+	}
+	start := time.Now()
+	s.queryTotal.Inc()
+	return tr, func(xpath string, err error) {
+		elapsed := time.Since(start)
+		s.queryLatency.Observe(elapsed.Microseconds())
+		if err != nil {
+			s.queryErrors.Inc()
+			return
+		}
+		if slow > 0 && elapsed >= slow {
+			s.querySlow.Inc()
+			w := s.opts.SlowQueryLog
+			if w == nil {
+				w = os.Stderr
+			}
+			// Render the whole report first and emit it in one locked
+			// write: concurrent queries finish on their own goroutines.
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "securexml: slow query (%v >= %v): %s\n", elapsed.Round(time.Microsecond), slow, xpath)
+			tr.WriteTo(&buf)
+			s.slowMu.Lock()
+			w.Write(buf.Bytes())
+			s.slowMu.Unlock()
+		}
+	}
+}

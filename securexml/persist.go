@@ -295,6 +295,9 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 		sink:     sink,
 		recovery: info,
 	}
+	if err := s.initObs(); err != nil {
+		return nil, err
+	}
 	if err := s.reindex(); err != nil {
 		return nil, err
 	}

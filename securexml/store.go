@@ -3,13 +3,16 @@ package securexml
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"dolxml/internal/acl"
 	"dolxml/internal/btree"
 	"dolxml/internal/dol"
 	"dolxml/internal/nok"
+	"dolxml/internal/obs"
 	"dolxml/internal/query"
 	"dolxml/internal/storage"
 	"dolxml/internal/xmltree"
@@ -44,6 +47,13 @@ type StoreOptions struct {
 	// WrapWALFile, when set, wraps the write-ahead log file — the matching
 	// fault-injection seam for the log itself.
 	WrapWALFile func(storage.File) storage.File
+	// SlowQueryThreshold, when positive, forces tracing on for every query
+	// and dumps the trace of any query at least this slow to SlowQueryLog.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query dumps (default os.Stderr). Each
+	// report is a single Write, serialized by the store, so the writer
+	// need not be goroutine-safe.
+	SlowQueryLog io.Writer
 }
 
 func (o *StoreOptions) defaults() {
@@ -87,6 +97,24 @@ type Store struct {
 	// operation fails and Close skips flushing; reopening the store runs
 	// WAL recovery and rebuilds a consistent image.
 	failed bool
+	// reg is the store-wide metrics registry; every layer registers its
+	// counters into it at construction (initObs), and the query-level
+	// counters below are its members. All surfaces — MetricsSnapshot, the
+	// debug endpoints, dolcli -stats, dolbench — read the same registry.
+	reg          *obs.Registry
+	queryTotal   *obs.Counter
+	queryErrors  *obs.Counter
+	querySlow    *obs.Counter
+	queryAnswers *obs.Counter
+	queryMatches *obs.Counter
+	skipAccess   *obs.Counter
+	skipStruct   *obs.Counter
+	candRejects  *obs.Counter
+	queryLatency *obs.Histogram
+	// slowMu serializes slow-query reports: queries finish concurrently,
+	// and SlowQueryLog writers (bytes.Buffer, log files) need not be
+	// goroutine-safe.
+	slowMu sync.Mutex
 }
 
 // errStoreFailed poisons a store whose in-memory state diverged from disk
@@ -173,6 +201,9 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 		modeIdx:  b.modeIdx,
 		idxDirty: true,
 		sink:     sink,
+	}
+	if err := s.initObs(); err != nil {
+		return nil, err
 	}
 	if err := s.reindex(); err != nil {
 		return nil, err
@@ -270,22 +301,14 @@ func (s *Store) subject(name string) (acl.SubjectID, error) {
 	return id, nil
 }
 
-// matches converts result node IDs to Match records.
-func (s *Store) matches(nodes []xmltree.NodeID) ([]Match, error) {
-	st := s.ss.Store()
+// matches converts result node IDs to Match records. It threads ctx so
+// the page reads the conversion performs land in the query's trace.
+func (s *Store) matches(ctx context.Context, nodes []xmltree.NodeID) ([]Match, error) {
 	out := make([]Match, 0, len(nodes))
 	for _, n := range nodes {
-		tagCode, err := st.Tag(n)
+		m, _, err := s.matchAt(ctx, n)
 		if err != nil {
 			return nil, err
-		}
-		m := Match{Node: NodeID(n), Tag: st.TagName(tagCode)}
-		if vs := st.Values(); vs != nil {
-			v, err := vs.Value(n)
-			if err != nil {
-				return nil, err
-			}
-			m.Value = v
 		}
 		out = append(out, m)
 	}
@@ -327,8 +350,13 @@ func (s *Store) evaluator() *query.Evaluator {
 	return ev
 }
 
-func (s *Store) run(ctx context.Context, xpath string, opts query.Options) ([]Match, error) {
+func (s *Store) run(ctx context.Context, xpath string, opts query.Options) (ms []Match, err error) {
+	tr, finish := s.startQuery(&opts)
+	defer func() { finish(xpath, err) }()
+	ctx = obs.WithTrace(ctx, tr)
+	endParse := tr.Span(obs.EvParse)
 	pt, err := query.Parse(xpath)
+	endParse()
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +368,12 @@ func (s *Store) run(ctx context.Context, xpath string, opts query.Options) ([]Ma
 	if err != nil {
 		return nil, err
 	}
-	return s.matches(res.Nodes)
+	s.queryAnswers.Add(int64(len(res.Nodes)))
+	s.queryMatches.Add(int64(res.Matches))
+	s.recordSkips(res.Skips)
+	ms, err = s.matches(ctx, res.Nodes)
+	tr.Mark(obs.EvDone)
+	return ms, err
 }
 
 // Query evaluates the XPath expression as the given user under the given
