@@ -6,7 +6,7 @@
 //
 // With no -exp flag every experiment runs. Experiment names: fig4a fig4b
 // fig5 fig6 storage fig7 joins updates worstcase ablation modes parallel
-// streaming pageskip wal.
+// streaming pageskip wal writeload obs.
 //
 // With -strict, any table note starting with "VIOLATION" (an experiment's
 // self-check failing, e.g. page skipping reading more pages than its

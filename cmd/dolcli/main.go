@@ -7,8 +7,8 @@
 //	dolcli query -store DIR -admin -xpath '//item'
 //	dolcli query -store DIR -user NAME -xpath '//item' -limit 10 -timeout 5s
 //	dolcli query -store DIR -user NAME -xpath '//item' -stats [-no-summaries]
-//	dolcli grant  -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
-//	dolcli revoke -store DIR -subject NAME -mode read -xpath '//x' [-node-only]
+//	dolcli grant  -store DIR -subject NAME -mode read -xpath '//x' [-node-only] [-durability grouped]
+//	dolcli revoke -store DIR -subject NAME -mode read -xpath '//x' [-node-only] [-durability grouped]
 //	dolcli export -store DIR -user NAME -mode read [-o view.xml]
 //	dolcli stats -store DIR
 //	dolcli serve -store DIR -addr 127.0.0.1:9464 [-slow 100ms]
@@ -349,11 +349,16 @@ func setAccess(args []string, allowed bool) error {
 	mode := fs.String("mode", "read", "action mode")
 	xpath := fs.String("xpath", "", "target selector")
 	nodeOnly := fs.Bool("node-only", false, "update only the matched nodes, not their subtrees")
+	durability := fs.String("durability", "sync", "commit durability: sync, grouped or async (multi-target updates coalesce their flushes)")
 	fs.Parse(args)
 	if *storeDir == "" || *subject == "" || *xpath == "" {
 		return fmt.Errorf("grant/revoke require -store, -subject and -xpath")
 	}
-	s, err := securexml.Open(*storeDir, securexml.StoreOptions{})
+	d, err := parseDurability(*durability)
+	if err != nil {
+		return err
+	}
+	s, err := securexml.Open(*storeDir, securexml.StoreOptions{Durability: d})
 	if err != nil {
 		return err
 	}
@@ -376,6 +381,22 @@ func setAccess(args []string, allowed bool) error {
 	}
 	fmt.Fprintf(os.Stderr, "%s %s/%s on %d targets\n", verb, *subject, *mode, len(targets))
 	return nil
+}
+
+// parseDurability maps the -durability flag onto securexml's modes. Save
+// (and Close) act as durability barriers, so grouped and async commits are
+// always on disk before the command exits.
+func parseDurability(s string) (securexml.Durability, error) {
+	switch s {
+	case "sync":
+		return securexml.DurabilitySync, nil
+	case "grouped":
+		return securexml.DurabilityGrouped, nil
+	case "async":
+		return securexml.DurabilityAsync, nil
+	default:
+		return 0, fmt.Errorf("unknown durability %q (want sync, grouped or async)", s)
+	}
 }
 
 // export writes the user's authorized (pruned-subtree) view as XML.

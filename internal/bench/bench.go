@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"dolxml/internal/synthacl"
@@ -91,6 +92,36 @@ func PaperConfig() Config {
 	return cfg
 }
 
+// Env records the execution environment and configuration a table was
+// produced under. Run stamps it onto every table, so a BENCH_*.json entry
+// is interpretable without knowing which machine or scale produced it.
+type Env struct {
+	GoVersion  string
+	GOOS       string
+	GOARCH     string
+	NumCPU     int
+	GOMAXPROCS int
+	PageSize   int
+	PoolPages  int
+	XMarkNodes int
+	Seed       int64
+}
+
+// CaptureEnv snapshots the environment for cfg.
+func CaptureEnv(cfg Config) *Env {
+	return &Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PageSize:   cfg.PageSize,
+		PoolPages:  cfg.PoolPages,
+		XMarkNodes: cfg.XMarkNodes,
+		Seed:       cfg.Seed,
+	}
+}
+
 // Table is one experiment's printable result.
 type Table struct {
 	ID      string
@@ -98,6 +129,9 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Env is the environment stamp Run applies; nil only for tables built
+	// outside Run.
+	Env *Env `json:",omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -162,11 +196,24 @@ func WriteTablesJSON(path string, tables []*Table) error {
 var Experiments = []string{
 	"fig4a", "fig4b", "fig5", "fig6", "storage", "fig7", "joins",
 	"updates", "worstcase", "ablation", "modes", "parallel", "streaming",
-	"pageskip", "wal", "obs",
+	"pageskip", "wal", "writeload", "obs",
 }
 
-// Run executes the named experiment and returns its tables.
+// Run executes the named experiment and returns its tables, each stamped
+// with the environment it ran under.
 func Run(name string, cfg Config) ([]*Table, error) {
+	tables, err := run(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	env := CaptureEnv(cfg)
+	for _, t := range tables {
+		t.Env = env
+	}
+	return tables, nil
+}
+
+func run(name string, cfg Config) ([]*Table, error) {
 	switch name {
 	case "fig4a":
 		return []*Table{Fig4a(cfg)}, nil
@@ -198,6 +245,8 @@ func Run(name string, cfg Config) ([]*Table, error) {
 		return PageSkip(cfg), nil
 	case "wal":
 		return WAL(cfg), nil
+	case "writeload":
+		return Writeload(cfg), nil
 	case "obs":
 		return Obs(cfg), nil
 	default:

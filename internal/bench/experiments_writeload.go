@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dolxml/internal/xmark"
+	"dolxml/securexml"
+)
+
+// Writeload measures the write path the durability modes were built for:
+// concurrent updaters committing ACL toggles against one file-backed store
+// while readers keep querying. Every (mode, updaters, readers) point
+// starts from an identical on-disk copy of the same store and applies the
+// same per-updater toggle sequence, so the points differ only in how
+// commits reach disk:
+//
+//   - sync: every update seals AND flushes its own batch (one log fsync,
+//     one data fsync, one checkpoint fsync per update) — the historical
+//     behavior, serialized across committers.
+//   - grouped: updates seal under the store lock and block until the
+//     shared background flush covers their batch; concurrent committers
+//     split the three fsyncs of one group flush.
+//   - async: updates return once sealed; the run waits for collective
+//     durability (AwaitDurable) before the clock stops, so the reported
+//     throughput still covers the full path to disk.
+//
+// Self-checks (VIOLATION notes, so -strict fails on them): every point
+// must leave the store answering the Table 1 workload exactly like the
+// untouched base store (each node's toggles end where they started), the
+// WAL must report exactly one commit per update, and no buffer-pool page
+// may stay pinned. The reader-latency columns compare p50/p99 with
+// updaters against the updater-free baseline rows.
+func Writeload(cfg Config) []*Table {
+	t := &Table{
+		ID:    "writeload",
+		Title: "update throughput and reader latency by durability mode",
+		Columns: []string{"mode", "updaters", "readers", "updates", "elapsed",
+			"updates/s", "fsyncs/update", "mean group", "reader p50", "reader p99"},
+	}
+	tables := []*Table{t}
+	fail := func(err error) []*Table {
+		t.Notes = append(t.Notes, "ERROR: "+err.Error())
+		return tables
+	}
+
+	nodes := cfg.XMarkNodes / 20
+	if nodes < 1500 {
+		nodes = 1500
+	}
+	doc := xmark.Generate(xmark.Scaled(cfg.Seed+41, nodes))
+	var xb strings.Builder
+	if err := doc.WriteXML(&xb); err != nil {
+		return fail(err)
+	}
+	t.Title += fmt.Sprintf(" (XMark, %d nodes, %d B pages)", doc.Len(), cfg.PageSize)
+
+	// Build the base store once and snapshot its files; every point
+	// restores the snapshot into a fresh directory.
+	baseDir, err := os.MkdirTemp("", "dolbench-writeload")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(baseDir)
+	base, err := securexml.NewBuilder().
+		LoadXMLString(xb.String()).
+		AddGroup("staff").
+		AddUser("u").
+		AddMember("staff", "u").
+		Grant("staff", "read", "/site").
+		Seal(securexml.StoreOptions{
+			Path:      filepath.Join(baseDir, "pages.db"),
+			PageSize:  cfg.PageSize,
+			PoolPages: cfg.PoolPages,
+		})
+	if err != nil {
+		return fail(err)
+	}
+	if err := base.Save(baseDir); err != nil {
+		base.Close()
+		return fail(err)
+	}
+	targets, err := base.QueryUnrestricted("//keyword")
+	if err != nil {
+		base.Close()
+		return fail(err)
+	}
+	if len(targets) == 0 {
+		base.Close()
+		return fail(fmt.Errorf("no keyword nodes to toggle"))
+	}
+	baseAnswers, err := writeloadFingerprint(base)
+	if err != nil {
+		base.Close()
+		return fail(err)
+	}
+	if err := base.Close(); err != nil {
+		return fail(err)
+	}
+	snap := map[string][]byte{}
+	entries, err := os.ReadDir(baseDir)
+	if err != nil {
+		return fail(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(baseDir, e.Name()))
+		if err != nil {
+			return fail(err)
+		}
+		snap[e.Name()] = b
+	}
+
+	modes := []struct {
+		name string
+		d    securexml.Durability
+	}{
+		{"sync", securexml.DurabilitySync},
+		{"grouped", securexml.DurabilityGrouped},
+		{"async", securexml.DurabilityAsync},
+	}
+	points := []struct{ updaters, readers int }{
+		{0, 4}, {1, 0}, {4, 0}, {8, 0}, {4, 4}, {8, 4},
+	}
+	opsPerUpdater := 8 * cfg.QueryRuns
+
+	// throughput[updaters] per mode name, for the speedup notes.
+	throughput := map[string]map[int]float64{}
+
+	for _, m := range modes {
+		throughput[m.name] = map[int]float64{}
+		for _, pt := range points {
+			if pt.updaters == 0 && m.d != securexml.DurabilitySync {
+				continue // the updater-free baseline is mode-independent
+			}
+			dir, err := os.MkdirTemp("", "dolbench-writeload-pt")
+			if err != nil {
+				return fail(err)
+			}
+			for name, b := range snap {
+				if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+					os.RemoveAll(dir)
+					return fail(err)
+				}
+			}
+			row, tput, err := writeloadPoint(dir, cfg, m.d, pt.updaters, pt.readers,
+				opsPerUpdater, len(targets), baseAnswers, t)
+			os.RemoveAll(dir)
+			if err != nil {
+				return fail(fmt.Errorf("%s u=%d r=%d: %w", m.name, pt.updaters, pt.readers, err))
+			}
+			label := m.name
+			if pt.updaters == 0 {
+				label = "(idle)"
+			}
+			t.AddRow(append([]string{label}, row...)...)
+			if pt.readers == 0 && pt.updaters > 0 {
+				throughput[m.name][pt.updaters] = tput
+			}
+		}
+	}
+
+	for _, u := range []int{4, 8} {
+		s, g, a := throughput["sync"][u], throughput["grouped"][u], throughput["async"][u]
+		if s > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%d updaters: grouped %.1fx sync, async %.1fx sync", u, g/s, a/s))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"sync pays ~3 fsyncs per update; grouped and async amortize the 3 fsyncs of one flush across the whole group",
+		"every point must answer the Table 1 workload exactly like the base store afterwards (toggles are even)")
+	return tables
+}
+
+// writeloadFingerprint serializes the Table 1 answers under both secure
+// semantics, like the recovery tests' fingerprint: equal strings mean
+// observably identical stores.
+func writeloadFingerprint(s *securexml.Store) (string, error) {
+	var sb strings.Builder
+	for _, q := range Table1 {
+		for _, pruned := range []bool{false, true} {
+			var ms []securexml.Match
+			var err error
+			if pruned {
+				ms, err = s.QueryPruned("u", "read", q.Expr)
+			} else {
+				ms, err = s.Query("u", "read", q.Expr)
+			}
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%s pruned=%v:", q.Name, pruned)
+			for _, m := range ms {
+				fmt.Fprintf(&sb, " %d=%s=%q", m.Node, m.Tag, m.Value)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String(), nil
+}
+
+// writeloadPoint runs one (durability, updaters, readers) cell against a
+// fresh copy of the base store and returns the formatted row cells (minus
+// the mode label) and the measured updates/sec.
+func writeloadPoint(dir string, cfg Config, d securexml.Durability, updaters, readers,
+	opsPerUpdater, numTargets int, baseAnswers string, t *Table) ([]string, float64, error) {
+	s, err := securexml.Open(dir, securexml.StoreOptions{
+		PoolPages:  cfg.PoolPages,
+		Durability: d,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer s.Close()
+	targets, err := s.QueryUnrestricted("//keyword")
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(targets) != numTargets {
+		return nil, 0, fmt.Errorf("restored store holds %d keywords, base had %d", len(targets), numTargets)
+	}
+
+	before := s.MetricsSnapshot()
+	var (
+		done       atomic.Bool
+		updWg      sync.WaitGroup
+		readWg     sync.WaitGroup
+		readersMu  sync.Mutex
+		latencies  []time.Duration
+		firstErrMu sync.Mutex
+		firstErr   error
+	)
+	report := func(err error) {
+		firstErrMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		firstErrMu.Unlock()
+	}
+	for r := 0; r < readers; r++ {
+		readWg.Add(1)
+		go func() {
+			defer readWg.Done()
+			var local []time.Duration
+			for !done.Load() {
+				start := time.Now()
+				if _, err := s.Query("u", "read", Table1[4].Expr); err != nil {
+					report(fmt.Errorf("reader: %w", err))
+					return
+				}
+				local = append(local, time.Since(start))
+			}
+			readersMu.Lock()
+			latencies = append(latencies, local...)
+			readersMu.Unlock()
+		}()
+	}
+
+	start := time.Now()
+	for g := 0; g < updaters; g++ {
+		updWg.Add(1)
+		go func(g int) {
+			defer updWg.Done()
+			node := targets[g%len(targets)].Node
+			var pending []*securexml.Commit
+			for i := 0; i < opsPerUpdater; i++ {
+				allowed := i%2 == 1 // revoke, grant, ... — ends granted
+				if d == securexml.DurabilityAsync {
+					c, err := s.SetAccessAsync("staff", "read", node, allowed, false)
+					if err != nil {
+						report(fmt.Errorf("updater %d: %w", g, err))
+						return
+					}
+					pending = append(pending, c)
+					continue
+				}
+				if err := s.SetAccess("staff", "read", node, allowed, false); err != nil {
+					report(fmt.Errorf("updater %d: %w", g, err))
+					return
+				}
+			}
+			for _, c := range pending {
+				if err := c.Wait(); err != nil {
+					report(fmt.Errorf("updater %d wait: %w", g, err))
+					return
+				}
+			}
+		}(g)
+	}
+	updWg.Wait()
+	if err := s.AwaitDurable(); err != nil {
+		return nil, 0, err
+	}
+	elapsed := time.Since(start)
+	if updaters == 0 {
+		// Updater-free baseline: give the readers a fixed window.
+		window := 50 * time.Millisecond * time.Duration(cfg.QueryRuns)
+		time.Sleep(window)
+		elapsed = window
+	}
+	done.Store(true)
+	readWg.Wait()
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+
+	updates := updaters * opsPerUpdater
+	after := s.MetricsSnapshot()
+	commits := after.Get("wal_commits") - before.Get("wal_commits")
+	fsyncs := after.Get("wal_fsyncs") - before.Get("wal_fsyncs")
+	if commits != int64(updates) {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: %d updates produced %d WAL commits", updates, commits))
+	}
+	if pinned := after.Get("pool_pinned"); pinned != 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: %d pages still pinned after the run", pinned))
+	}
+	if got, err := writeloadFingerprint(s); err != nil {
+		return nil, 0, err
+	} else if got != baseAnswers {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: answers diverged from the base store (updaters=%d)", updaters))
+	}
+
+	fsyncsPer, meanGroup := "-", "-"
+	tput := 0.0
+	if updates > 0 {
+		fsyncsPer = fmt.Sprintf("%.2f", float64(fsyncs)/float64(updates))
+		// Each group flush costs exactly 3 fsyncs (log, data, checkpoint).
+		if groups := float64(fsyncs) / 3; groups > 0 {
+			meanGroup = fmt.Sprintf("%.1f", float64(updates)/groups)
+		}
+		tput = float64(updates) / elapsed.Seconds()
+	}
+	p50, p99 := "-", "-"
+	if readers > 0 && len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i].Round(time.Microsecond)
+		}
+		p50, p99 = pct(0.50).String(), pct(0.99).String()
+	}
+	tputCell := "-"
+	if updates > 0 {
+		tputCell = fmt.Sprintf("%.0f", tput)
+	}
+	row := []string{
+		fmt.Sprintf("%d", updaters),
+		fmt.Sprintf("%d", readers),
+		fmt.Sprintf("%d", updates),
+		elapsed.Round(time.Millisecond).String(),
+		tputCell,
+		fsyncsPer,
+		meanGroup,
+		p50,
+		p99,
+	}
+	return row, tput, nil
+}

@@ -103,6 +103,19 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 	// Lay out new blocks.
 	var newDir []PageInfo
 	var newSums []PageSummary
+	// warm collects each written block's entries in stored form so the
+	// decode cache can be primed once the rewrite has fully succeeded:
+	// accessibility toggles re-read the region they just rewrote, and
+	// without priming every toggle pays a full block decode because the
+	// rewrite invalidated the cache. Installed only after the directory
+	// splice — priming from inside flush could cache entries for a layout
+	// that errors halfway, against a directory that still describes the
+	// old blocks.
+	type warmedBlock struct {
+		pid     storage.PageID
+		entries []Entry
+	}
+	var warm []warmedBlock
 	var (
 		blockEntries []Entry
 		blockBytes   int
@@ -151,6 +164,17 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 		}
 		newDir = append(newDir, pi)
 		newSums = append(newSums, summarizeBlock(blockEntries, blockStartLv))
+		// Snapshot the canonical decoded form: blockEntries is reused, and
+		// the encoding drops Code on codeless entries, so a fresh decode of
+		// this page yields exactly this normalized copy.
+		we := make([]Entry, len(blockEntries))
+		copy(we, blockEntries)
+		for k := range we {
+			if !we[k].HasCode {
+				we[k].Code = 0
+			}
+		}
+		warm = append(warm, warmedBlock{pid: pi.Page, entries: we})
 		blockFirst += xmltree.NodeID(len(blockEntries))
 		blockEntries = blockEntries[:0]
 		blockBytes = 0
@@ -203,6 +227,9 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 	s.dir = dir
 	s.summaries = sums
 	s.numNodes += delta
+	for _, wb := range warm {
+		s.dec.put(wb.pid, wb.entries)
+	}
 	return len(newDir), nil
 }
 

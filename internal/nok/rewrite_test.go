@@ -300,3 +300,71 @@ func TestCheckConsistency(t *testing.T) {
 		t.Fatal("corrupted MinDepth not detected")
 	}
 }
+
+// TestRewriteRegionWarmsDecodeCache checks that a rewrite leaves the decode
+// cache primed with each written block, and — critically — that the primed
+// entries are byte-for-byte what a fresh decode of the page produces: the
+// cache bypasses decodeBlock, so a divergent primed form would silently
+// corrupt every later scan of the region.
+func TestRewriteRegionWarmsDecodeCache(t *testing.T) {
+	doc := fig2doc(t)
+	pool := storage.NewBufferPool(storage.NewMemPager(64), 64)
+	s, err := Build(pool, doc, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.BlockEntries(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := s.PageInfoAt(0)
+	var grown []Entry
+	grown = append(grown, entries[0])
+	for i := 0; i < 30; i++ {
+		// Codeless entries with a stale Code field: the encoding drops the
+		// field, so the primed form must have normalized it away.
+		grown = append(grown, Entry{Tag: 1, CloseCount: 1, Code: 99})
+	}
+	grown = append(grown, entries[1:]...)
+	n, err := s.RewriteRegion(0, 0, grown, int(pi.StartDepth), pi.AccessCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		pid := s.dir[i].Page
+		cached, ok := s.dec.get(pid)
+		if !ok {
+			t.Fatalf("block %d (page %d) not primed after rewrite", i, pid)
+		}
+		f, err := s.pool.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := s.decodeBlock(i, f.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.pool.Unpin(pid, false); err != nil {
+			t.Fatal(err)
+		}
+		if len(cached) != len(fresh) {
+			t.Fatalf("block %d primed %d entries, fresh decode has %d", i, len(cached), len(fresh))
+		}
+		for k := range fresh {
+			if cached[k] != fresh[k] {
+				t.Fatalf("block %d entry %d primed as %+v, decodes as %+v", i, k, cached[k], fresh[k])
+			}
+		}
+	}
+	// The primed region must not cost the toggle path a decode: reading
+	// every rewritten block back is all cache hits.
+	h0 := s.DecodeCacheStats().Hits
+	for i := 0; i < n; i++ {
+		if _, err := s.BlockEntries(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.DecodeCacheStats().Hits - h0; got != int64(n) {
+		t.Fatalf("re-reading %d rewritten blocks produced %d cache hits", n, got)
+	}
+}

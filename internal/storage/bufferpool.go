@@ -77,6 +77,12 @@ type BufferPool struct {
 	misses    obs.Counter
 	evictions obs.Counter
 	flushes   obs.Counter
+	// dirty indexes the buffered frames whose dirty bit is set, so FlushAll
+	// visits exactly the write-back set instead of scanning every frame —
+	// the scan sat inside each update commit's sealing critical section and
+	// grew with pool capacity, not with the update's footprint. Invariant
+	// (under mu): id ∈ dirty ⇔ frames[id].dirty.
+	dirty map[PageID]struct{}
 }
 
 // NewBufferPool wraps pager with a pool of at most capacity frames.
@@ -89,6 +95,7 @@ func NewBufferPool(pager Pager, capacity int) *BufferPool {
 		capacity: capacity,
 		frames:   make(map[PageID]*Frame, capacity),
 		lru:      list.New(),
+		dirty:    make(map[PageID]struct{}),
 	}
 }
 
@@ -225,6 +232,7 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
 	}
 	if dirty {
 		f.dirty = true
+		bp.dirty[id] = struct{}{}
 	}
 	f.pins--
 	if f.pins == 0 {
@@ -246,6 +254,7 @@ func (bp *BufferPool) evict() error {
 		if err := bp.pager.WritePage(id, f.Data); err != nil {
 			return err
 		}
+		delete(bp.dirty, id)
 		bp.flushes.Inc()
 	}
 	bp.lru.Remove(elem)
@@ -258,14 +267,14 @@ func (bp *BufferPool) evict() error {
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	for id, f := range bp.frames {
-		if f.dirty {
-			if err := bp.pager.WritePage(id, f.Data); err != nil {
-				return err
-			}
-			f.dirty = false
-			bp.flushes.Inc()
+	for id := range bp.dirty {
+		f := bp.frames[id]
+		if err := bp.pager.WritePage(id, f.Data); err != nil {
+			return err
 		}
+		f.dirty = false
+		delete(bp.dirty, id)
+		bp.flushes.Inc()
 	}
 	return bp.pager.Sync()
 }
@@ -359,5 +368,6 @@ func (bp *BufferPool) DropAll() error {
 	}
 	bp.frames = make(map[PageID]*Frame, bp.capacity)
 	bp.lru.Init()
+	bp.dirty = make(map[PageID]struct{})
 	return nil
 }

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -418,3 +420,296 @@ func TestFilePagerShortWriteContext(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+// TestWALMetaDeltaChain seals a group whose batches carry large, mostly-
+// identical metadata blobs, crashes the flush after the log sync (the
+// group's durability point), and checks that recovery reconstructs every
+// batch's exact blob from the delta chain. It also asserts the chain was
+// actually used: the journaled group must be far smaller than the sum of
+// its blobs, and the log must hold exactly one full meta record.
+func TestWALMetaDeltaChain(t *testing.T) {
+	mem := NewMemPager(128)
+	log := NewMemFile()
+	fp := NewFaultPager(mem)
+	ff := NewFaultFile(log)
+	w, _, err := OpenWALPager(fp, ff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+
+	head := bytes.Repeat([]byte{'h'}, 4096)
+	metas := [][]byte{
+		append(append([]byte(nil), head...), []byte("-one")...),
+		append(append([]byte(nil), head...), []byte("-two-longer")...),
+		append(append([]byte(nil), head...), []byte("-3")...), // shrinks
+	}
+	w.HoldFlushes()
+	for i, m := range metas {
+		if err := w.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WritePage(0, pageBytes(128, byte('A'+i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.CommitAsync(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash at the data sync: the log holds the whole journaled group.
+	fp.Arm(Fault{Op: FaultSync, N: 1})
+	if err := w.ReleaseFlushes(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReleaseFlushes = %v, want injected fault", err)
+	}
+
+	raw := log.Bytes()
+	var total int
+	for _, m := range metas {
+		total += len(m)
+	}
+	if len(raw) > total {
+		t.Fatalf("log holds %d bytes, delta chain should keep it under the %d bytes of raw metas", len(raw), total)
+	}
+	full, delta := 0, 0
+	for b := raw[walHeaderSize:]; len(b) > 0; {
+		rec, rest, ok := nextRecord(b, 128)
+		if !ok {
+			t.Fatalf("unparseable record at tail of %d bytes", len(b))
+		}
+		switch rec[0] {
+		case walRecMeta:
+			full++
+		case walRecMetaDelta:
+			delta++
+		}
+		b = rest
+	}
+	if full != 1 || delta != 2 {
+		t.Fatalf("log holds %d full + %d delta meta records, want 1 + 2", full, delta)
+	}
+
+	// Recovery must redo all three batches and hand the sink each batch's
+	// exact blob, reconstructed through the chain.
+	var delivered [][]byte
+	sink := func(m []byte) error {
+		delivered = append(delivered, append([]byte(nil), m...))
+		return nil
+	}
+	w2, info, err := OpenWALPager(mem, log, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Redone != len(metas) {
+		t.Fatalf("Redone = %d, want %d", info.Redone, len(metas))
+	}
+	if len(delivered) != len(metas) {
+		t.Fatalf("sink got %d blobs, want %d", len(delivered), len(metas))
+	}
+	for i, m := range metas {
+		if !bytes.Equal(delivered[i], m) {
+			t.Fatalf("batch %d meta reconstructed wrong: %d bytes vs %d", i, len(delivered[i]), len(m))
+		}
+	}
+	if got := readPageOrFatal(t, mem, 0); got[0] != 'C' {
+		t.Fatalf("page 0 = %q after redo, want 'C'", got[0])
+	}
+}
+
+// TestWALMetaDeltaWithoutBase feeds parseWAL a delta record with no meta
+// record before it: the record region is malformed and must be treated as a
+// torn tail, not reconstructed from garbage.
+func TestWALMetaDeltaWithoutBase(t *testing.T) {
+	var region []byte
+	addRec := func(rec []byte) {
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(rec))
+		region = append(region, rec...)
+		region = append(region, crc[:]...)
+	}
+	addRec(encodeBegin(1, 0))
+	addRec(encodeMetaDelta(10, []byte("suffix")))
+	addRec(encodeCommit(1, 0, 0))
+	batches, tail := parseWAL(region, 128)
+	if !tail {
+		t.Fatal("orphan delta accepted, want torn tail")
+	}
+	for _, b := range batches {
+		if b.committed {
+			t.Fatal("batch after orphan delta parsed as committed")
+		}
+	}
+}
+
+// TestWALLazyCheckpointDeferral pins the background flusher's deferred
+// checkpoint: lazy flushes leave checkpointed batches in the log and hold
+// the sidecar back (amortizing its fsyncs), the meta delta chain continues
+// across those flushes, crash recovery redelivers the newest committed
+// blob even though no batch needs redo, and both the size threshold and
+// Close force the checkpoint eagerly.
+func TestWALLazyCheckpointDeferral(t *testing.T) {
+	mem := NewMemPager(128)
+	log := NewMemFile()
+	var delivered [][]byte
+	sink := func(m []byte) error {
+		delivered = append(delivered, append([]byte(nil), m...))
+		return nil
+	}
+	w, _, err := OpenWALPager(mem, log, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Allocate()
+	if err := w.WritePage(id, pageBytes(128, 'a')); err != nil {
+		t.Fatal(err)
+	}
+
+	head := bytes.Repeat([]byte{'H'}, 64)
+	meta := func(tail string) []byte { return append(append([]byte(nil), head...), tail...) }
+	lazyCommit := func(marker byte, m []byte) {
+		t.Helper()
+		if err := w.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WritePage(id, pageBytes(128, marker)); err != nil {
+			t.Fatal(err)
+		}
+		cw, err := w.SealCommit(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.flushGroup(true); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lazyCommit('b', meta("one"))
+	sz1, _ := log.Size()
+	if sz1 <= walHeaderSize {
+		t.Fatalf("lazy flush truncated the log eagerly (size %d)", sz1)
+	}
+	if len(delivered) != 0 {
+		t.Fatalf("lazy flush delivered the sidecar eagerly: %d blobs", len(delivered))
+	}
+	if got := readPageOrFatal(t, mem, id); got[0] != 'b' {
+		t.Fatalf("lazy flush did not apply: %q", got[0])
+	}
+
+	lazyCommit('c', meta("two!"))
+	sz2, _ := log.Size()
+	if sz2 <= sz1 {
+		t.Fatalf("second lazy flush did not append to the retained log (%d -> %d)", sz1, sz2)
+	}
+	if len(delivered) != 0 {
+		t.Fatalf("second lazy flush delivered the sidecar: %d blobs", len(delivered))
+	}
+	// The second flush's meta must delta-chain against the first flush's
+	// record, which is still in the log: exactly one full blob overall.
+	raw := log.Bytes()
+	fulls, deltas := 0, 0
+	for b := raw[walHeaderSize:]; len(b) > 0; {
+		rec, rest, ok := nextRecord(b, 128)
+		if !ok {
+			t.Fatal("log scan hit a bad record")
+		}
+		switch rec[0] {
+		case walRecMeta:
+			fulls++
+		case walRecMetaDelta:
+			deltas++
+		}
+		b = rest
+	}
+	if fulls != 1 || deltas != 1 {
+		t.Fatalf("meta records across lazy flushes = %d full + %d delta, want 1 + 1", fulls, deltas)
+	}
+
+	// Crash (no Close): recovery must redo nothing — both batches are
+	// checkpointed — but still deliver the newest blob, whose deferred
+	// sidecar write never happened.
+	var recovered [][]byte
+	w2, info, err := OpenWALPager(mem, log, func(m []byte) error {
+		recovered = append(recovered, append([]byte(nil), m...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Redone != 0 {
+		t.Fatalf("recovery redid %d checkpointed batches", info.Redone)
+	}
+	if !info.MetaApplied {
+		t.Fatal("recovery did not report the redelivered metadata")
+	}
+	if len(recovered) != 1 || !bytes.Equal(recovered[0], meta("two!")) {
+		t.Fatalf("recovery delivered %d blobs, want exactly the newest", len(recovered))
+	}
+	if sz, _ := log.Size(); sz != walHeaderSize {
+		t.Fatalf("recovery left the log at %d bytes", sz)
+	}
+
+	// A lazy flush that pushes the log past walTruncateThreshold must
+	// checkpoint inline: sidecar delivered, log reset.
+	recovered = recovered[:0]
+	big := append(meta("three"), bytes.Repeat([]byte{'x'}, walTruncateThreshold)...)
+	if err := w2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WritePage(id, pageBytes(128, 'd')); err != nil {
+		t.Fatal(err)
+	}
+	cw, err := w2.SealCommit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.flushGroup(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || !bytes.Equal(recovered[0], big) {
+		t.Fatalf("threshold crossing delivered %d blobs", len(recovered))
+	}
+	if sz, _ := log.Size(); sz != walHeaderSize {
+		t.Fatalf("threshold crossing left the log at %d bytes", sz)
+	}
+
+	// Close after one more deferred flush forces the final checkpoint.
+	lazySecond := func() {
+		if err := w2.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.WritePage(id, pageBytes(128, 'e')); err != nil {
+			t.Fatal(err)
+		}
+		cw, err := w2.SealCommit(meta("four"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.flushGroup(true); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lazySecond()
+	if len(recovered) != 1 {
+		t.Fatalf("deferred flush after threshold delivered early: %d blobs", len(recovered))
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 || !bytes.Equal(recovered[1], meta("four")) {
+		t.Fatalf("Close delivered %d blobs, want the deferred one", len(recovered))
+	}
+	if sz, _ := log.Size(); sz != walHeaderSize {
+		t.Fatalf("Close left the log at %d bytes", sz)
+	}
+}

@@ -275,14 +275,17 @@ func TestMetricNamesValidAndUnique(t *testing.T) {
 		"query_candidates_rejected",
 	})
 	for _, n := range mem.MetricNames() {
-		if strings.HasPrefix(n, "wal_") {
+		if strings.HasPrefix(n, "wal_") || n == "commit_wait_us" {
 			t.Errorf("memory-backed store registered %q", n)
 		}
 	}
 
 	file := bigStore(t, StoreOptions{PageSize: 256, Path: filepath.Join(t.TempDir(), "pages.dol")})
 	defer file.Close()
-	check(t, file, []string{"wal_begins", "wal_commits", "wal_fsyncs", "wal_log_appends"})
+	check(t, file, []string{
+		"wal_begins", "wal_commits", "wal_fsyncs", "wal_log_appends",
+		"wal_group_size", "wal_pending_batches", "commit_wait_us",
+	})
 }
 
 // TestDebugHandlerEndpoints asserts the acceptance criterion that the HTTP

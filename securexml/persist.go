@@ -95,27 +95,94 @@ func writeFileAtomic(path string, data []byte) error {
 	return d.Sync()
 }
 
-// marshalMeta serializes the store's current metadata sidecar image — the
-// blob Save writes to store.json and update commits journal in the WAL.
-func (s *Store) marshalMeta() ([]byte, error) {
-	cb, err := s.ss.Codebook().MarshalBinary()
-	if err != nil {
-		return nil, err
+// metaHead is persistedStore minus the codebook — the slice of the sidecar
+// image an accessibility update leaves untouched. Its JSON encoding is
+// dominated by the NoK value index (thousands of entries), so marshalMeta
+// caches it: re-encoding it on every commit put milliseconds of JSON work
+// inside the sealing critical section and capped group-commit throughput.
+type metaHead struct {
+	Format   int                   `json:"format"`
+	PageSize int                   `json:"page_size"`
+	Modes    []string              `json:"modes"`
+	Dir      acl.DirectorySnapshot `json:"directory"`
+	Nok      nok.Meta              `json:"nok"`
+}
+
+// metaHeadState fingerprints the NoK shape the cached head was built from.
+// An accessibility update performs exactly one region rewrite (dol's
+// SetRangeACL); a rewrite that keeps its block count reuses the region's
+// pages in order, so the page-ID list can only change together with one of
+// these counts. Every other mutation (directory, structural, vacuum)
+// invalidates the cache explicitly instead of relying on the fingerprint.
+type metaHeadState struct {
+	numNodes  int
+	numTags   int
+	numPages  int
+	numValues int
+}
+
+func (s *Store) metaHeadState() metaHeadState {
+	st := s.ss.Store()
+	hs := metaHeadState{
+		numNodes: st.NumNodes(),
+		numTags:  st.NumTags(),
+		numPages: st.NumPages(),
 	}
-	ps := persistedStore{
+	if vs := st.Values(); vs != nil {
+		hs.numValues = vs.NumValues()
+	}
+	return hs
+}
+
+// invalidateMetaHead drops the cached sidecar head. Every update that can
+// change the directory or rewrite NoK state in ways the shape fingerprint
+// cannot see (same-count page replacement, in-place value moves) must call
+// it under the write lock before sealing.
+func (s *Store) invalidateMetaHead() { s.metaHead = nil }
+
+// metaHeadJSON returns the sidecar head encoding, reusing the cache when
+// the NoK shape is unchanged since it was built. Caller holds s.mu.
+func (s *Store) metaHeadJSON() ([]byte, error) {
+	hs := s.metaHeadState()
+	if s.metaHead != nil && hs == s.metaHeadFP {
+		return s.metaHead, nil
+	}
+	data, err := json.MarshalIndent(metaHead{
 		Format:   1,
 		PageSize: s.opts.PageSize,
 		Modes:    s.modes,
 		Dir:      s.dir.Snapshot(),
 		Nok:      s.ss.Store().Meta(),
-		Codebook: base64.StdEncoding.EncodeToString(cb),
-	}
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(ps); err != nil {
+	}, "", " ")
+	if err != nil {
 		return nil, err
 	}
+	s.metaHead = data
+	s.metaHeadFP = hs
+	return data, nil
+}
+
+// marshalMeta serializes the store's current metadata sidecar image — the
+// blob Save writes to store.json and update commits journal in the WAL. The
+// codebook (small, changed by every ACL update) is spliced into the cached
+// head (large, rarely changed) as the final JSON field, matching
+// persistedStore's field order.
+func (s *Store) marshalMeta() ([]byte, error) {
+	cb, err := s.ss.Codebook().MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	head, err := s.metaHeadJSON()
+	if err != nil {
+		return nil, err
+	}
+	b64 := base64.StdEncoding.EncodeToString(cb)
+	var buf bytes.Buffer
+	buf.Grow(len(head) + len(b64) + 32)
+	buf.Write(head[:len(head)-2]) // strip the closing "\n}"
+	buf.WriteString(",\n \"codebook\": \"")
+	buf.WriteString(b64)
+	buf.WriteString("\"\n}\n")
 	return buf.Bytes(), nil
 }
 
@@ -124,10 +191,12 @@ func (s *Store) marshalMeta() ([]byte, error) {
 // StoreOptions.Path is written out page by page. The sidecar lands via an
 // atomic temp-file-and-rename, and both it and the pages are fsynced, so
 // an interrupted Save never leaves a half-written store behind.
+// Save also acts as a durability barrier: the pager Sync (or the page
+// copy) below drains any sealed-but-unflushed async commits first.
 func (s *Store) Save(dir string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.failed {
+	if s.failedLocked() {
 		return errStoreFailed
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -226,6 +295,7 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 	}
 	sink := &metaSink{dir: dir}
 	var info storage.RecoveryInfo
+	var wal *storage.WALPager
 	if !opts.DisableWAL {
 		osf, err := storage.OpenOSFile(opts.Path + walSuffix)
 		if err != nil {
@@ -242,7 +312,7 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 			pager.Close()
 			return nil, fmt.Errorf("securexml: wal recovery: %w", err)
 		}
-		pager, info = wp, ri
+		pager, info, wal = wp, ri, wp
 		if info.MetaApplied {
 			// Recovery redid a batch whose sidecar had not landed;
 			// the sink just rewrote store.json — reload it.
@@ -294,6 +364,7 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 		idxDirty: true,
 		sink:     sink,
 		recovery: info,
+		wp:       wal,
 	}
 	if err := s.initObs(); err != nil {
 		return nil, err

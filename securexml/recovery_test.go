@@ -26,12 +26,12 @@ import (
 // recoveryQueries is the paper's Table 1 workload (see bench.Table1),
 // evaluated under both the bindings and the pruned semantics.
 var recoveryQueries = []string{
-	"/site/regions/africa/item[location][name][quantity]", // Q1
+	"/site/regions/africa/item[location][name][quantity]",   // Q1
 	"/site/categories/category[name]/description/text/bold", // Q2
-	"/site/categories/category/description/text/bold",     // Q3
-	"//parlist//parlist",                                  // Q4
-	"//listitem//keyword",                                 // Q5
-	"//item//emph",                                        // Q6
+	"/site/categories/category/description/text/bold",       // Q3
+	"//parlist//parlist",  // Q4
+	"//listitem//keyword", // Q5
+	"//item//emph",        // Q6
 }
 
 // recoveryFixture is a saved XMark store directory plus a byte snapshot of
@@ -431,6 +431,246 @@ func TestRecoveryMetaSidecar(t *testing.T) {
 	// The revoke must be visible through the recovered store.
 	if ok, err := s2.UserAccessible("u", "read", target); err != nil || ok {
 		t.Fatalf("revoked subtree root accessible after recovery (ok=%v err=%v)", ok, err)
+	}
+}
+
+// groupRecoveryTargets resolves three distinct keyword nodes u can
+// currently see. Revoking each removes a distinct Q5 answer, so the four
+// possible group prefixes (0, 1, 2 or 3 updates applied) have four
+// distinct answer fingerprints and recovery outcomes are unambiguous.
+func groupRecoveryTargets(t *testing.T, s *Store) [3]NodeID {
+	t.Helper()
+	kws, err := s.Query("u", "read", "//listitem//keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kws) < 3 {
+		t.Fatalf("fixture shows u only %d listitem keywords, need at least 3", len(kws))
+	}
+	return [3]NodeID{kws[0].Node, kws[1].Node, kws[2].Node}
+}
+
+// applyGroupUpdate applies the j-th (0-based) group update synchronously.
+func applyGroupUpdate(t *testing.T, s *Store, targets [3]NodeID, j int) error {
+	t.Helper()
+	return s.SetAccess("staff", "read", targets[j], false, false)
+}
+
+// TestRecoveryGroupFlushPrefix extends the crash matrix to coalesced
+// groups: three async commits are sealed while flushes are held, released
+// as ONE group flush with a fault armed at every physical operation of
+// that flush, and after reopening the store must answer exactly as one of
+// the four group prefixes — never a torn interior batch. The sweep must
+// also observe every prefix, and clean/torn variants of the same append
+// must recover identically (a torn record and a missing record both keep
+// the commit off the log).
+func TestRecoveryGroupFlushPrefix(t *testing.T) {
+	fx := buildRecoveryFixture(t, 800, 512)
+
+	// Prefix fingerprints by sequential clean replay: prefixFP[j] is the
+	// answer state after the first j updates.
+	prefixFP := [4]string{fx.pre, "", "", ""}
+	for j := 1; j <= 3; j++ {
+		fx.restore(t)
+		s, err := Open(fx.dir, StoreOptions{PoolPages: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets := groupRecoveryTargets(t, s)
+		for i := 0; i < j; i++ {
+			if err := applyGroupUpdate(t, s, targets, i); err != nil {
+				t.Fatalf("replay update %d: %v", i, err)
+			}
+		}
+		prefixFP[j] = answerFingerprint(t, s)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			if prefixFP[a] == prefixFP[b] {
+				t.Fatalf("prefixes %d and %d answer identically; the test cannot distinguish them", a, b)
+			}
+		}
+	}
+
+	// sealGroup seals the three updates as async commits while flushes are
+	// held, so the subsequent release flushes them as a single group.
+	sealGroup := func(t *testing.T, s *Store) [3]*Commit {
+		t.Helper()
+		targets := groupRecoveryTargets(t, s)
+		s.wp.HoldFlushes()
+		var cs [3]*Commit
+		for j := range cs {
+			c, err := s.SetAccessAsync("staff", "read", targets[j], false, false)
+			if err != nil {
+				t.Fatalf("seal update %d: %v", j, err)
+			}
+			cs[j] = c
+		}
+		return cs
+	}
+
+	// Probe: clean group flush, counting its physical operations.
+	fx.restore(t)
+	s, fp, ff := fx.openWithFaults(t)
+	cs := sealGroup(t, s)
+	if n := s.wp.PendingBatches(); n != 3 {
+		t.Fatalf("pending batches = %d, want 3", n)
+	}
+	for j, c := range cs {
+		select {
+		case <-c.Done():
+			t.Fatalf("commit %d resolved before any flush", j)
+		default:
+		}
+	}
+	fp.Arm(storage.Fault{}) // count only the flush itself
+	ff.Arm(storage.Fault{})
+	if err := s.wp.ReleaseFlushes(); err != nil {
+		t.Fatalf("clean group flush: %v", err)
+	}
+	for j, c := range cs {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("commit %d after clean flush: %v", j, err)
+		}
+	}
+	dataWrites, dataSyncs, _ := fp.Counts()
+	logAppends, logSyncs, _ := ff.Counts()
+	if logSyncs != 2 || dataSyncs != 1 {
+		t.Fatalf("group of 3 cost %d log syncs and %d data syncs, want 2 and 1", logSyncs, dataSyncs)
+	}
+	if got := answerFingerprint(t, s); got != prefixFP[3] {
+		t.Fatal("grouped commits answer differently from the sequential replay")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("group flush: %d log appends, %d log syncs, %d data writes, %d data syncs",
+		logAppends, logSyncs, dataWrites, dataSyncs)
+
+	var points []faultPoint
+	for i := 1; i <= logAppends; i++ {
+		points = append(points,
+			faultPoint{"log", storage.Fault{Op: storage.FaultWrite, N: i}},
+			faultPoint{"log", storage.Fault{Op: storage.FaultWrite, N: i, Torn: true}})
+	}
+	for i := 1; i <= logSyncs; i++ {
+		points = append(points, faultPoint{"log", storage.Fault{Op: storage.FaultSync, N: i}})
+	}
+	for i := 1; i <= dataWrites; i++ {
+		points = append(points,
+			faultPoint{"data", storage.Fault{Op: storage.FaultWrite, N: i}},
+			faultPoint{"data", storage.Fault{Op: storage.FaultWrite, N: i, Torn: true}})
+	}
+	for i := 1; i <= dataSyncs; i++ {
+		points = append(points, faultPoint{"data", storage.Fault{Op: storage.FaultSync, N: i}})
+	}
+	full := !testing.Short()
+	if !full && len(points) > 16 {
+		stride := len(points) / 16
+		var kept []faultPoint
+		for i := 0; i < len(points); i += stride {
+			kept = append(kept, points[i])
+		}
+		kept = append(kept, points[len(points)-1])
+		points = kept
+	}
+
+	seen := [4]bool{}
+	cleanPrefix := map[int]int{} // log append N -> recovered prefix (clean variant)
+	lastAppendPrefix := -1
+	for _, pt := range points {
+		fx.restore(t)
+		s, fp, ff := fx.openWithFaults(t)
+		cs := sealGroup(t, s)
+		switch pt.target {
+		case "log":
+			ff.Arm(pt.fault)
+		case "data":
+			fp.Arm(pt.fault)
+		}
+		// The release and a leftover flusher kick may race for the group;
+		// the waiters carry the authoritative outcome either way. Waiters
+		// resolve nil at the group's durability point (the first log sync),
+		// so faults striking after it — the checkpoint append, the second
+		// log sync, anything on the data pager — leave them successful even
+		// though the flush failed and poisoned the store.
+		durable := pt.target == "data" ||
+			(pt.fault.Op == storage.FaultSync && pt.fault.N == 2) ||
+			(pt.fault.Op == storage.FaultWrite && pt.fault.N == logAppends)
+		_ = s.wp.ReleaseFlushes()
+		for j, c := range cs {
+			err := c.Wait()
+			if durable && err != nil {
+				t.Fatalf("at %s: commit %d resolved with %v, want nil (group durable before fault)", pt, j, err)
+			}
+			if !durable && !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("at %s: commit %d resolved with %v, want injected fault", pt, j, err)
+			}
+		}
+		if !s.Failed() {
+			t.Fatalf("at %s: store not poisoned after failed group flush", pt)
+		}
+		if _, err := s.Query("u", "read", "//keyword"); !errors.Is(err, errStoreFailed) {
+			t.Fatalf("at %s: query on poisoned store: %v", pt, err)
+		}
+		_ = s.Close() // faulted handles; errors expected
+
+		s2, err := Open(fx.dir, StoreOptions{PoolPages: 64})
+		if err != nil {
+			t.Fatalf("at %s: reopen: %v", pt, err)
+		}
+		got := answerFingerprint(t, s2)
+		prefix := -1
+		for j, want := range prefixFP {
+			if got == want {
+				prefix = j
+				break
+			}
+		}
+		if prefix < 0 {
+			t.Fatalf("at %s: recovered answers match NO group prefix — torn interior batch", pt)
+		}
+		seen[prefix] = true
+		if ri := s2.Recovery(); ri.Redone != prefix &&
+			!(pt.target == "log" && pt.fault.Op == storage.FaultSync && pt.fault.N == 2) {
+			t.Fatalf("at %s: recovered prefix %d but redid %d batches (%+v)", pt, prefix, ri.Redone, ri)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatalf("at %s: close after recovery: %v", pt, err)
+		}
+
+		// Everything at or past the first log sync is roll-forward: all
+		// three commit records reached the file.
+		if pt.target == "data" || pt.fault.Op == storage.FaultSync || pt.fault.N == logAppends {
+			if prefix != 3 {
+				t.Fatalf("at %s: recovered prefix %d, protocol demands the full group", pt, prefix)
+			}
+		}
+		if pt.target == "log" && pt.fault.Op == storage.FaultWrite {
+			if pt.fault.Torn {
+				if want, ok := cleanPrefix[pt.fault.N]; ok && want != prefix {
+					t.Fatalf("torn append #%d recovered prefix %d, clean variant recovered %d", pt.fault.N, prefix, want)
+				}
+			} else {
+				cleanPrefix[pt.fault.N] = prefix
+				if prefix < lastAppendPrefix {
+					t.Fatalf("append #%d recovered prefix %d after #%d gave %d: prefixes regressed", pt.fault.N, prefix, pt.fault.N-1, lastAppendPrefix)
+				}
+				lastAppendPrefix = prefix
+			}
+		}
+	}
+	if full {
+		for j, ok := range seen {
+			if !ok {
+				t.Errorf("sweep never recovered to prefix %d (saw %v)", j, seen)
+			}
+		}
+	} else if !seen[0] || !seen[3] {
+		t.Fatalf("sweep missed a boundary prefix (saw %v)", seen)
 	}
 }
 

@@ -41,6 +41,15 @@ type StoreOptions struct {
 	// otherwise get, trading crash atomicity of updates for one less file
 	// and fewer fsyncs. Memory-backed stores never have a WAL.
 	DisableWAL bool
+	// Durability selects how update commits reach disk on a write-ahead-
+	// logged store: DurabilitySync (default) blocks each update until its
+	// batch is flushed; DurabilityGrouped blocks until a shared group
+	// flush covers the batch, letting concurrent updaters split the fsync
+	// cost; DurabilityAsync returns as soon as the batch is sealed, with
+	// durability reported through a Commit handle (see SetAccessAsync and
+	// AwaitDurable). Stores without a WAL ignore the setting: their
+	// updates are applied in place and have no deferred flush.
+	Durability Durability
 	// WrapPager, when set, wraps the data pager before the store (and the
 	// WAL) sees it — a seam for fault-injection tests.
 	WrapPager func(storage.Pager) storage.Pager
@@ -55,6 +64,30 @@ type StoreOptions struct {
 	// need not be goroutine-safe.
 	SlowQueryLog io.Writer
 }
+
+// Durability selects when an update commit becomes durable relative to the
+// call that made it. All three modes share the same crash guarantees —
+// recovery replays an exact prefix of the committed batches — they differ
+// only in when the caller learns its batch is in that prefix.
+type Durability int
+
+const (
+	// DurabilitySync makes each update durable before its call returns:
+	// the committer seals its batch and runs the group flush itself
+	// (coalescing any concurrently sealed batches). Today's semantics,
+	// and the default.
+	DurabilitySync Durability = iota
+	// DurabilityGrouped blocks each update until the shared background
+	// flush covers its batch: N concurrent updaters share one log fsync,
+	// one data fsync and one checkpoint instead of paying 3 each.
+	DurabilityGrouped
+	// DurabilityAsync returns as soon as the batch is sealed (its effects
+	// are immediately visible to queries); durability is reported through
+	// the Commit handle of the *Async update variants, or collectively by
+	// AwaitDurable. A crash can lose a suffix of unflushed updates — never
+	// an interior one.
+	DurabilityAsync
+)
 
 func (o *StoreOptions) defaults() {
 	if o.PageSize == 0 {
@@ -74,7 +107,13 @@ func (o *StoreOptions) defaults() {
 type Store struct {
 	// mu serializes updates against queries. Query paths hold the read
 	// lock; mutating paths hold the write lock.
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// commitMu serializes DurabilitySync commits with each other across
+	// their whole seal-and-flush span (see lockUpdate): a Sync commit
+	// keeps the historical one-flush-per-batch I/O behavior instead of
+	// coalescing with concurrent committers. The relaxed modes never take
+	// it — coalescing is exactly what they opt into.
+	commitMu sync.Mutex
 	opts     StoreOptions
 	pool     *storage.BufferPool
 	ss       *dol.SecureStore
@@ -88,6 +127,11 @@ type Store struct {
 	// sink routes committed update metadata (the store.json image carried
 	// in WAL commit records) to the persisted directory, once one is known.
 	sink *metaSink
+	// wp is the write-ahead-logged pager, nil for memory-backed or
+	// DisableWAL stores. Update commits seal into its flush queue under
+	// s.mu and flush after releasing it, so readers never wait out an
+	// updater's fsyncs.
+	wp *storage.WALPager
 	// recovery records what opening the WAL found (zero value when the
 	// store has no WAL or the log was clean).
 	recovery storage.RecoveryInfo
@@ -115,6 +159,11 @@ type Store struct {
 	// and SlowQueryLog writers (bytes.Buffer, log files) need not be
 	// goroutine-safe.
 	slowMu sync.Mutex
+	// metaHead caches the sidecar image minus the codebook (see
+	// marshalMeta); metaHeadFP is the NoK shape it was built against. Both
+	// are guarded by s.mu like the structures they mirror.
+	metaHead   []byte
+	metaHeadFP metaHeadState
 }
 
 // errStoreFailed poisons a store whose in-memory state diverged from disk
@@ -122,11 +171,20 @@ type Store struct {
 var errStoreFailed = fmt.Errorf("securexml: store failed mid-update; close and reopen to recover")
 
 // Failed reports whether the store has been poisoned by a discarded update
-// batch and must be reopened.
+// batch or a failed group flush and must be reopened.
 func (s *Store) Failed() bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.failed
+	return s.failedLocked()
+}
+
+// failedLocked is the poisoned-state check behind Failed, queries and
+// updates: the explicit flag (an abort discarded buffered writes), or a
+// broken WAL (a group flush died, so the in-memory state of every batch
+// sealed since is ahead of what disk will ever hold). Caller holds s.mu in
+// either mode.
+func (s *Store) failedLocked() bool {
+	return s.failed || (s.wp != nil && s.wp.Broken() != nil)
 }
 
 // Recovery reports what crash recovery found when the store was opened:
@@ -150,6 +208,7 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 	}
 	sink := &metaSink{}
 	var pager storage.Pager
+	var wal *storage.WALPager
 	if opts.Path != "" {
 		fp, err := storage.OpenFilePager(opts.Path, opts.PageSize)
 		if err != nil {
@@ -181,7 +240,7 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 			pager.Close()
 			return nil, err
 		}
-		pager = wp
+		pager, wal = wp, wp
 	}
 	pool := storage.NewBufferPool(pager, opts.PoolPages)
 	ss, err := dol.BuildSecureStore(pool, b.doc, matrix, nok.BuildOptions{
@@ -201,6 +260,7 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 		modeIdx:  b.modeIdx,
 		idxDirty: true,
 		sink:     sink,
+		wp:       wal,
 	}
 	if err := s.initObs(); err != nil {
 		return nil, err
@@ -320,7 +380,7 @@ func (s *Store) matches(ctx context.Context, nodes []xmltree.NodeID) ([]Match, e
 // hold and must release it with s.mu.RUnlock().
 func (s *Store) lockForQuery() error {
 	s.mu.RLock()
-	if s.failed {
+	if s.failedLocked() {
 		s.mu.RUnlock()
 		return errStoreFailed
 	}
@@ -448,26 +508,71 @@ func (s *Store) UserAccessible(user, mode string, n NodeID) (bool, error) {
 	return view.Accessible(xmltree.NodeID(n))
 }
 
-// withUpdateTxn runs fn as one user-visible atomic update. On a
-// write-ahead-logged pager it opens the outermost batch (the nok/dol
-// layers' own batches nest inside), flushes every dirty buffer-pool frame
-// into it, and commits with the serialized metadata sidecar — so the page
-// images and the codebook/directory state they reference become durable
-// together. The caller must hold the write lock.
+// Commit is the durability handle of one committed update. The update's
+// effects are visible to queries as soon as the updating call returns; the
+// handle reports when (and whether) they became durable. The zero-cost
+// handle of a store without a WAL is already resolved.
+type Commit struct {
+	s  *Store
+	cw *storage.CommitWaiter // nil when there is nothing to flush
+}
+
+// Done returns a channel closed once the update is durable or its flush
+// failed; consult Err afterwards.
+func (c *Commit) Done() <-chan struct{} {
+	if c.cw == nil {
+		return closedDone
+	}
+	return c.cw.Done()
+}
+
+// Err returns the flush outcome. Valid only after Done is closed.
+func (c *Commit) Err() error {
+	if c.cw == nil {
+		return nil
+	}
+	return c.cw.Err()
+}
+
+// Wait blocks until the update is durable and returns the flush outcome.
+// A flush failure has already poisoned the store (Failed reports true);
+// reopen to recover — the log decides which sealed batches survive.
+func (c *Commit) Wait() error {
+	if c.cw == nil {
+		return nil
+	}
+	return c.cw.Wait()
+}
+
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// updateTxn runs fn as one user-visible atomic update and SEALS it with
+// the metadata sidecar: on a write-ahead-logged pager it opens the
+// outermost batch (the nok/dol layers' own batches nest inside), flushes
+// every dirty buffer-pool frame into it, and moves the batch onto the
+// flush queue — cheap, no I/O. The caller must hold the write lock, and
+// must call finish AFTER releasing it: the expensive flush protocol runs
+// there, outside s.mu, so queries never stall behind an updater's fsyncs.
 //
-// If the batch is rolled back or the commit fails after page writes were
+// If the batch is rolled back or sealing fails after page writes were
 // buffered, the in-memory store is ahead of what disk will ever hold; the
 // store is then poisoned (see Store.failed) and must be reopened.
-func (s *Store) withUpdateTxn(fn func() error) error {
-	if s.failed {
-		return errStoreFailed
+func (s *Store) updateTxn(fn func() error) (*Commit, error) {
+	if s.failedLocked() {
+		return nil, errStoreFailed
 	}
-	tp, ok := s.pool.Pager().(storage.TxnPager)
-	if !ok {
-		return fn()
+	if s.wp == nil {
+		if err := fn(); err != nil {
+			return nil, err
+		}
+		return &Commit{s: s}, nil
 	}
-	if err := tp.Begin(); err != nil {
-		return err
+	if err := s.wp.Begin(); err != nil {
+		return nil, err
 	}
 	runErr := fn()
 	// Flush unconditionally: on success the dirty frames must join the
@@ -481,16 +586,84 @@ func (s *Store) withUpdateTxn(fn func() error) error {
 	if runErr == nil {
 		var meta []byte
 		if meta, runErr = s.marshalMeta(); runErr == nil {
-			if runErr = tp.Commit(meta); runErr == nil {
-				return nil
+			cw, err := s.wp.SealCommit(meta)
+			if err == nil {
+				return &Commit{s: s, cw: cw}, nil
 			}
-			s.noteAbort(tp)
-			return runErr
+			s.noteAbort(s.wp)
+			return nil, err
 		}
 	}
-	_ = tp.Rollback()
-	s.noteAbort(tp)
-	return runErr
+	_ = s.wp.Rollback()
+	s.noteAbort(s.wp)
+	return nil, runErr
+}
+
+// lockUpdate acquires the write lock for one update running under
+// durability mode d. On a journaled store a DurabilitySync update
+// additionally takes commitMu, held until finish completes its inline
+// flush, so concurrent Sync commits never coalesce into one group. Every
+// lockUpdate must be paired with either failUpdate (update abandoned
+// before updateTxn ran) or s.mu.Unlock-then-finish.
+func (s *Store) lockUpdate(d Durability) {
+	if d == DurabilitySync && s.wp != nil {
+		s.commitMu.Lock()
+	}
+	s.mu.Lock()
+}
+
+// failUpdate abandons an update between lockUpdate and updateTxn: it
+// releases whatever lockUpdate took and passes err through.
+func (s *Store) failUpdate(d Durability, err error) error {
+	s.mu.Unlock()
+	if d == DurabilitySync && s.wp != nil {
+		s.commitMu.Unlock()
+	}
+	return err
+}
+
+// finish completes a sealed update according to the durability mode. It
+// must be called WITHOUT s.mu held — this is where the flush I/O happens
+// (inline for DurabilitySync, on the background flusher for the others).
+func (s *Store) finish(d Durability, c *Commit, err error) (*Commit, error) {
+	if d == DurabilitySync && s.wp != nil {
+		defer s.commitMu.Unlock()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.cw == nil {
+		return c, nil
+	}
+	switch d {
+	case DurabilityAsync:
+		s.wp.ScheduleFlush()
+		return c, nil
+	case DurabilityGrouped:
+		s.wp.ScheduleFlush()
+		return c, c.Wait()
+	default: // DurabilitySync: the committer is its own flusher.
+		// Flush's return is authoritative: the waiter resolves at the log
+		// sync, before the apply/checkpoint tail, and a tail failure
+		// poisons the store — a Sync caller must hear about it here.
+		if err := s.wp.Flush(); err != nil {
+			return c, err
+		}
+		return c, c.Wait()
+	}
+}
+
+// AwaitDurable blocks until every update committed so far is durable — the
+// collective barrier for DurabilityAsync (and a no-op for stores without a
+// WAL or with nothing pending).
+func (s *Store) AwaitDurable() error {
+	s.mu.RLock()
+	wp := s.wp
+	s.mu.RUnlock()
+	if wp == nil {
+		return nil
+	}
+	return wp.FlushBarrier()
 }
 
 // noteAbort poisons the store when the pager reports that an abort
@@ -505,19 +678,35 @@ func (s *Store) noteAbort(tp storage.TxnPager) {
 // SetAccess grants or revokes the subject's access to node n (or, with
 // wholeSubtree, to n's entire subtree) under the mode — the §3.4
 // accessibility updates, applied in place to the affected blocks only.
+// Durability follows StoreOptions.Durability.
 func (s *Store) SetAccess(subject, mode string, n NodeID, allowed, wholeSubtree bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	_, err := s.setAccess(s.opts.Durability, subject, mode, n, allowed, wholeSubtree)
+	return err
+}
+
+// SetAccessAsync is SetAccess with DurabilityAsync regardless of the
+// store's configured mode: it returns as soon as the update is applied and
+// sealed (already visible to queries), and the Commit handle reports when
+// it is durable. The motivating workload — bursts of ACL toggles from many
+// users — commits through here and shares one group flush.
+func (s *Store) SetAccessAsync(subject, mode string, n NodeID, allowed, wholeSubtree bool) (*Commit, error) {
+	return s.setAccess(DurabilityAsync, subject, mode, n, allowed, wholeSubtree)
+}
+
+func (s *Store) setAccess(d Durability, subject, mode string, n NodeID, allowed, wholeSubtree bool) (*Commit, error) {
+	s.lockUpdate(d)
 	bit, err := s.combinedBit(subject, mode)
 	if err != nil {
-		return err
+		return nil, s.failUpdate(d, err)
 	}
-	return s.withUpdateTxn(func() error {
+	c, err := s.updateTxn(func() error {
 		if wholeSubtree {
 			return s.ss.SetSubtreeAccess(xmltree.NodeID(n), bit, allowed)
 		}
 		return s.ss.SetNodeAccess(xmltree.NodeID(n), bit, allowed)
 	})
+	s.mu.Unlock()
+	return s.finish(d, c, err)
 }
 
 // AddUser registers a new user with no access anywhere — a codebook-only
@@ -538,19 +727,20 @@ func (s *Store) AddGroup(name string) error {
 }
 
 func (s *Store) addSubject(name string, group bool, like string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	d := s.opts.Durability
+	s.lockUpdate(d)
 	var likeID acl.SubjectID = acl.InvalidSubject
 	if like != "" {
 		var err error
 		likeID, err = s.subject(like)
 		if err != nil {
-			return err
+			return s.failUpdate(d, err)
 		}
 	}
 	// Codebook-only update: no pages change, but the commit still journals
 	// the refreshed metadata sidecar so the new subject survives a crash.
-	return s.withUpdateTxn(func() error {
+	s.invalidateMetaHead()
+	c, err := s.updateTxn(func() error {
 		var err error
 		if group {
 			_, err = s.dir.AddGroup(name)
@@ -572,23 +762,30 @@ func (s *Store) addSubject(name string, group bool, like string) error {
 		}
 		return nil
 	})
+	s.mu.Unlock()
+	_, err = s.finish(s.opts.Durability, c, err)
+	return err
 }
 
 // AddMember records a group membership on the sealed store (affects only
 // effective-rights expansion, not the encoding).
 func (s *Store) AddMember(group, member string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	d := s.opts.Durability
+	s.lockUpdate(d)
 	g, err := s.subject(group)
 	if err != nil {
-		return err
+		return s.failUpdate(d, err)
 	}
 	m, err := s.subject(member)
 	if err != nil {
-		return err
+		return s.failUpdate(d, err)
 	}
 	// Directory-only update; the commit journals the refreshed sidecar.
-	return s.withUpdateTxn(func() error { return s.dir.AddMember(g, m) })
+	s.invalidateMetaHead()
+	c, err := s.updateTxn(func() error { return s.dir.AddMember(g, m) })
+	s.mu.Unlock()
+	_, err = s.finish(s.opts.Durability, c, err)
+	return err
 }
 
 // InsertXML inserts the XML fragment as a new child of parent (after the
@@ -597,53 +794,60 @@ func (s *Store) AddMember(group, member string) error {
 // every fragment node receives the access control list currently in force
 // at the parent node.
 func (s *Store) InsertXML(parent, after NodeID, fragment string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	d := s.opts.Durability
+	s.lockUpdate(d)
 	frag, err := xmltree.ParseString(fragment)
 	if err != nil {
-		return err
+		return s.failUpdate(d, err)
 	}
 	code, err := s.ss.Store().AccessCodeAt(xmltree.NodeID(parent))
 	if err != nil {
-		return err
+		return s.failUpdate(d, err)
 	}
 	row := s.ss.Codebook().ACL(code)
 	fm := acl.NewMatrix(frag.Len(), s.ss.Codebook().NumSubjects())
 	for n := 0; n < frag.Len(); n++ {
 		fm.SetRow(xmltree.NodeID(n), row)
 	}
-	if err := s.withUpdateTxn(func() error {
+	s.invalidateMetaHead()
+	c, err := s.updateTxn(func() error {
 		return s.ss.InsertSubtree(xmltree.NodeID(parent), xmltree.NodeID(after), frag, fm)
-	}); err != nil {
-		return err
+	})
+	if err == nil {
+		s.idxDirty = true
 	}
-	s.idxDirty = true
-	return nil
+	s.mu.Unlock()
+	_, err = s.finish(s.opts.Durability, c, err)
+	return err
 }
 
 // Delete removes node n's subtree.
 func (s *Store) Delete(n NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.withUpdateTxn(func() error { return s.ss.DeleteSubtree(xmltree.NodeID(n)) }); err != nil {
-		return err
+	s.lockUpdate(s.opts.Durability)
+	s.invalidateMetaHead()
+	c, err := s.updateTxn(func() error { return s.ss.DeleteSubtree(xmltree.NodeID(n)) })
+	if err == nil {
+		s.idxDirty = true
 	}
-	s.idxDirty = true
-	return nil
+	s.mu.Unlock()
+	_, err = s.finish(s.opts.Durability, c, err)
+	return err
 }
 
 // Move relocates node n's subtree under newParent (after the sibling
 // `after`, or first when InvalidNode), preserving its access controls.
 func (s *Store) Move(n, newParent, after NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.withUpdateTxn(func() error {
+	s.lockUpdate(s.opts.Durability)
+	s.invalidateMetaHead()
+	c, err := s.updateTxn(func() error {
 		return s.ss.MoveSubtree(xmltree.NodeID(n), xmltree.NodeID(newParent), xmltree.NodeID(after))
-	}); err != nil {
-		return err
+	})
+	if err == nil {
+		s.idxDirty = true
 	}
-	s.idxDirty = true
-	return nil
+	s.mu.Unlock()
+	_, err = s.finish(s.opts.Durability, c, err)
+	return err
 }
 
 // Vacuum performs the paper's lazy redundancy correction (§3.4): it
@@ -651,9 +855,12 @@ func (s *Store) Move(n, newParent, after NodeID) error {
 // redundant by earlier updates and reclaiming duplicate codebook entries.
 // It is a full-document maintenance pass.
 func (s *Store) Vacuum() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.withUpdateTxn(s.ss.Vacuum)
+	s.lockUpdate(s.opts.Durability)
+	s.invalidateMetaHead()
+	c, err := s.updateTxn(s.ss.Vacuum)
+	s.mu.Unlock()
+	_, err = s.finish(s.opts.Durability, c, err)
+	return err
 }
 
 // NumNodes returns the document's node count.
@@ -772,14 +979,15 @@ func (s *Store) DecodeCacheStats() CacheStats {
 	}
 }
 
-// Close flushes and releases the store. A poisoned store (see Failed) is
-// closed without flushing: its buffers were built against discarded batch
-// state, and writing them outside a batch would tear the on-disk image
-// that WAL recovery otherwise guarantees intact.
+// Close flushes and releases the store; sealed-but-unflushed async commits
+// are flushed on the way out (their Commit handles resolve). A poisoned
+// store (see Failed) is closed without flushing: its buffers were built
+// against discarded batch state, and writing them outside a batch would
+// tear the on-disk image that WAL recovery otherwise guarantees intact.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.failed {
+	if s.failedLocked() {
 		return s.pool.Pager().Close()
 	}
 	if err := s.pool.FlushAll(); err != nil {
