@@ -11,7 +11,7 @@
 //	dolcli revoke -store DIR -subject NAME -mode read -xpath '//x' [-node-only] [-durability grouped]
 //	dolcli export -store DIR -user NAME -mode read [-o view.xml]
 //	dolcli stats -store DIR
-//	dolcli serve -store DIR -addr 127.0.0.1:9464 [-slow 100ms]
+//	dolcli serve -store DIR -addr 127.0.0.1:9464 [-slow 100ms] [-snapshot-log 1s]
 //
 // The policy file is line-oriented:
 //
@@ -286,11 +286,15 @@ func serve(args []string) error {
 	storeDir := fs.String("store", "", "store directory")
 	addr := fs.String("addr", "127.0.0.1:9464", "listen address")
 	slow := fs.Duration("slow", 0, "slow-query threshold: queries at least this slow dump their trace to stderr (0 = off)")
+	snapLog := fs.Duration("snapshot-log", 0, "slow-pin threshold: snapshot pins held at least this long are reported to stderr — long pins keep retired page versions alive (0 = off)")
 	fs.Parse(args)
 	if *storeDir == "" {
 		return fmt.Errorf("serve requires -store")
 	}
-	s, err := securexml.Open(*storeDir, securexml.StoreOptions{SlowQueryThreshold: *slow})
+	s, err := securexml.Open(*storeDir, securexml.StoreOptions{
+		SlowQueryThreshold: *slow,
+		SlowPinThreshold:   *snapLog,
+	})
 	if err != nil {
 		return err
 	}

@@ -57,6 +57,25 @@ func NewDirectory() *Directory {
 	return &Directory{byName: make(map[string]SubjectID)}
 }
 
+// Clone returns a deep copy of the directory. MVCC snapshots share the
+// original read-only; directory mutations (AddUser/AddGroup/AddMember) run
+// on a clone and publish it wholesale.
+func (d *Directory) Clone() *Directory {
+	c := &Directory{
+		names:    append([]string(nil), d.names...),
+		byName:   make(map[string]SubjectID, len(d.byName)),
+		isGroup:  append([]bool(nil), d.isGroup...),
+		memberOf: make([][]SubjectID, len(d.memberOf)),
+	}
+	for k, v := range d.byName {
+		c.byName[k] = v
+	}
+	for i, m := range d.memberOf {
+		c.memberOf[i] = append([]SubjectID(nil), m...)
+	}
+	return c
+}
+
 // AddUser registers a user subject and returns its ID. Names must be unique
 // across users and groups.
 func (d *Directory) AddUser(name string) (SubjectID, error) {

@@ -34,9 +34,15 @@ import (
 // Self-checks (VIOLATION notes, so -strict fails on them): every point
 // must leave the store answering the Table 1 workload exactly like the
 // untouched base store (each node's toggles end where they started), the
-// WAL must report exactly one commit per update, and no buffer-pool page
-// may stay pinned. The reader-latency columns compare p50/p99 with
-// updaters against the updater-free baseline rows.
+// WAL must report exactly one commit per update, no buffer-pool page may
+// stay pinned, and exactly one MVCC snapshot version may be live at sweep
+// end (readers that leak pins keep quarantined pages alive). The mixed
+// points additionally gate reader-induced writer stalls: under grouped
+// durability, 8 updaters with 4 readers must stay within 1.5x of the
+// 8-updater reader-free throughput. Readers are open-loop (one query per
+// 50ms each) so the stall factor measures blocking, not CPU time-slicing.
+// The reader-latency columns compare p50/p99 with updaters against the
+// updater-free baseline rows.
 func Writeload(cfg Config) []*Table {
 	t := &Table{
 		ID:    "writeload",
@@ -129,11 +135,14 @@ func Writeload(cfg Config) []*Table {
 	}
 	opsPerUpdater := 8 * cfg.QueryRuns
 
-	// throughput[updaters] per mode name, for the speedup notes.
+	// throughput[updaters] per mode name, for the speedup notes; mixed is
+	// the same measurement with 4 readers live, for the stall-factor check.
 	throughput := map[string]map[int]float64{}
+	mixed := map[string]map[int]float64{}
 
 	for _, m := range modes {
 		throughput[m.name] = map[int]float64{}
+		mixed[m.name] = map[int]float64{}
 		for _, pt := range points {
 			if pt.updaters == 0 && m.d != securexml.DurabilitySync {
 				continue // the updater-free baseline is mode-independent
@@ -162,6 +171,9 @@ func Writeload(cfg Config) []*Table {
 			if pt.readers == 0 && pt.updaters > 0 {
 				throughput[m.name][pt.updaters] = tput
 			}
+			if pt.readers > 0 && pt.updaters > 0 {
+				mixed[m.name][pt.updaters] = tput
+			}
 		}
 	}
 
@@ -170,6 +182,24 @@ func Writeload(cfg Config) []*Table {
 		if s > 0 {
 			t.Notes = append(t.Notes, fmt.Sprintf(
 				"%d updaters: grouped %.1fx sync, async %.1fx sync", u, g/s, a/s))
+		}
+	}
+	// Reader-induced writer stalls: with snapshot-pinned queries, updates
+	// never wait for readers, so adding 4 readers must not cost updaters
+	// more than scheduling noise. The 8-updater grouped point is the
+	// acceptance gate (1.5x); the 4-updater ratio is reported for context.
+	for _, u := range []int{4, 8} {
+		solo, mix := throughput["grouped"][u], mixed["grouped"][u]
+		if solo <= 0 || mix <= 0 {
+			continue
+		}
+		stall := solo / mix
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"grouped %d updaters: %.0f updates/s alone vs %.0f with 4 readers (%.2fx stall factor)",
+			u, solo, mix, stall))
+		if u == 8 && stall > 1.5 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"VIOLATION: readers stall writers %.2fx at 8 updaters (limit 1.5x)", stall))
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -243,6 +273,13 @@ func writeloadPoint(dir string, cfg Config, d securexml.Durability, updaters, re
 		}
 		firstErrMu.Unlock()
 	}
+	// Readers are open-loop: each issues one query per readerInterval
+	// instead of spinning. A closed-loop reader is always runnable, so on
+	// a small host the stall factor would measure fair CPU time-slicing
+	// ((updaters+readers)/updaters) no matter how lock-free the read path
+	// is; pacing bounds the readers' CPU share so the ratio isolates
+	// blocking — which is what the MVCC gate is about.
+	const readerInterval = 50 * time.Millisecond
 	for r := 0; r < readers; r++ {
 		readWg.Add(1)
 		go func() {
@@ -254,7 +291,11 @@ func writeloadPoint(dir string, cfg Config, d securexml.Durability, updaters, re
 					report(fmt.Errorf("reader: %w", err))
 					return
 				}
-				local = append(local, time.Since(start))
+				took := time.Since(start)
+				local = append(local, took)
+				if pause := readerInterval - took; pause > 0 {
+					time.Sleep(pause)
+				}
 			}
 			readersMu.Lock()
 			latencies = append(latencies, local...)
@@ -321,6 +362,14 @@ func writeloadPoint(dir string, cfg Config, d securexml.Durability, updaters, re
 	if pinned := after.Get("pool_pinned"); pinned != 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf(
 			"VIOLATION: %d pages still pinned after the run", pinned))
+	}
+	// Version-leak check: with updaters joined and readers drained, only
+	// the current MVCC version may remain live — a higher count means a
+	// query leaked its snapshot pin and quarantined pages can never be
+	// reclaimed.
+	if live := after.Get("snapshot_versions_live"); live != 1 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: %d snapshot versions live after the run (want 1)", live))
 	}
 	if got, err := writeloadFingerprint(s); err != nil {
 		return nil, 0, err

@@ -53,6 +53,32 @@ func NewCodebook(numSubjects int) *Codebook {
 // NumSubjects returns the subject dimension of the codebook.
 func (cb *Codebook) NumSubjects() int { return cb.numSubjects }
 
+// Clone returns a deep copy: entries (each bitset copied), reference
+// counts, the ACL index, the free list and the mutation generation. The
+// clone and the original can then diverge without sharing any mutable
+// state — MVCC snapshots freeze the original while updates mutate the
+// clone. The codebook is small by the paper's compactness claim, so the
+// copy is cheap.
+func (cb *Codebook) Clone() *Codebook {
+	c := &Codebook{
+		numSubjects: cb.numSubjects,
+		entries:     make([]*bitset.Bitset, len(cb.entries)),
+		refs:        append([]int(nil), cb.refs...),
+		index:       make(map[string]Code, len(cb.index)),
+		free:        append([]Code(nil), cb.free...),
+		gen:         cb.gen,
+	}
+	for i, e := range cb.entries {
+		if e != nil {
+			c.entries[i] = e.Clone()
+		}
+	}
+	for k, v := range cb.index {
+		c.index[k] = v
+	}
+	return c
+}
+
 // Len returns the number of live entries — the paper's "number of codebook
 // entries" metric (Figure 5).
 func (cb *Codebook) Len() int { return len(cb.entries) - len(cb.free) }

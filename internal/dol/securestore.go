@@ -20,15 +20,24 @@ import (
 type SecureStore struct {
 	store *nok.Store
 	cb    *Codebook
+	// cbShared marks the codebook as shared with a frozen clone (see
+	// Freeze); the next mutation must go through WillMutate to clone it
+	// first. Only the owning writer touches it.
+	cbShared bool
 
-	// View-layer counters, shared by every SubjectView over this store and
-	// registered under view_* via RegisterMetrics. viewChecks counts
-	// memoized access-decision lookups, viewDecisions the slow-path
-	// codebook intersections behind them, viewBitmapBuilds the per-view
-	// page-deny bitmap constructions.
-	viewChecks       obs.Counter
-	viewDecisions    obs.Counter
-	viewBitmapBuilds obs.Counter
+	// stats is shared by the live store and every frozen clone, so view
+	// counters registered once keep counting across snapshots.
+	stats *viewStats
+}
+
+// viewStats holds the view-layer counters, registered under view_* via
+// RegisterMetrics. checks counts memoized access-decision lookups,
+// decisions the slow-path codebook intersections behind them, bitmapBuilds
+// the per-view page-deny bitmap constructions.
+type viewStats struct {
+	checks       obs.Counter
+	decisions    obs.Counter
+	bitmapBuilds obs.Counter
 }
 
 // BuildSecureStore labels doc with the accessibility matrix m and writes
@@ -44,7 +53,7 @@ func BuildSecureStore(pool *storage.BufferPool, doc *xmltree.Document, m *acl.Ma
 	if err != nil {
 		return nil, err
 	}
-	ss := &SecureStore{store: st, cb: lab.Codebook()}
+	ss := &SecureStore{store: st, cb: lab.Codebook(), stats: &viewStats{}}
 	// Establish the reference-count invariant refs(code) = #headers +
 	// #inline entries carrying it. The stream builder retained one
 	// reference per logical transition; blocks store block-first
@@ -64,34 +73,53 @@ func BuildSecureStore(pool *storage.BufferPool, doc *xmltree.Document, m *acl.Ma
 // OpenSecureStore wraps an existing NoK store (reopened via nok.Open) and
 // its codebook.
 func OpenSecureStore(store *nok.Store, cb *Codebook) *SecureStore {
-	return &SecureStore{store: store, cb: cb}
+	return &SecureStore{store: store, cb: cb, stats: &viewStats{}}
 }
 
 // Store returns the underlying NoK structure store.
 func (ss *SecureStore) Store() *nok.Store { return ss.store }
 
-// RegisterMetrics registers the view-layer counters and codebook gauges
-// with reg under prefix (prefix "view" yields view_checks,
-// view_decisions_computed, view_bitmap_builds; the codebook gauges are
-// registered as codebook_entries and codebook_subjects regardless of
-// prefix).
+// Freeze returns a read-only clone over the given frozen NoK store,
+// sharing the codebook and the view counters. The live store's next
+// codebook mutation must go through WillMutate, which clones the codebook
+// so the frozen view keeps its exact access state. The clone must not be
+// mutated.
+func (ss *SecureStore) Freeze(frozen *nok.Store) *SecureStore {
+	ss.cbShared = true
+	return &SecureStore{store: frozen, cb: ss.cb, cbShared: true, stats: ss.stats}
+}
+
+// WillMutate prepares the store for a codebook mutation: if the codebook is
+// shared with a frozen clone it is deep-copied first (carrying entries,
+// refcounts and generation), so in-place Intern/Retain/Release/AddSubject
+// mutations never reach a published snapshot. The codebook is compact by
+// design (the paper's central claim), so the copy is cheap relative to the
+// page writes of any update.
+func (ss *SecureStore) WillMutate() {
+	if ss.cbShared {
+		ss.cb = ss.cb.Clone()
+		ss.cbShared = false
+	}
+}
+
+// RegisterMetrics registers the view-layer counters with reg under prefix
+// (prefix "view" yields view_checks, view_decisions_computed,
+// view_bitmap_builds). Codebook-shape gauges are the facade's concern: it
+// reads them off its current snapshot so exports never race an update.
 func (ss *SecureStore) RegisterMetrics(reg *obs.Registry, prefix string) error {
 	for _, m := range []struct {
 		name string
 		c    *obs.Counter
 	}{
-		{"checks", &ss.viewChecks},
-		{"decisions_computed", &ss.viewDecisions},
-		{"bitmap_builds", &ss.viewBitmapBuilds},
+		{"checks", &ss.stats.checks},
+		{"decisions_computed", &ss.stats.decisions},
+		{"bitmap_builds", &ss.stats.bitmapBuilds},
 	} {
 		if err := reg.RegisterCounter(prefix+"_"+m.name, m.c); err != nil {
 			return err
 		}
 	}
-	if err := reg.RegisterGauge("codebook_entries", func() int64 { return int64(ss.cb.Len()) }); err != nil {
-		return err
-	}
-	return reg.RegisterGauge("codebook_subjects", func() int64 { return int64(ss.cb.NumSubjects()) })
+	return nil
 }
 
 // Codebook returns the in-memory codebook.
@@ -193,7 +221,7 @@ func (v *SubjectView) cacheFor() *viewCache {
 
 // accessibleCode resolves the access decision for code c through the cache.
 func (v *SubjectView) accessibleCode(ca *viewCache, c Code) bool {
-	v.ss.viewChecks.Inc()
+	v.ss.stats.checks.Inc()
 	if int(c) < len(ca.decisions) {
 		switch ca.decisions[c].Load() {
 		case decAllow:
@@ -202,7 +230,7 @@ func (v *SubjectView) accessibleCode(ca *viewCache, c Code) bool {
 			return false
 		}
 	}
-	v.ss.viewDecisions.Inc()
+	v.ss.stats.decisions.Inc()
 	ok := v.ss.cb.AccessibleAny(c, v.effective)
 	if int(c) < len(ca.decisions) {
 		if ok {
@@ -218,7 +246,7 @@ func (v *SubjectView) accessibleCode(ca *viewCache, c Code) bool {
 // i is set exactly when PageFullyInaccessible(i) holds. One pass over the
 // directory (no I/O) turns every later SkipPage call into a bit probe.
 func (v *SubjectView) buildPageBitmap(ca *viewCache) {
-	v.ss.viewBitmapBuilds.Inc()
+	v.ss.stats.bitmapBuilds.Inc()
 	st := v.ss.store
 	n := st.NumPages()
 	bits := make([]uint64, (n+63)/64)

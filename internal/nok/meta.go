@@ -44,6 +44,18 @@ func (s *Store) Meta() Meta {
 	return m
 }
 
+// StructurePages returns the page IDs of the structure blocks in directory
+// order — the Meta().StructurePages slice without rebuilding the (much
+// larger) value-ref list. Commit paths re-encode this list on every seal,
+// since shadow-paged rewrites change page IDs even at constant counts.
+func (s *Store) StructurePages() []storage.PageID {
+	out := make([]storage.PageID, len(s.dir))
+	for i, pi := range s.dir {
+		out[i] = pi.Page
+	}
+	return out
+}
+
 // WriteMeta serializes the store's metadata as JSON.
 func (s *Store) WriteMeta(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -8,15 +8,29 @@ import (
 	"dolxml/internal/xmltree"
 )
 
-// freePage records a page available for reuse after a region rewrite shrank
-// its block range.
-func (s *Store) freePage(p storage.PageID) { s.freeList = append(s.freeList, p) }
+// freePage records a page released by a region rewrite. Without a gate it
+// goes straight onto the reuse list; with one it is quarantined until every
+// snapshot that might reference it has retired.
+func (s *Store) freePage(p storage.PageID) {
+	if s.gate != nil {
+		s.retired = append(s.retired, p)
+		return
+	}
+	s.freeList = append(s.freeList, p)
+}
 
-// allocPage returns a reusable or freshly allocated page, pinned.
+// allocPage returns a reusable or freshly allocated page, pinned. Reused
+// pages are dropped from the decode cache at hand-out: a reader on an old
+// snapshot may have re-cached the page's previous content between its
+// release and its reuse here.
 func (s *Store) allocPage() (*storage.Frame, error) {
+	if len(s.freeList) == 0 && s.gate != nil {
+		s.freeList = append(s.freeList, s.gate.Harvest()...)
+	}
 	if n := len(s.freeList); n > 0 {
 		p := s.freeList[n-1]
 		s.freeList = s.freeList[:n-1]
+		s.invalidateDecoded(p)
 		return s.pool.Get(p)
 	}
 	return s.pool.Allocate()
@@ -89,12 +103,15 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 	delta := len(newEntries) - oldCount
 	firstNode := s.dir[i].FirstNode
 
-	// Reusable pages from the old region; their cached decodings are
-	// stale either way.
-	reuse := make([]storage.PageID, 0, j-i+1)
-	for k := i; k <= j; k++ {
-		reuse = append(reuse, s.dir[k].Page)
+	// Release the old region's pages up front; their cached decodings are
+	// stale either way. Freeing in reverse keeps the legacy assignment
+	// order on ungated stores (LIFO pops hand the region's first page out
+	// first); on gated stores the pages are quarantined instead and every
+	// new block lands on a fresh or harvested page, leaving the old content
+	// intact for pinned snapshots.
+	for k := j; k >= i; k-- {
 		s.invalidateDecoded(s.dir[k].Page)
+		s.freePage(s.dir[k].Page)
 	}
 
 	pageSize := s.pool.Pager().PageSize()
@@ -130,14 +147,7 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 		if len(blockEntries) == 0 {
 			return nil
 		}
-		var frame *storage.Frame
-		var err error
-		if len(reuse) > 0 {
-			frame, err = s.pool.Get(reuse[0])
-			reuse = reuse[1:]
-		} else {
-			frame, err = s.allocPage()
-		}
+		frame, err := s.allocPage()
 		if err != nil {
 			return err
 		}
@@ -205,10 +215,6 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 	if err := flush(); err != nil {
 		return 0, err
 	}
-	// Pages left over from a shrinking rewrite become reusable.
-	for _, p := range reuse {
-		s.freePage(p)
-	}
 
 	// Splice the directory (and the parallel summary slice) and renumber
 	// later blocks.
@@ -235,13 +241,21 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 
 // InternTag returns the code for tag, adding it to the store's tag table if
 // new — used when inserted fragments introduce tags the document had not
-// seen.
+// seen. The index map is rebuilt copy-on-write so frozen clones sharing the
+// old map never observe a concurrent insert; the tags slice only ever
+// appends, which clones (whose codes are all below their own length) read
+// safely.
 func (s *Store) InternTag(tag string) int32 {
 	if c, ok := s.tagIndex[tag]; ok {
 		return c
 	}
 	c := int32(len(s.tags))
 	s.tags = append(s.tags, tag)
-	s.tagIndex[tag] = c
+	idx := make(map[string]int32, len(s.tagIndex)+1)
+	for k, v := range s.tagIndex {
+		idx[k] = v
+	}
+	idx[tag] = c
+	s.tagIndex = idx
 	return c
 }

@@ -66,6 +66,17 @@ type Store struct {
 	// freeList holds pages released by shrinking region rewrites,
 	// available for reuse by growing ones.
 	freeList []storage.PageID
+	// gate, when set, defers page reuse for snapshot isolation: freePage
+	// diverts released pages into retired instead of freeList, and
+	// allocPage replenishes freeList only from gate.Harvest() — pages whose
+	// last referencing snapshot has retired. With a gate installed, page
+	// content is immutable for as long as any pinned snapshot references
+	// the page.
+	gate PageReuseGate
+	// retired accumulates pages released by the current update transaction;
+	// the owner collects them with TakeRetired at commit and hands them to
+	// the version table tagged with the new version's sequence.
+	retired []storage.PageID
 
 	// summaries holds the per-block structural summaries (tag-presence
 	// bitmap + depth range), parallel to dir and maintained by the same
@@ -87,6 +98,47 @@ type Store struct {
 // invalidateDecoded drops a page from the decode cache (after a rewrite).
 func (s *Store) invalidateDecoded(pid storage.PageID) {
 	s.dec.invalidate(pid)
+}
+
+// PageReuseGate quarantines freed pages until no pinned snapshot can still
+// read them. storage.VersionTable implements it.
+type PageReuseGate interface {
+	// Harvest returns pages whose quarantine has ended, transferring
+	// ownership to the caller.
+	Harvest() []storage.PageID
+}
+
+// SetPageReuseGate installs (or clears) the deferred-reuse gate. Installing
+// a gate switches region rewrites to shadow paging: every rewritten block
+// lands on a fresh or harvested page, never overwriting a page a live
+// snapshot might reference.
+func (s *Store) SetPageReuseGate(g PageReuseGate) { s.gate = g }
+
+// TakeRetired returns the pages released since the last call and resets the
+// list. Meaningful only with a gate installed; the caller passes them to
+// the version table when publishing the commit (or drops them when the
+// transaction aborts — a dirty abort poisons the store anyway).
+func (s *Store) TakeRetired() []storage.PageID {
+	out := s.retired
+	s.retired = nil
+	return out
+}
+
+// Freeze returns a read-only clone sharing the current pages, directory,
+// summaries, tag table, values and decode cache. The live store's later
+// mutations install fresh slices and maps (and, with a gate, never rewrite
+// a referenced page in place), so the clone keeps serving its version while
+// updates proceed. The clone must not be mutated.
+func (s *Store) Freeze() *Store {
+	c := *s
+	if s.values != nil {
+		v := *s.values
+		c.values = &v
+	}
+	c.freeList = nil
+	c.retired = nil
+	c.gate = nil
+	return &c
 }
 
 // Pool returns the buffer pool backing the store.

@@ -104,9 +104,11 @@ func (vs *ValueStore) IndexBytes() int { return len(vs.refs) * refSize }
 // DeleteRange removes the value references of nodes [lo, hi] and shifts the
 // node IDs of later references down, mirroring a structural subtree delete.
 // The freed value bytes are reclaimed lazily (on the next full rebuild).
+// The index is rebuilt copy-on-write: frozen clones keep reading the old
+// slice while the live store installs the compacted one.
 func (vs *ValueStore) DeleteRange(lo, hi xmltree.NodeID) {
 	removed := hi - lo + 1
-	out := vs.refs[:0]
+	out := make([]valueRef, 0, len(vs.refs))
 	for _, r := range vs.refs {
 		switch {
 		case r.Node < lo:
@@ -125,9 +127,14 @@ func (vs *ValueStore) DeleteRange(lo, hi xmltree.NodeID) {
 func (vs *ValueStore) InsertValues(at xmltree.NodeID, count int, valueOf func(xmltree.NodeID) string) error {
 	i := sort.Search(len(vs.refs), func(i int) bool { return vs.refs[i].Node >= at })
 	if valueOf == nil {
-		for k := i; k < len(vs.refs); k++ {
-			vs.refs[k].Node += xmltree.NodeID(count)
+		// Copy-on-write: shift into a fresh slice so frozen clones sharing
+		// the old one keep their node IDs.
+		out := make([]valueRef, len(vs.refs))
+		copy(out, vs.refs)
+		for k := i; k < len(out); k++ {
+			out[k].Node += xmltree.NodeID(count)
 		}
+		vs.refs = out
 		return nil
 	}
 	// Validate every inserted value before mutating the index, so a
@@ -174,12 +181,16 @@ func (vs *ValueStore) InsertValues(at xmltree.NodeID, count int, valueOf func(xm
 	if err := flush(); err != nil {
 		return err
 	}
-	// All writes succeeded: shift the tail and splice the new refs,
-	// keeping the index sorted by node.
-	tail := append([]valueRef{}, vs.refs[i:]...)
-	for k := range tail {
-		tail[k].Node += xmltree.NodeID(count)
+	// All writes succeeded: splice head, new refs and shifted tail into a
+	// fresh slice (copy-on-write for frozen clones), keeping the index
+	// sorted by node.
+	out := make([]valueRef, 0, len(vs.refs)+len(added))
+	out = append(out, vs.refs[:i]...)
+	out = append(out, added...)
+	for _, r := range vs.refs[i:] {
+		r.Node += xmltree.NodeID(count)
+		out = append(out, r)
 	}
-	vs.refs = append(append(vs.refs[:i], added...), tail...)
+	vs.refs = out
 	return nil
 }

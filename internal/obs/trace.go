@@ -52,6 +52,12 @@ const (
 	EvEmit EventKind = "emit"
 	// EvDone marks the end of the drain (recorded by the facade).
 	EvDone EventKind = "done"
+	// EvSnapshotPin records the query pinning its MVCC snapshot; N carries
+	// the snapshot's sequence number.
+	EvSnapshotPin EventKind = "snapshot_pin"
+	// EvSnapshotUnpin records the pin being released; N carries the
+	// sequence number, Dur how long the pin was held.
+	EvSnapshotUnpin EventKind = "snapshot_unpin"
 )
 
 // TraceEvent is one timestamped entry of a query trace.
@@ -169,6 +175,17 @@ func (t *Trace) MergeChunk(chunk int, tuples int) {
 // Emit records one answer leaving the pipeline.
 func (t *Trace) Emit(node int64) {
 	t.add(TraceEvent{Kind: EvEmit, Page: -1, Node: node})
+}
+
+// SnapshotPin records the query pinning snapshot seq.
+func (t *Trace) SnapshotPin(seq uint64) {
+	t.add(TraceEvent{Kind: EvSnapshotPin, Page: -1, Node: -1, N: int64(seq)})
+}
+
+// SnapshotUnpin records the release of the pin on snapshot seq after
+// holding it for held.
+func (t *Trace) SnapshotUnpin(seq uint64, held time.Duration) {
+	t.add(TraceEvent{Kind: EvSnapshotUnpin, Page: -1, Node: -1, N: int64(seq), Dur: held})
 }
 
 // Events returns a copy of the recorded events.

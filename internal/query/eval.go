@@ -100,6 +100,28 @@ func NewEvaluator(store *nok.Store, index *btree.Tree) *Evaluator {
 	return &Evaluator{store: store, index: index}
 }
 
+// Snapshot bundles the immutable structures one query evaluates against: a
+// frozen structure store plus the tag and value indexes built from it. The
+// facade pins one snapshot per query (or per repeatable-read session) and
+// threads it through the evaluator and cursor pipeline, so evaluation
+// never assumes "the current store" and concurrent updates cannot change
+// an in-flight query's view.
+type Snapshot struct {
+	// Store is the frozen structure store (pages, directory, summaries,
+	// codes); it must not be mutated while the snapshot is in use.
+	Store *nok.Store
+	// Index is the tag index over Store.
+	Index *btree.Tree
+	// Values is the optional (tag, value) index over Store; nil disables
+	// value-constraint index lookups.
+	Values *btree.ValueTree
+}
+
+// NewEvaluatorAt returns an evaluator bound to one immutable snapshot.
+func NewEvaluatorAt(sn Snapshot) *Evaluator {
+	return &Evaluator{store: sn.Store, index: sn.Index, vindex: sn.Values}
+}
+
 // WithValueIndex attaches a (tag, value) index consulted when a NoK
 // subtree root carries a value constraint, shrinking its candidate list
 // from all same-tag nodes to exact matches. Returns the evaluator for

@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVersionTablePublishRetiresUnpinned(t *testing.T) {
+	vt := NewVersionTable()
+	if got := vt.LiveVersions(); got != 1 {
+		t.Fatalf("fresh table: LiveVersions = %d, want 1", got)
+	}
+	v2 := vt.Publish([]PageID{7, 8})
+	if v2.Seq() != 2 {
+		t.Fatalf("Seq = %d, want 2", v2.Seq())
+	}
+	// No readers pinned version 1, so it retires at publish and the freed
+	// pages become reusable immediately.
+	if got := vt.LiveVersions(); got != 1 {
+		t.Fatalf("after publish: LiveVersions = %d, want 1", got)
+	}
+	got := vt.Harvest()
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("Harvest = %v, want [7 8]", got)
+	}
+	if vt.Harvest() != nil {
+		t.Fatalf("second Harvest should be empty")
+	}
+}
+
+func TestVersionTablePinDefersReuse(t *testing.T) {
+	vt := NewVersionTable()
+	v1 := vt.Pin()
+	if v1.Seq() != 1 {
+		t.Fatalf("pinned Seq = %d, want 1", v1.Seq())
+	}
+	vt.Publish([]PageID{3})
+	if got := vt.LiveVersions(); got != 2 {
+		t.Fatalf("LiveVersions with pinned reader = %d, want 2", got)
+	}
+	// Page 3 was freed by version 2's commit; version 1's reader may still
+	// need it, so it must stay quarantined.
+	if got := vt.Harvest(); got != nil {
+		t.Fatalf("Harvest while v1 pinned = %v, want nil", got)
+	}
+	if vt.OldestPinnedAge(time.Now().Add(time.Second)) <= 0 {
+		t.Fatalf("OldestPinnedAge should be positive while v1 pinned")
+	}
+	vt.CountUnpin(v1)
+	if got := vt.LiveVersions(); got != 1 {
+		t.Fatalf("after unpin: LiveVersions = %d, want 1", got)
+	}
+	if got := vt.Harvest(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Harvest after unpin = %v, want [3]", got)
+	}
+	if vt.OldestPinnedAge(time.Now()) != 0 {
+		t.Fatalf("OldestPinnedAge should be 0 with only the current version live")
+	}
+	if vt.Pins() != 1 || vt.Unpins() != 1 {
+		t.Fatalf("pins/unpins = %d/%d, want 1/1", vt.Pins(), vt.Unpins())
+	}
+}
+
+func TestVersionTableQuarantineOrdering(t *testing.T) {
+	vt := NewVersionTable()
+	r1 := vt.Pin() // pins seq 1
+	vt.Publish([]PageID{10})
+	r2 := vt.Pin() // pins seq 2
+	vt.Publish([]PageID{20})
+	// minLive is 1: nothing reusable.
+	if got := vt.Harvest(); got != nil {
+		t.Fatalf("Harvest = %v, want nil", got)
+	}
+	vt.CountUnpin(r1)
+	// minLive is now 2: page 10 (freed at seq 2) is safe, page 20 (freed at
+	// seq 3) still waits on r2.
+	if got := vt.Harvest(); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("Harvest after r1 unpin = %v, want [10]", got)
+	}
+	vt.CountUnpin(r2)
+	if got := vt.Harvest(); len(got) != 1 || got[0] != 20 {
+		t.Fatalf("Harvest after r2 unpin = %v, want [20]", got)
+	}
+	if got := vt.LiveVersions(); got != 1 {
+		t.Fatalf("LiveVersions = %d, want 1", got)
+	}
+}
+
+func TestVersionTryPinRetiredFails(t *testing.T) {
+	vt := NewVersionTable()
+	v1 := vt.Current()
+	vt.Publish(nil) // retires v1 (no reader refs)
+	if v1.TryPin() {
+		t.Fatalf("TryPin on retired version should fail")
+	}
+	if vt.Current().TryPin() != true {
+		t.Fatalf("TryPin on current version should succeed")
+	}
+}
+
+func TestVersionTableConcurrentPinUnpin(t *testing.T) {
+	vt := NewVersionTable()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := vt.Pin()
+				_ = v.Seq()
+				vt.CountUnpin(v)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		vt.Publish([]PageID{PageID(i)})
+		vt.Harvest()
+	}
+	close(stop)
+	wg.Wait()
+	if got := vt.LiveVersions(); got != 1 {
+		t.Fatalf("LiveVersions after drain = %d, want 1", got)
+	}
+	if vt.Pins() != vt.Unpins() {
+		t.Fatalf("pin/unpin mismatch: %d vs %d", vt.Pins(), vt.Unpins())
+	}
+	// Everything pending must eventually drain once all readers are gone.
+	vt.Publish(nil)
+	total := 0
+	for _, got := range [][]PageID{vt.Harvest()} {
+		total += len(got)
+	}
+	if vt.PendingPages() != 0 && total == 0 {
+		t.Fatalf("pages stuck in quarantine with no live readers")
+	}
+}

@@ -2,7 +2,9 @@ package securexml
 
 import (
 	"context"
+	"time"
 
+	"dolxml/internal/nok"
 	"dolxml/internal/obs"
 	"dolxml/internal/query"
 	"dolxml/internal/xmltree"
@@ -34,27 +36,11 @@ type QueryOptions struct {
 	// checks) when unset, unless StoreOptions.SlowQueryThreshold forces an
 	// internal trace.
 	Trace *QueryTrace
-}
-
-func (s *Store) queryOptions(user, mode string, opts QueryOptions) (query.Options, error) {
-	qo := query.Options{
-		Limit:              opts.Limit,
-		Parallelism:        opts.Parallelism,
-		DisableSummarySkip: opts.DisableSummarySkip,
-		Trace:              opts.Trace.inner(),
-	}
-	if opts.Unrestricted {
-		return qo, nil
-	}
-	view, err := s.viewFor(user, mode)
-	if err != nil {
-		return query.Options{}, err
-	}
-	qo.View = view
-	if opts.Pruned {
-		qo.Semantics = query.SemanticsPrunedSubtree
-	}
-	return qo, nil
+	// Snapshot, when set, evaluates the query against that pinned
+	// repeatable-read state (see Store.Snapshot) instead of the current
+	// one: a sequence of queries sharing a Snapshot sees one committed
+	// state regardless of concurrent updates.
+	Snapshot *Snapshot
 }
 
 // QueryCtx evaluates the XPath expression as the given user under the
@@ -62,11 +48,7 @@ func (s *Store) queryOptions(user, mode string, opts QueryOptions) (query.Option
 // the next page-fetch boundary with ctx's error, leaving no page pinned.
 // With opts.Limit set, at most that many answers are returned.
 func (s *Store) QueryCtx(ctx context.Context, user, mode, xpath string, opts QueryOptions) ([]Match, error) {
-	qo, err := s.queryOptions(user, mode, opts)
-	if err != nil {
-		return nil, err
-	}
-	return s.run(ctx, xpath, qo)
+	return s.run(ctx, user, mode, xpath, opts)
 }
 
 // QueryCursor is a streaming cursor over a query's answers: Next pulls one
@@ -75,12 +57,14 @@ func (s *Store) QueryCtx(ctx context.Context, user, mode, xpath string, opts Que
 // the full result is computed. Answers arrive in discovery order, not
 // document order.
 //
-// The cursor holds the store's read lock from QueryCursor until Close:
-// queries may still run concurrently, but updates block. Close is
-// idempotent and must be called exactly once regardless of how far the
-// cursor was drained.
+// The cursor pins its snapshot from QueryCursor until Close: updates
+// proceed concurrently (they never wait for readers), but the cursor keeps
+// answering from the state it pinned, and the pages of that state stay
+// quarantined from reuse until the pin drops. Close is idempotent and must
+// be called exactly once regardless of how far the cursor was drained.
 type QueryCursor struct {
 	s    *Store
+	ref  snapRef
 	a    *query.Answers
 	done bool
 	// tr is the effective trace (the caller's, or the slow-query log's
@@ -93,11 +77,13 @@ type QueryCursor struct {
 
 // QueryCursor opens a streaming cursor for the XPath expression as the
 // given user under the given action mode. ctx governs the cursor's whole
-// lifetime. On error no lock is retained.
+// lifetime. On error no snapshot pin is retained.
 func (s *Store) QueryCursor(ctx context.Context, user, mode, xpath string, opts QueryOptions) (*QueryCursor, error) {
-	qo, err := s.queryOptions(user, mode, opts)
-	if err != nil {
-		return nil, err
+	qo := query.Options{
+		Limit:              opts.Limit,
+		Parallelism:        opts.Parallelism,
+		DisableSummarySkip: opts.DisableSummarySkip,
+		Trace:              opts.Trace.inner(),
 	}
 	tr, finish := s.startQuery(&qo)
 	ctx = obs.WithTrace(ctx, tr)
@@ -108,17 +94,37 @@ func (s *Store) QueryCursor(ctx context.Context, user, mode, xpath string, opts 
 		finish(xpath, err)
 		return nil, err
 	}
-	if err := s.lockForQuery(); err != nil {
-		finish(xpath, err)
-		return nil, err
-	}
-	a, err := s.evaluator().Open(ctx, pt, qo)
+	r, err := s.acquireFor(opts)
 	if err != nil {
-		s.mu.RUnlock()
 		finish(xpath, err)
 		return nil, err
 	}
-	return &QueryCursor{s: s, a: a, tr: tr, xpath: xpath, finish: finish}, nil
+	sn := r.sn
+	tr.SnapshotPin(sn.seq)
+	fail := func(err error) (*QueryCursor, error) {
+		tr.SnapshotUnpin(sn.seq, time.Since(r.at))
+		s.release(r)
+		finish(xpath, err)
+		return nil, err
+	}
+	if !opts.Unrestricted {
+		view, err := s.viewAt(sn, user, mode)
+		if err != nil {
+			return fail(err)
+		}
+		qo.View = view
+		if opts.Pruned {
+			qo.Semantics = query.SemanticsPrunedSubtree
+		}
+	}
+	if err := sn.idx.ensure(sn.st); err != nil {
+		return fail(err)
+	}
+	a, err := evaluatorAt(sn).Open(ctx, pt, qo)
+	if err != nil {
+		return fail(err)
+	}
+	return &QueryCursor{s: s, ref: r, a: a, tr: tr, xpath: xpath, finish: finish}, nil
 }
 
 // Next returns the next answer; ok is false once the stream is exhausted
@@ -131,7 +137,7 @@ func (c *QueryCursor) Next(ctx context.Context) (m Match, ok bool, err error) {
 		return Match{}, false, err
 	}
 	c.s.queryAnswers.Inc()
-	return c.s.matchAt(ctx, n)
+	return c.s.matchAt(ctx, c.ref.sn.st, n)
 }
 
 // Matches counts the combined pattern-match tuples consumed so far (the
@@ -149,8 +155,8 @@ func (c *QueryCursor) SkipStats() SkipStats {
 	}
 }
 
-// Close stops the pipeline, releases its page pins and the store's read
-// lock. Idempotent.
+// Close stops the pipeline, releases its page pins and the cursor's
+// snapshot pin. Idempotent.
 func (c *QueryCursor) Close() error {
 	if c.done {
 		return nil
@@ -161,15 +167,16 @@ func (c *QueryCursor) Close() error {
 	c.s.queryMatches.Add(int64(c.a.Matches()))
 	c.s.recordSkips(c.a.SkipStats())
 	err := c.a.Close()
-	c.s.mu.RUnlock()
+	c.tr.SnapshotUnpin(c.ref.sn.seq, time.Since(c.ref.at))
+	c.s.release(c.ref)
 	c.tr.Mark(obs.EvDone)
 	c.finish(c.xpath, err)
 	return err
 }
 
-// matchAt converts one result node ID to a Match record, honoring ctx.
-func (s *Store) matchAt(ctx context.Context, n xmltree.NodeID) (Match, bool, error) {
-	st := s.ss.Store()
+// matchAt converts one result node ID to a Match record against the
+// query's pinned store, honoring ctx.
+func (s *Store) matchAt(ctx context.Context, st *nok.Store, n xmltree.NodeID) (Match, bool, error) {
 	info, err := st.InfoCtx(ctx, n)
 	if err != nil {
 		return Match{}, false, err

@@ -74,8 +74,8 @@ func TestQueryCursorMatchesQuery(t *testing.T) {
 }
 
 // Limit stops the cursor after N answers, and the batch QueryCtx honors it
-// too; an early Close must release the store's read lock so updates can
-// proceed.
+// too; an early Close must release the cursor's snapshot pin so its
+// version can retire.
 func TestQueryCursorLimitAndEarlyClose(t *testing.T) {
 	s := hospitalStore(t, StoreOptions{})
 	defer s.Close()
@@ -110,7 +110,8 @@ func TestQueryCursorLimitAndEarlyClose(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// The read lock is released: an update must not deadlock.
+	// The snapshot pin is released: an update proceeds and the version
+	// count settles.
 	if err := s.SetAccess("alice", "read", all[0].Node, true, false); err != nil {
 		t.Fatal(err)
 	}

@@ -18,16 +18,20 @@ import (
 // The output is the dissemination primitive of the paper's conclusion:
 // the materialized secure view for one subject.
 func (s *Store) ExportVisible(user, mode string, w io.Writer) error {
-	view, err := s.viewFor(user, mode)
+	r, err := s.acquire()
 	if err != nil {
 		return err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	defer s.release(r)
+	sn := r.sn
+	view, err := s.viewAt(sn, user, mode)
+	if err != nil {
+		return err
+	}
 
-	st := s.ss.Store()
+	st := sn.st
 	vs := st.Values()
-	cb := s.ss.Codebook()
+	cb := sn.ss.Codebook()
 
 	var stack []exportFrame
 	allVisible := true // whether every frame on the stack is visible

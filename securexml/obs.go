@@ -43,27 +43,47 @@ func (s *Store) initObs() error {
 	if err := s.ss.RegisterMetrics(s.reg, "view"); err != nil {
 		return err
 	}
-	// Store-shape gauges sample under the read lock: updates mutate the
-	// directory and codebook they read.
+	// Store-shape gauges sample the published snapshot: a lock-free,
+	// immutable view, so metric exports never race an update.
 	for _, g := range []struct {
 		name string
-		fn   func() int64
+		fn   func(sn *snapshot) int64
 	}{
-		{"store_nodes", func() int64 { return int64(s.ss.Store().NumNodes()) }},
-		{"store_pages", func() int64 { return int64(s.ss.Store().NumPages()) }},
-		{"directory_bytes", func() int64 { return int64(s.ss.Store().DirectoryBytes()) }},
-		{"summary_bytes", func() int64 { return int64(s.ss.Store().SummaryBytes()) }},
-		{"codebook_bytes", func() int64 { return int64(s.ss.Codebook().Bytes()) }},
+		{"store_nodes", func(sn *snapshot) int64 { return int64(sn.st.NumNodes()) }},
+		{"store_pages", func(sn *snapshot) int64 { return int64(sn.st.NumPages()) }},
+		{"directory_bytes", func(sn *snapshot) int64 { return int64(sn.st.DirectoryBytes()) }},
+		{"summary_bytes", func(sn *snapshot) int64 { return int64(sn.st.SummaryBytes()) }},
+		{"codebook_bytes", func(sn *snapshot) int64 { return int64(sn.ss.Codebook().Bytes()) }},
+		{"codebook_entries", func(sn *snapshot) int64 { return int64(sn.ss.Codebook().Len()) }},
+		{"codebook_subjects", func(sn *snapshot) int64 { return int64(sn.ss.Codebook().NumSubjects()) }},
 	} {
 		fn := g.fn
 		if err := s.reg.RegisterGauge(g.name, func() int64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return fn()
+			sn := s.cur.Load()
+			if sn == nil {
+				return 0
+			}
+			return fn(sn)
 		}); err != nil {
 			return err
 		}
 	}
+	// Snapshot lifecycle metrics: how many versions are live (1 when
+	// quiescent), how long pins are held, and how far behind the oldest
+	// pinned reader is.
+	if err := s.reg.RegisterGauge("snapshot_versions_live", func() int64 {
+		return int64(s.vt.LiveVersions())
+	}); err != nil {
+		return err
+	}
+	if err := s.reg.RegisterGauge("snapshot_oldest_pin_age_us", func() int64 {
+		return s.vt.OldestPinnedAge(time.Now()).Microseconds()
+	}); err != nil {
+		return err
+	}
+	s.snapPins = s.reg.Counter("snapshot_pins")
+	s.snapUnpins = s.reg.Counter("snapshot_unpins")
+	s.snapPinUs = s.reg.Histogram("snapshot_pin_us")
 	s.queryTotal = s.reg.Counter("query_total")
 	s.queryErrors = s.reg.Counter("query_errors")
 	s.querySlow = s.reg.Counter("query_slow_total")

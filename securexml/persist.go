@@ -95,29 +95,22 @@ func writeFileAtomic(path string, data []byte) error {
 	return d.Sync()
 }
 
-// metaHead is persistedStore minus the codebook — the slice of the sidecar
-// image an accessibility update leaves untouched. Its JSON encoding is
-// dominated by the NoK value index (thousands of entries), so marshalMeta
-// caches it: re-encoding it on every commit put milliseconds of JSON work
-// inside the sealing critical section and capped group-commit throughput.
-type metaHead struct {
-	Format   int                   `json:"format"`
-	PageSize int                   `json:"page_size"`
-	Modes    []string              `json:"modes"`
-	Dir      acl.DirectorySnapshot `json:"directory"`
-	Nok      nok.Meta              `json:"nok"`
-}
-
-// metaHeadState fingerprints the NoK shape the cached head was built from.
-// An accessibility update performs exactly one region rewrite (dol's
-// SetRangeACL); a rewrite that keeps its block count reuses the region's
-// pages in order, so the page-ID list can only change together with one of
-// these counts. Every other mutation (directory, structural, vacuum)
-// invalidates the cache explicitly instead of relying on the fingerprint.
+// The sidecar image is assembled from cached fragments: the expensive
+// pieces (directory, tag table, value index — thousands of JSON entries)
+// change rarely, while the page-ID list changes on EVERY accessibility
+// update now that rewrites shadow-page into fresh frames. marshalMeta
+// therefore re-encodes only structure_pages (small: one int per page) per
+// commit and splices it between the cached fragments; re-encoding the whole
+// sidecar put milliseconds of JSON work inside the sealing critical section
+// and capped group-commit throughput.
+//
+// metaHeadState fingerprints the NoK shape the cached nok fragments were
+// built from, as a backstop for the explicit invalidations: structural
+// updates call invalidateMetaHead, and node/tag/value counts cannot change
+// without one.
 type metaHeadState struct {
 	numNodes  int
 	numTags   int
-	numPages  int
 	numValues int
 }
 
@@ -126,7 +119,6 @@ func (s *Store) metaHeadState() metaHeadState {
 	hs := metaHeadState{
 		numNodes: st.NumNodes(),
 		numTags:  st.NumTags(),
-		numPages: st.NumPages(),
 	}
 	if vs := st.Values(); vs != nil {
 		hs.numValues = vs.NumValues()
@@ -134,55 +126,80 @@ func (s *Store) metaHeadState() metaHeadState {
 	return hs
 }
 
-// invalidateMetaHead drops the cached sidecar head. Every update that can
-// change the directory or rewrite NoK state in ways the shape fingerprint
-// cannot see (same-count page replacement, in-place value moves) must call
-// it under the write lock before sealing.
-func (s *Store) invalidateMetaHead() { s.metaHead = nil }
-
-// metaHeadJSON returns the sidecar head encoding, reusing the cache when
-// the NoK shape is unchanged since it was built. Caller holds s.mu.
-func (s *Store) metaHeadJSON() ([]byte, error) {
-	hs := s.metaHeadState()
-	if s.metaHead != nil && hs == s.metaHeadFP {
-		return s.metaHead, nil
-	}
-	data, err := json.MarshalIndent(metaHead{
-		Format:   1,
-		PageSize: s.opts.PageSize,
-		Modes:    s.modes,
-		Dir:      s.dir.Snapshot(),
-		Nok:      s.ss.Store().Meta(),
-	}, "", " ")
-	if err != nil {
-		return nil, err
-	}
-	s.metaHead = data
-	s.metaHeadFP = hs
-	return data, nil
+// invalidateMetaHead drops every cached sidecar fragment. Updates that
+// mutate the directory or restructure NoK state (insert/delete/move,
+// vacuum, subject changes) call it under the write lock before sealing;
+// pure accessibility updates need not — their only sidecar change is the
+// always-fresh page-ID list.
+func (s *Store) invalidateMetaHead() {
+	s.metaPre = nil
+	s.metaNokHead = nil
+	s.metaVals = nil
 }
 
 // marshalMeta serializes the store's current metadata sidecar image — the
-// blob Save writes to store.json and update commits journal in the WAL. The
-// codebook (small, changed by every ACL update) is spliced into the cached
-// head (large, rarely changed) as the final JSON field, matching
-// persistedStore's field order.
+// blob Save writes to store.json and update commits journal in the WAL.
+// The output is byte-assembled from the cached fragments in
+// persistedStore's field order; readMeta decodes it like any other JSON.
+// Caller holds s.mu.
 func (s *Store) marshalMeta() ([]byte, error) {
-	cb, err := s.ss.Codebook().MarshalBinary()
+	st := s.ss.Store()
+	if s.metaPre == nil {
+		pre, err := json.Marshal(struct {
+			Format   int                   `json:"format"`
+			PageSize int                   `json:"page_size"`
+			Modes    []string              `json:"modes"`
+			Dir      acl.DirectorySnapshot `json:"directory"`
+		}{1, s.opts.PageSize, s.modes, s.dir.Snapshot()})
+		if err != nil {
+			return nil, err
+		}
+		s.metaPre = pre
+	}
+	hs := s.metaHeadState()
+	if s.metaNokHead == nil || hs != s.metaFP {
+		m := st.Meta()
+		head, err := json.Marshal(struct {
+			NumNodes int      `json:"num_nodes"`
+			Tags     []string `json:"tags"`
+		}{m.NumNodes, m.Tags})
+		if err != nil {
+			return nil, err
+		}
+		s.metaNokHead = head
+		s.metaVals = nil
+		if len(m.ValueRefs) > 0 {
+			vals, err := json.Marshal(m.ValueRefs)
+			if err != nil {
+				return nil, err
+			}
+			s.metaVals = vals
+		}
+		s.metaFP = hs
+	}
+	pages, err := json.Marshal(st.StructurePages())
 	if err != nil {
 		return nil, err
 	}
-	head, err := s.metaHeadJSON()
+	cb, err := s.ss.Codebook().MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
 	b64 := base64.StdEncoding.EncodeToString(cb)
 	var buf bytes.Buffer
-	buf.Grow(len(head) + len(b64) + 32)
-	buf.Write(head[:len(head)-2]) // strip the closing "\n}"
-	buf.WriteString(",\n \"codebook\": \"")
+	buf.Grow(len(s.metaPre) + len(s.metaNokHead) + len(pages) + len(s.metaVals) + len(b64) + 64)
+	buf.Write(s.metaPre[:len(s.metaPre)-1]) // strip the closing '}'
+	buf.WriteString(`,"nok":`)
+	buf.Write(s.metaNokHead[:len(s.metaNokHead)-1])
+	buf.WriteString(`,"structure_pages":`)
+	buf.Write(pages)
+	if s.metaVals != nil {
+		buf.WriteString(`,"value_refs":`)
+		buf.Write(s.metaVals)
+	}
+	buf.WriteString(`},"codebook":"`)
 	buf.WriteString(b64)
-	buf.WriteString("\"\n}\n")
+	buf.WriteString(`"}`)
 	return buf.Bytes(), nil
 }
 
@@ -196,7 +213,7 @@ func (s *Store) marshalMeta() ([]byte, error) {
 func (s *Store) Save(dir string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.failedLocked() {
+	if s.failedNow() {
 		return errStoreFailed
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -361,16 +378,20 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 		dir:      d,
 		modes:    ps.Modes,
 		modeIdx:  modeIdx,
-		idxDirty: true,
 		sink:     sink,
 		recovery: info,
 		wp:       wal,
 	}
+	s.initSnapshot()
 	if err := s.initObs(); err != nil {
 		return nil, err
 	}
-	if err := s.reindex(); err != nil {
-		return nil, err
+	// Build the initial indexes eagerly so Open (not the first query)
+	// reports a build failure, matching the historical reindex-at-open.
+	if sn := s.cur.Load(); sn != nil {
+		if err := sn.idx.ensure(sn.st); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }

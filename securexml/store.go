@@ -6,10 +6,10 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dolxml/internal/acl"
-	"dolxml/internal/btree"
 	"dolxml/internal/dol"
 	"dolxml/internal/nok"
 	"dolxml/internal/obs"
@@ -63,6 +63,14 @@ type StoreOptions struct {
 	// report is a single Write, serialized by the store, so the writer
 	// need not be goroutine-safe.
 	SlowQueryLog io.Writer
+	// SlowPinThreshold, when positive, reports any snapshot pin held at
+	// least this long to SlowPinLog. A long-held pin delays page
+	// reclamation the way a slow query delays answers: pages freed by
+	// updates stay quarantined until the pinned version retires.
+	SlowPinThreshold time.Duration
+	// SlowPinLog receives slow-pin reports (default os.Stderr), serialized
+	// like SlowQueryLog.
+	SlowPinLog io.Writer
 }
 
 // Durability selects when an update commit becomes durable relative to the
@@ -101,12 +109,14 @@ func (o *StoreOptions) defaults() {
 	}
 }
 
-// Store is a sealed secure XML store. It is safe for concurrent use:
-// queries may run in parallel; update operations are serialized and
-// exclude queries.
+// Store is a sealed secure XML store. It is safe for concurrent use under
+// snapshot isolation: queries pin the current published snapshot and run
+// entirely lock-free against it, updates serialize among themselves and
+// publish a new snapshot when they commit. Readers never block an updater
+// and an updater never blocks readers.
 type Store struct {
-	// mu serializes updates against queries. Query paths hold the read
-	// lock; mutating paths hold the write lock.
+	// mu serializes updates (and snapshot publication) with each other.
+	// Queries do NOT take it: they pin the current snapshot instead.
 	mu sync.RWMutex
 	// commitMu serializes DurabilitySync commits with each other across
 	// their whole seal-and-flush span (see lockUpdate): a Sync commit
@@ -116,14 +126,21 @@ type Store struct {
 	commitMu sync.Mutex
 	opts     StoreOptions
 	pool     *storage.BufferPool
-	ss       *dol.SecureStore
-	dir      *acl.Directory
-	modes    []string
-	modeIdx  map[string]int
-	idxPool  *storage.BufferPool
-	index    *btree.Tree
-	vindex   *btree.ValueTree
-	idxDirty bool
+	// ss is the live, mutable secure store; only update paths (under
+	// s.mu) touch it. Queries go through cur's frozen view.
+	ss *dol.SecureStore
+	// dir is the live subject directory. While dirShared it is also
+	// referenced by the published snapshot and must be cloned before
+	// mutation (see mutableDir).
+	dir       *acl.Directory
+	dirShared bool
+	modes     []string
+	modeIdx   map[string]int
+	// cur is the published snapshot queries pin; vt tracks version
+	// lifetimes and quarantines freed pages until no pinned version can
+	// still read them.
+	cur atomic.Pointer[snapshot]
+	vt  *storage.VersionTable
 	// sink routes committed update metadata (the store.json image carried
 	// in WAL commit records) to the persisted directory, once one is known.
 	sink *metaSink
@@ -137,10 +154,11 @@ type Store struct {
 	recovery storage.RecoveryInfo
 	// failed marks the store poisoned: an update batch was rolled back
 	// after buffering page writes, so the in-memory directory, codebook and
-	// buffer pool are ahead of what disk will ever hold. Every subsequent
-	// operation fails and Close skips flushing; reopening the store runs
-	// WAL recovery and rebuilds a consistent image.
-	failed bool
+	// buffer pool are ahead of what disk will ever hold. New operations
+	// fail (already-pinned snapshots finish serving their committed state);
+	// reopening the store runs WAL recovery and rebuilds a consistent
+	// image.
+	failed atomic.Bool
 	// reg is the store-wide metrics registry; every layer registers its
 	// counters into it at construction (initObs), and the query-level
 	// counters below are its members. All surfaces — MetricsSnapshot, the
@@ -155,15 +173,19 @@ type Store struct {
 	skipStruct   *obs.Counter
 	candRejects  *obs.Counter
 	queryLatency *obs.Histogram
-	// slowMu serializes slow-query reports: queries finish concurrently,
-	// and SlowQueryLog writers (bytes.Buffer, log files) need not be
-	// goroutine-safe.
+	snapPins     *obs.Counter
+	snapUnpins   *obs.Counter
+	snapPinUs    *obs.Histogram
+	// slowMu serializes slow-query and slow-pin reports: queries finish
+	// concurrently, and the log writers (bytes.Buffer, log files) need not
+	// be goroutine-safe.
 	slowMu sync.Mutex
-	// metaHead caches the sidecar image minus the codebook (see
-	// marshalMeta); metaHeadFP is the NoK shape it was built against. Both
-	// are guarded by s.mu like the structures they mirror.
-	metaHead   []byte
-	metaHeadFP metaHeadState
+	// Cached sidecar fragments (see marshalMeta); guarded by s.mu like the
+	// structures they mirror.
+	metaPre     []byte
+	metaNokHead []byte
+	metaVals    []byte
+	metaFP      metaHeadState
 }
 
 // errStoreFailed poisons a store whose in-memory state diverged from disk
@@ -172,20 +194,7 @@ var errStoreFailed = fmt.Errorf("securexml: store failed mid-update; close and r
 
 // Failed reports whether the store has been poisoned by a discarded update
 // batch or a failed group flush and must be reopened.
-func (s *Store) Failed() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.failedLocked()
-}
-
-// failedLocked is the poisoned-state check behind Failed, queries and
-// updates: the explicit flag (an abort discarded buffered writes), or a
-// broken WAL (a group flush died, so the in-memory state of every batch
-// sealed since is ahead of what disk will ever hold). Caller holds s.mu in
-// either mode.
-func (s *Store) failedLocked() bool {
-	return s.failed || (s.wp != nil && s.wp.Broken() != nil)
-}
+func (s *Store) Failed() bool { return s.failedNow() }
 
 // Recovery reports what crash recovery found when the store was opened:
 // how many committed batches were redone, whether their metadata sidecar
@@ -252,21 +261,25 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 	}
 	applyDecodeCacheBudget(ss.Store(), opts.DecodeCacheBytes)
 	s := &Store{
-		opts:     opts,
-		pool:     pool,
-		ss:       ss,
-		dir:      b.dir,
-		modes:    b.modes,
-		modeIdx:  b.modeIdx,
-		idxDirty: true,
-		sink:     sink,
-		wp:       wal,
+		opts:    opts,
+		pool:    pool,
+		ss:      ss,
+		dir:     b.dir,
+		modes:   b.modes,
+		modeIdx: b.modeIdx,
+		sink:    sink,
+		wp:      wal,
 	}
+	s.initSnapshot()
 	if err := s.initObs(); err != nil {
 		return nil, err
 	}
-	if err := s.reindex(); err != nil {
-		return nil, err
+	// Build the initial indexes eagerly so Seal (not the first query)
+	// reports a build failure, matching the historical reindex-at-seal.
+	if sn := s.cur.Load(); sn != nil {
+		if err := sn.idx.ensure(sn.st); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -281,59 +294,6 @@ func applyDecodeCacheBudget(st *nok.Store, budget int64) {
 		budget = 0
 	}
 	st.SetDecodeCacheBudget(budget)
-}
-
-// reindex rebuilds the in-memory tag index from the structure store. The
-// index is a derived structure (the paper assumes B+-trees as given) and
-// is rebuilt after structural updates rather than persisted.
-func (s *Store) reindex() error {
-	s.idxPool = storage.NewBufferPool(storage.NewMemPager(s.opts.PageSize), 1<<30/s.opts.PageSize)
-	t, err := btree.New(s.idxPool)
-	if err != nil {
-		return err
-	}
-	var vt *btree.ValueTree
-	vs := s.ss.Store().Values()
-	if vs != nil {
-		vt, err = btree.NewValueTree(s.idxPool)
-		if err != nil {
-			return err
-		}
-	}
-	var indexErr error
-	err = s.ss.Store().ForEachExtent(func(n, end xmltree.NodeID, level int, tag int32) {
-		if indexErr != nil {
-			return
-		}
-		p := btree.Posting{Node: n, End: end, Level: uint16(level)}
-		if err := t.Insert(tag, p); err != nil {
-			indexErr = err
-			return
-		}
-		if vt == nil {
-			return
-		}
-		v, err := vs.Value(n)
-		if err != nil {
-			indexErr = err
-			return
-		}
-		if v != "" {
-			if err := vt.Insert(tag, v, p); err != nil {
-				indexErr = err
-			}
-		}
-	})
-	if err == nil {
-		err = indexErr
-	}
-	if err != nil {
-		return err
-	}
-	s.index = t
-	s.vindex = vt
-	s.idxDirty = false
-	return nil
 }
 
 // Match is one query answer.
@@ -353,20 +313,27 @@ func (s *Store) mode(name string) (int, error) {
 	return m, nil
 }
 
-func (s *Store) subject(name string) (acl.SubjectID, error) {
-	id, ok := s.dir.Lookup(name)
+// subjectIn resolves a subject name against one directory — a snapshot's
+// for readers, the live one for updates (which hold s.mu).
+func subjectIn(dir *acl.Directory, name string) (acl.SubjectID, error) {
+	id, ok := dir.Lookup(name)
 	if !ok {
 		return acl.InvalidSubject, fmt.Errorf("securexml: unknown subject %q", name)
 	}
 	return id, nil
 }
 
-// matches converts result node IDs to Match records. It threads ctx so
-// the page reads the conversion performs land in the query's trace.
-func (s *Store) matches(ctx context.Context, nodes []xmltree.NodeID) ([]Match, error) {
+func (s *Store) subject(name string) (acl.SubjectID, error) {
+	return subjectIn(s.dir, name)
+}
+
+// matches converts result node IDs to Match records against the query's
+// pinned store. It threads ctx so the page reads the conversion performs
+// land in the query's trace.
+func (s *Store) matches(ctx context.Context, st *nok.Store, nodes []xmltree.NodeID) ([]Match, error) {
 	out := make([]Match, 0, len(nodes))
 	for _, n := range nodes {
-		m, _, err := s.matchAt(ctx, n)
+		m, _, err := s.matchAt(ctx, st, n)
 		if err != nil {
 			return nil, err
 		}
@@ -375,43 +342,30 @@ func (s *Store) matches(ctx context.Context, nodes []xmltree.NodeID) ([]Match, e
 	return out, nil
 }
 
-// lockForQuery takes the read lock for a query, first rebuilding a stale
-// index under the write lock. On success the caller owns one read-lock
-// hold and must release it with s.mu.RUnlock().
-func (s *Store) lockForQuery() error {
-	s.mu.RLock()
-	if s.failedLocked() {
-		s.mu.RUnlock()
-		return errStoreFailed
+// viewAt builds the user's effective subject view over one snapshot: the
+// subject is resolved against the snapshot's directory and the view wraps
+// the snapshot's frozen secure store, so access decisions and evaluation
+// read the same committed state.
+func (s *Store) viewAt(sn *snapshot, user, mode string) (*dol.SubjectView, error) {
+	u, err := subjectIn(sn.dir, user)
+	if err != nil {
+		return nil, err
 	}
-	if !s.idxDirty {
-		return nil
+	mi, err := s.mode(mode)
+	if err != nil {
+		return nil, err
 	}
-	s.mu.RUnlock()
-	s.mu.Lock()
-	if s.idxDirty {
-		if err := s.reindex(); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-	}
-	s.mu.Unlock()
-	s.mu.RLock()
-	return nil
+	return sn.ss.View(effectiveBits(sn.dir, len(s.modes), mi, u)), nil
 }
 
-// evaluator builds the query evaluator over the current indexes; the
-// caller must hold the read lock.
-func (s *Store) evaluator() *query.Evaluator {
-	ev := query.NewEvaluator(s.ss.Store(), s.index)
-	if s.vindex != nil {
-		ev.WithValueIndex(s.vindex)
+func (s *Store) run(ctx context.Context, user, mode, xpath string, opts QueryOptions) (ms []Match, err error) {
+	qo := query.Options{
+		Limit:              opts.Limit,
+		Parallelism:        opts.Parallelism,
+		DisableSummarySkip: opts.DisableSummarySkip,
+		Trace:              opts.Trace.inner(),
 	}
-	return ev
-}
-
-func (s *Store) run(ctx context.Context, xpath string, opts query.Options) (ms []Match, err error) {
-	tr, finish := s.startQuery(&opts)
+	tr, finish := s.startQuery(&qo)
 	defer func() { finish(xpath, err) }()
 	ctx = obs.WithTrace(ctx, tr)
 	endParse := tr.Span(obs.EvParse)
@@ -420,18 +374,37 @@ func (s *Store) run(ctx context.Context, xpath string, opts query.Options) (ms [
 	if err != nil {
 		return nil, err
 	}
-	if err := s.lockForQuery(); err != nil {
+	r, err := s.acquireFor(opts)
+	if err != nil {
 		return nil, err
 	}
-	defer s.mu.RUnlock()
-	res, err := s.evaluator().EvaluateCtx(ctx, pt, opts)
+	sn := r.sn
+	tr.SnapshotPin(sn.seq)
+	defer func() {
+		tr.SnapshotUnpin(sn.seq, time.Since(r.at))
+		s.release(r)
+	}()
+	if !opts.Unrestricted {
+		view, err := s.viewAt(sn, user, mode)
+		if err != nil {
+			return nil, err
+		}
+		qo.View = view
+		if opts.Pruned {
+			qo.Semantics = query.SemanticsPrunedSubtree
+		}
+	}
+	if err := sn.idx.ensure(sn.st); err != nil {
+		return nil, err
+	}
+	res, err := evaluatorAt(sn).EvaluateCtx(ctx, pt, qo)
 	if err != nil {
 		return nil, err
 	}
 	s.queryAnswers.Add(int64(len(res.Nodes)))
 	s.queryMatches.Add(int64(res.Matches))
 	s.recordSkips(res.Skips)
-	ms, err = s.matches(ctx, res.Nodes)
+	ms, err = s.matches(ctx, sn.st, res.Nodes)
 	tr.Mark(obs.EvDone)
 	return ms, err
 }
@@ -455,25 +428,8 @@ func (s *Store) QueryUnrestricted(xpath string) ([]Match, error) {
 	return s.QueryCtx(context.Background(), "", "", xpath, QueryOptions{Unrestricted: true})
 }
 
-// viewFor snapshots the user's effective subject bits under its own read
-// lock (released before query execution takes the lock again, avoiding
-// recursive RLock).
-func (s *Store) viewFor(user, mode string) (*dol.SubjectView, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	u, err := s.subject(user)
-	if err != nil {
-		return nil, err
-	}
-	mi, err := s.mode(mode)
-	if err != nil {
-		return nil, err
-	}
-	return s.ss.View(effectiveBits(s.dir, len(s.modes), mi, u)), nil
-}
-
-func (s *Store) combinedBit(subject string, mode string) (acl.SubjectID, error) {
-	sub, err := s.subject(subject)
+func (s *Store) combinedBitIn(dir *acl.Directory, subject, mode string) (acl.SubjectID, error) {
+	sub, err := subjectIn(dir, subject)
 	if err != nil {
 		return acl.InvalidSubject, err
 	}
@@ -484,27 +440,39 @@ func (s *Store) combinedBit(subject string, mode string) (acl.SubjectID, error) 
 	return acl.SubjectID(int(sub)*len(s.modes) + mi), nil
 }
 
+func (s *Store) combinedBit(subject string, mode string) (acl.SubjectID, error) {
+	return s.combinedBitIn(s.dir, subject, mode)
+}
+
 // Accessible reports whether the named subject alone (no group expansion)
 // may access node n under the mode.
 func (s *Store) Accessible(subject, mode string, n NodeID) (bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	bit, err := s.combinedBit(subject, mode)
+	r, err := s.acquire()
 	if err != nil {
 		return false, err
 	}
-	return s.ss.Accessible(xmltree.NodeID(n), bit)
+	defer s.release(r)
+	bit, err := s.combinedBitIn(r.sn.dir, subject, mode)
+	if err != nil {
+		return false, err
+	}
+	return r.sn.ss.Accessible(xmltree.NodeID(n), bit)
 }
 
 // UserAccessible reports whether the user, including their transitive
-// groups, may access node n under the mode (paper footnote 4).
+// groups, may access node n under the mode (paper footnote 4). The check
+// runs against one pinned snapshot, so the group expansion and the node's
+// access code come from the same committed state.
 func (s *Store) UserAccessible(user, mode string, n NodeID) (bool, error) {
-	view, err := s.viewFor(user, mode) // locks internally
+	r, err := s.acquire()
 	if err != nil {
 		return false, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	defer s.release(r)
+	view, err := s.viewAt(r.sn, user, mode)
+	if err != nil {
+		return false, err
+	}
 	return view.Accessible(xmltree.NodeID(n))
 }
 
@@ -560,13 +528,20 @@ var closedDone = func() chan struct{} {
 //
 // If the batch is rolled back or sealing fails after page writes were
 // buffered, the in-memory store is ahead of what disk will ever hold; the
-// store is then poisoned (see Store.failed) and must be reopened.
+// store is then poisoned (see Store.failed) and must be reopened. Pinned
+// snapshots are unaffected either way: a transaction only ever writes
+// freshly allocated or quarantine-cleared pages, never a page a published
+// snapshot references.
 func (s *Store) updateTxn(fn func() error) (*Commit, error) {
-	if s.failedLocked() {
+	if s.failedNow() {
 		return nil, errStoreFailed
 	}
+	// The live codebook may still be shared read-only with the published
+	// snapshot; detach it before any mutation.
+	s.ss.WillMutate()
 	if s.wp == nil {
 		if err := fn(); err != nil {
+			s.discardRetired()
 			return nil, err
 		}
 		return &Commit{s: s}, nil
@@ -591,13 +566,21 @@ func (s *Store) updateTxn(fn func() error) (*Commit, error) {
 				return &Commit{s: s, cw: cw}, nil
 			}
 			s.noteAbort(s.wp)
+			s.discardRetired()
 			return nil, err
 		}
 	}
 	_ = s.wp.Rollback()
 	s.noteAbort(s.wp)
+	s.discardRetired()
 	return nil, runErr
 }
+
+// discardRetired drops the pages an aborted transaction freed instead of
+// publishing them for reuse: their old content may still be what the
+// current snapshot reads. An abort that actually buffered writes has
+// poisoned the store anyway; a clean validation failure freed nothing.
+func (s *Store) discardRetired() { s.ss.Store().TakeRetired() }
 
 // lockUpdate acquires the write lock for one update running under
 // durability mode d. On a journaled store a DurabilitySync update
@@ -657,13 +640,10 @@ func (s *Store) finish(d Durability, c *Commit, err error) (*Commit, error) {
 // collective barrier for DurabilityAsync (and a no-op for stores without a
 // WAL or with nothing pending).
 func (s *Store) AwaitDurable() error {
-	s.mu.RLock()
-	wp := s.wp
-	s.mu.RUnlock()
-	if wp == nil {
+	if s.wp == nil {
 		return nil
 	}
-	return wp.FlushBarrier()
+	return s.wp.FlushBarrier()
 }
 
 // noteAbort poisons the store when the pager reports that an abort
@@ -671,7 +651,7 @@ func (s *Store) AwaitDurable() error {
 func (s *Store) noteAbort(tp storage.TxnPager) {
 	type dirtyReporter interface{ LastAbortDirty() bool }
 	if d, ok := tp.(dirtyReporter); ok && d.LastAbortDirty() {
-		s.failed = true
+		s.failed.Store(true)
 	}
 }
 
@@ -705,6 +685,9 @@ func (s *Store) setAccess(d Durability, subject, mode string, n NodeID, allowed,
 		}
 		return s.ss.SetNodeAccess(xmltree.NodeID(n), bit, allowed)
 	})
+	if err == nil {
+		s.publish(false)
+	}
 	s.mu.Unlock()
 	return s.finish(d, c, err)
 }
@@ -741,11 +724,12 @@ func (s *Store) addSubject(name string, group bool, like string) error {
 	// the refreshed metadata sidecar so the new subject survives a crash.
 	s.invalidateMetaHead()
 	c, err := s.updateTxn(func() error {
+		dir := s.mutableDir()
 		var err error
 		if group {
-			_, err = s.dir.AddGroup(name)
+			_, err = dir.AddGroup(name)
 		} else {
-			_, err = s.dir.AddUser(name)
+			_, err = dir.AddUser(name)
 		}
 		if err != nil {
 			return err
@@ -762,6 +746,9 @@ func (s *Store) addSubject(name string, group bool, like string) error {
 		}
 		return nil
 	})
+	if err == nil {
+		s.publish(false)
+	}
 	s.mu.Unlock()
 	_, err = s.finish(s.opts.Durability, c, err)
 	return err
@@ -782,7 +769,10 @@ func (s *Store) AddMember(group, member string) error {
 	}
 	// Directory-only update; the commit journals the refreshed sidecar.
 	s.invalidateMetaHead()
-	c, err := s.updateTxn(func() error { return s.dir.AddMember(g, m) })
+	c, err := s.updateTxn(func() error { return s.mutableDir().AddMember(g, m) })
+	if err == nil {
+		s.publish(false)
+	}
 	s.mu.Unlock()
 	_, err = s.finish(s.opts.Durability, c, err)
 	return err
@@ -814,7 +804,7 @@ func (s *Store) InsertXML(parent, after NodeID, fragment string) error {
 		return s.ss.InsertSubtree(xmltree.NodeID(parent), xmltree.NodeID(after), frag, fm)
 	})
 	if err == nil {
-		s.idxDirty = true
+		s.publish(true)
 	}
 	s.mu.Unlock()
 	_, err = s.finish(s.opts.Durability, c, err)
@@ -827,7 +817,7 @@ func (s *Store) Delete(n NodeID) error {
 	s.invalidateMetaHead()
 	c, err := s.updateTxn(func() error { return s.ss.DeleteSubtree(xmltree.NodeID(n)) })
 	if err == nil {
-		s.idxDirty = true
+		s.publish(true)
 	}
 	s.mu.Unlock()
 	_, err = s.finish(s.opts.Durability, c, err)
@@ -843,7 +833,7 @@ func (s *Store) Move(n, newParent, after NodeID) error {
 		return s.ss.MoveSubtree(xmltree.NodeID(n), xmltree.NodeID(newParent), xmltree.NodeID(after))
 	})
 	if err == nil {
-		s.idxDirty = true
+		s.publish(true)
 	}
 	s.mu.Unlock()
 	_, err = s.finish(s.opts.Durability, c, err)
@@ -853,31 +843,46 @@ func (s *Store) Move(n, newParent, after NodeID) error {
 // Vacuum performs the paper's lazy redundancy correction (§3.4): it
 // rewrites the embedded access codes canonically, merging transitions made
 // redundant by earlier updates and reclaiming duplicate codebook entries.
-// It is a full-document maintenance pass.
+// It is a full-document maintenance pass. Node IDs and extents are
+// unchanged, so published indexes stay shared.
 func (s *Store) Vacuum() error {
 	s.lockUpdate(s.opts.Durability)
 	s.invalidateMetaHead()
 	c, err := s.updateTxn(s.ss.Vacuum)
+	if err == nil {
+		s.publish(false)
+	}
 	s.mu.Unlock()
 	_, err = s.finish(s.opts.Durability, c, err)
 	return err
 }
 
-// NumNodes returns the document's node count.
-func (s *Store) NumNodes() int { return s.ss.Store().NumNodes() }
+// NumNodes returns the document's node count (of the current snapshot).
+func (s *Store) NumNodes() int { return s.cur.Load().st.NumNodes() }
 
 // Tag returns the tag of node n.
 func (s *Store) Tag(n NodeID) (string, error) {
-	code, err := s.ss.Store().Tag(xmltree.NodeID(n))
+	r, err := s.acquire()
 	if err != nil {
 		return "", err
 	}
-	return s.ss.Store().TagName(code), nil
+	defer s.release(r)
+	st := r.sn.st
+	code, err := st.Tag(xmltree.NodeID(n))
+	if err != nil {
+		return "", err
+	}
+	return st.TagName(code), nil
 }
 
 // Value returns the text value of node n ("" when values are not stored).
 func (s *Store) Value(n NodeID) (string, error) {
-	vs := s.ss.Store().Values()
+	r, err := s.acquire()
+	if err != nil {
+		return "", err
+	}
+	defer s.release(r)
+	vs := r.sn.st.Values()
 	if vs == nil {
 		return "", nil
 	}
@@ -887,11 +892,13 @@ func (s *Store) Value(n NodeID) (string, error) {
 // Modes lists the registered action mode names.
 func (s *Store) Modes() []string { return append([]string(nil), s.modes...) }
 
-// Subjects lists the subject names in SubjectID order.
+// Subjects lists the subject names in SubjectID order (of the current
+// snapshot's directory).
 func (s *Store) Subjects() []string {
-	out := make([]string, s.dir.Len())
+	dir := s.cur.Load().dir
+	out := make([]string, dir.Len())
 	for i := range out {
-		out[i] = s.dir.Name(acl.SubjectID(i))
+		out[i] = dir.Name(acl.SubjectID(i))
 	}
 	return out
 }
@@ -936,25 +943,30 @@ type SkipStats struct {
 	Candidates  int64
 }
 
-// Stats collects the store's current statistics. Note that the transition
-// count requires a full walk of the structure store, which itself runs
-// through the buffer pool; use PoolStats or DecodeCacheStats for cheap,
-// walk-free counters around individual queries.
+// Stats collects the store's current statistics against one pinned
+// snapshot. Note that the transition count requires a full walk of the
+// structure store, which itself runs through the buffer pool; use
+// PoolStats or DecodeCacheStats for cheap, walk-free counters around
+// individual queries.
 func (s *Store) Stats() (Stats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	tr, err := s.ss.TransitionCount()
+	r, err := s.acquire()
+	if err != nil {
+		return Stats{}, err
+	}
+	defer s.release(r)
+	sn := r.sn
+	tr, err := sn.ss.TransitionCount()
 	if err != nil {
 		return Stats{}, err
 	}
 	return Stats{
-		Nodes:           s.ss.Store().NumNodes(),
-		StructurePages:  s.ss.Store().NumPages(),
+		Nodes:           sn.st.NumNodes(),
+		StructurePages:  sn.st.NumPages(),
 		Transitions:     tr,
-		CodebookEntries: s.ss.Codebook().Len(),
-		CodebookBytes:   s.ss.Codebook().Bytes(),
-		DirectoryBytes:  s.ss.Store().DirectoryBytes(),
-		SummaryBytes:    s.ss.Store().SummaryBytes(),
+		CodebookEntries: sn.ss.Codebook().Len(),
+		CodebookBytes:   sn.ss.Codebook().Bytes(),
+		DirectoryBytes:  sn.st.DirectoryBytes(),
+		SummaryBytes:    sn.st.SummaryBytes(),
 		Pool:            s.pool.Stats(),
 		IO:              s.pool.Pager().Stats(),
 		DecodeCache:     s.DecodeCacheStats(),
@@ -980,14 +992,15 @@ func (s *Store) DecodeCacheStats() CacheStats {
 }
 
 // Close flushes and releases the store; sealed-but-unflushed async commits
-// are flushed on the way out (their Commit handles resolve). A poisoned
-// store (see Failed) is closed without flushing: its buffers were built
-// against discarded batch state, and writing them outside a batch would
-// tear the on-disk image that WAL recovery otherwise guarantees intact.
+// are flushed on the way out (their Commit handles resolve). Callers must
+// finish queries and close cursors and snapshots first. A poisoned store
+// (see Failed) is closed without flushing: its buffers were built against
+// discarded batch state, and writing them outside a batch would tear the
+// on-disk image that WAL recovery otherwise guarantees intact.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.failedLocked() {
+	if s.failedNow() {
 		return s.pool.Pager().Close()
 	}
 	if err := s.pool.FlushAll(); err != nil {
