@@ -193,6 +193,7 @@ func runQuery(args []string) error {
 	limit := fs.Int("limit", 0, "stop after this many answers (0 = all)")
 	timeout := fs.Duration("timeout", 0, "abort the query after this duration (0 = none)")
 	noSummaries := fs.Bool("no-summaries", false, "disable structure-aware page skipping")
+	noPathSummary := fs.Bool("no-pathsummary", false, "disable path-summary routing (empty-query detection, path-class candidate filtering, pre-resolved access)")
 	showStats := fs.Bool("stats", false, "print page-read and cache statistics for the query")
 	fs.Parse(args)
 	if *storeDir == "" || *xpath == "" {
@@ -217,6 +218,7 @@ func runQuery(args []string) error {
 		Unrestricted:       *admin,
 		Limit:              *limit,
 		DisableSummarySkip: *noSummaries,
+		DisablePathSummary: *noPathSummary,
 	}
 	var matches []securexml.Match
 	before := s.MetricsSnapshot()
@@ -275,7 +277,10 @@ func runQuery(args []string) error {
 		fmt.Fprintf(os.Stderr, "pages read:       %d (pool hit ratio %.2f)\n", d("pool_misses"), ratio)
 		fmt.Fprintf(os.Stderr, "pages skipped:    %d structure, %d access\n",
 			d("query_pages_skipped_struct"), d("query_pages_skipped_access"))
-		fmt.Fprintf(os.Stderr, "candidates cut:   %d\n", d("query_candidates_rejected"))
+		fmt.Fprintf(os.Stderr, "candidates cut:   %d (%d by path class)\n",
+			d("query_candidates_rejected"), d("query_candidates_rejected_path"))
+		fmt.Fprintf(os.Stderr, "path routing:     %d empty short-circuits, %d classes pre-resolved\n",
+			d("query_path_empty_total"), d("query_path_classes_preresolved"))
 		fmt.Fprintf(os.Stderr, "decode cache:     %d hits, %d misses (ratio %.2f)\n", decHits, decMisses, decRatio)
 	}
 	return nil
@@ -309,8 +314,9 @@ func serve(args []string) error {
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		opts := securexml.QueryOptions{
-			Unrestricted: q.Get("admin") != "",
-			Pruned:       q.Get("pruned") != "",
+			Unrestricted:       q.Get("admin") != "",
+			Pruned:             q.Get("pruned") != "",
+			DisablePathSummary: q.Get("nopathsummary") != "",
 		}
 		if lim := q.Get("limit"); lim != "" {
 			fmt.Sscanf(lim, "%d", &opts.Limit)

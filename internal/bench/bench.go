@@ -196,7 +196,7 @@ func WriteTablesJSON(path string, tables []*Table) error {
 var Experiments = []string{
 	"fig4a", "fig4b", "fig5", "fig6", "storage", "fig7", "joins",
 	"updates", "worstcase", "ablation", "modes", "parallel", "streaming",
-	"pageskip", "wal", "writeload", "obs",
+	"pageskip", "pathsummary", "wal", "writeload", "obs",
 }
 
 // Run executes the named experiment and returns its tables, each stamped
@@ -243,6 +243,8 @@ func run(name string, cfg Config) ([]*Table, error) {
 		return Streaming(cfg), nil
 	case "pageskip":
 		return PageSkip(cfg), nil
+	case "pathsummary":
+		return PathSummary(cfg), nil
 	case "wal":
 		return WAL(cfg), nil
 	case "writeload":

@@ -96,6 +96,10 @@ func PageSkip(cfg Config) []*Table {
 				opts := sem.opts
 				opts.Parallelism = 1
 				opts.DisableSummarySkip = disable
+				// This experiment isolates the per-page summaries: path
+				// routing stays off in both arms (the pathsummary
+				// experiment owns that ablation).
+				opts.DisablePathSummary = true
 				res, pages, elapsed, err := env.coldQuery(pt, opts)
 				if err != nil {
 					t.Notes = append(t.Notes, "ERROR: "+err.Error())

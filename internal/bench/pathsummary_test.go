@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// The pathsummary experiment table must carry no VIOLATION notes: answers
+// byte-identical across routing on/off × semantics × parallelism, routed
+// runs never reading more pages, strict reductions on the descendant
+// twigs, and the unsatisfiable query answered from zero pages. The CI
+// smoke mirrors this via dolbench -exp pathsummary -strict.
+func TestPathSummaryShape(t *testing.T) {
+	tb := runQuick(t, "pathsummary")[0]
+	for _, note := range tb.Notes {
+		if len(note) >= 9 && note[:9] == "VIOLATION" {
+			t.Error(note)
+		}
+	}
+	// Rows interleave routing on/off per query×semantics×parallelism;
+	// compare adjacent pairs.
+	for i := 0; i+1 < len(tb.Rows); i += 2 {
+		on, offRow := tb.Rows[i], tb.Rows[i+1]
+		if on[0] != offRow[0] || on[3] != "on" || offRow[3] != "off" {
+			t.Fatalf("row pairing broken at %d: %v / %v", i, on, offRow)
+		}
+		pOn := cellInt(t, on[4])
+		pOff := cellInt(t, offRow[4])
+		if on[2] == "1" && pOn > pOff {
+			t.Errorf("%s/%s: %d pages with routing vs %d without", on[0], on[1], pOn, pOff)
+		}
+		if on[8] != offRow[8] {
+			t.Errorf("%s/%s: answer counts differ (%s vs %s)", on[0], on[1], on[8], offRow[8])
+		}
+		if on[0] == "Qunsat" {
+			if pOn != 0 {
+				t.Errorf("unsatisfiable query pinned %d pages with routing; want 0", pOn)
+			}
+			if pOff == 0 {
+				t.Error("unsatisfiable query read no pages even without routing; contrast lost")
+			}
+		}
+	}
+}

@@ -313,6 +313,14 @@ func (v *SubjectView) PageDenyBits() []uint64 {
 	return ca.pageDeny
 }
 
+// CodeAllowed resolves the view's access decision for a bare code, through
+// the same memoized cache AccessibleCtx uses, with no I/O. The path-summary
+// compiler uses it to pre-resolve whole path classes whose occurrences all
+// share one code.
+func (v *SubjectView) CodeAllowed(c Code) bool {
+	return v.accessibleCode(v.cacheFor(), c)
+}
+
 // InvalidateCache drops the view's memoized decisions. It is not normally
 // needed — caches self-invalidate via the codebook generation — but lets
 // callers that bypass the codebook release memory eagerly.

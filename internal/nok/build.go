@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"dolxml/internal/pathsum"
 	"dolxml/internal/storage"
 	"dolxml/internal/xmltree"
 )
@@ -74,10 +75,12 @@ func Build(pool *storage.BufferPool, doc *xmltree.Document, opts BuildOptions) (
 		blockFirst   xmltree.NodeID
 		blockMin     int
 	)
+	psb := pathsum.NewBuilder()
 	flush := func() error {
 		if len(blockEntries) == 0 {
 			return nil
 		}
+		psb.EndBlock()
 		frame, err := pool.Allocate()
 		if err != nil {
 			return err
@@ -135,12 +138,22 @@ func Build(pool *storage.BufferPool, doc *xmltree.Document, opts BuildOptions) (
 		} else if l := doc.Level(n); l < blockMin {
 			blockMin = l
 		}
+		var code uint32
+		if opts.Codes != nil {
+			code = opts.Codes.CodeInForce(n)
+		}
+		psb.Entry(e.Tag, e.CloseCount, code)
 		blockEntries = append(blockEntries, e)
 		blockBytes += sz
 	}
 	if err := flush(); err != nil {
 		return nil, err
 	}
+	paths, err := psb.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("nok: path summary: %w", err)
+	}
+	s.paths = paths
 
 	if opts.StoreValues {
 		valueOf := opts.Values

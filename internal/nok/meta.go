@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"dolxml/internal/pathsum"
 	"dolxml/internal/storage"
 	"dolxml/internal/xmltree"
 )
@@ -16,7 +17,12 @@ type Meta struct {
 	NumNodes       int              `json:"num_nodes"`
 	Tags           []string         `json:"tags"`
 	StructurePages []storage.PageID `json:"structure_pages"`
-	ValueRefs      []MetaValueRef   `json:"value_refs,omitempty"`
+	// PathSummary is the persisted path summary. Open rebuilds the
+	// summary from the blocks regardless and verifies this copy against
+	// the rebuild, so a stale or corrupted summary is caught rather than
+	// trusted.
+	PathSummary *pathsum.Meta  `json:"path_summary,omitempty"`
+	ValueRefs   []MetaValueRef `json:"value_refs,omitempty"`
 }
 
 // MetaValueRef mirrors the value index for serialization.
@@ -32,6 +38,9 @@ func (s *Store) Meta() Meta {
 	m := Meta{
 		NumNodes: s.numNodes,
 		Tags:     append([]string(nil), s.tags...),
+	}
+	if s.paths != nil {
+		m.PathSummary = s.paths.ToMeta()
 	}
 	for _, pi := range s.dir {
 		m.StructurePages = append(m.StructurePages, pi.Page)
@@ -123,6 +132,21 @@ func Open(pool *storage.BufferPool, m Meta) (*Store, error) {
 	// Sanity: blocks must cover exactly the advertised node count.
 	if int(next) != s.numNodes {
 		return nil, fmt.Errorf("nok: blocks cover %d nodes, metadata says %d", next, s.numNodes)
+	}
+	// The path summary is rebuilt from the blocks — like the directory,
+	// storage stays authoritative — and any persisted copy is verified
+	// against the rebuild before the store is trusted.
+	if err := s.RebuildPathSummary(); err != nil {
+		return nil, err
+	}
+	if m.PathSummary != nil {
+		persisted, err := pathsum.FromMeta(m.PathSummary)
+		if err != nil {
+			return nil, fmt.Errorf("nok: reopen path summary: %w", err)
+		}
+		if err := persisted.VerifyAgainst(s.paths); err != nil {
+			return nil, fmt.Errorf("nok: path summary failed verification: %w", err)
+		}
 	}
 	return s, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"dolxml/internal/pathsum"
 	"dolxml/internal/storage"
 	"dolxml/internal/xmltree"
 )
@@ -117,6 +118,15 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 	pageSize := s.pool.Pager().PageSize()
 	capBytes := pageSize - headerSize
 
+	// Replay the rewrite against the path summary on a copy-on-write
+	// clone: installed summaries stay immutable for frozen snapshots. A
+	// replay that cannot line up (psr nil or Finish rejecting) falls back
+	// to a full rebuild from the spliced blocks.
+	var psr *pathsum.RegionRewrite
+	if s.paths != nil {
+		psr, _ = s.paths.BeginRewrite(i, j)
+	}
+
 	// Lay out new blocks.
 	var newDir []PageInfo
 	var newSums []PageSummary
@@ -146,6 +156,9 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 	flush := func() error {
 		if len(blockEntries) == 0 {
 			return nil
+		}
+		if psr != nil {
+			psr.EndBlock()
 		}
 		frame, err := s.allocPage()
 		if err != nil {
@@ -208,6 +221,9 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 		} else if level < blockMin {
 			blockMin = level
 		}
+		if psr != nil {
+			psr.Entry(e.Tag, e.CloseCount, code)
+		}
 		blockEntries = append(blockEntries, e)
 		blockBytes += sz
 		level = level + 1 - e.CloseCount
@@ -233,6 +249,18 @@ func (s *Store) rewriteRegion(i, j int, newEntries []Entry, startLevel int, star
 	s.dir = dir
 	s.summaries = sums
 	s.numNodes += delta
+	if s.paths != nil {
+		var spliced *pathsum.Summary
+		ok := false
+		if psr != nil {
+			spliced, ok = psr.Finish()
+		}
+		if ok {
+			s.paths = spliced
+		} else if err := s.RebuildPathSummary(); err != nil {
+			return 0, err
+		}
+	}
 	for _, wb := range warm {
 		s.dec.put(wb.pid, wb.entries)
 	}

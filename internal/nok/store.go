@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"dolxml/internal/obs"
+	"dolxml/internal/pathsum"
 	"dolxml/internal/storage"
 	"dolxml/internal/xmltree"
 )
@@ -82,6 +83,12 @@ type Store struct {
 	// bitmap + depth range), parallel to dir and maintained by the same
 	// paths (Build, RewriteRegion, Open).
 	summaries []PageSummary
+
+	// paths is the global path summary (one node per distinct root-to-tag
+	// label path, with per-block class sets parallel to dir). Installed
+	// summaries are immutable: RewriteRegion replaces the pointer with a
+	// copy-on-write clone, so frozen snapshots share it safely.
+	paths *pathsum.Summary
 
 	// dec is the decoded-block cache: navigation primitives (FIRST-CHILD,
 	// FOLLOWING-SIBLING, access lookup) re-scan whole blocks; caching
@@ -580,6 +587,66 @@ func (s *Store) WalkSubtree(n xmltree.NodeID, visit func(NodeInfo) bool) error {
 // use with skip hints.
 func (s *Store) PageIndexOf(n xmltree.NodeID) int { return s.pageOf(n) }
 
+// Paths returns the store's path summary, or nil if none is installed.
+// The returned summary is immutable.
+func (s *Store) Paths() *pathsum.Summary { return s.paths }
+
+// PathSummaryBytes estimates the in-memory size of the path summary.
+func (s *Store) PathSummaryBytes() int {
+	if s.paths == nil {
+		return 0
+	}
+	return s.paths.Bytes()
+}
+
+// PathSummaryMeta returns the serializable form of the path summary (nil
+// when the store has none) without building a full Meta, whose value-ref
+// list is large — commit paths re-encode just this per seal.
+func (s *Store) PathSummaryMeta() *pathsum.Meta {
+	if s.paths == nil {
+		return nil
+	}
+	return s.paths.ToMeta()
+}
+
+// RebuildPathSummary reconstructs the path summary from the structure
+// blocks. Build and Open install one automatically; this is the recovery
+// path when an incremental rewrite cannot replay cleanly, and the oracle
+// for tests.
+func (s *Store) RebuildPathSummary() error {
+	ps, err := s.scanPathSummary()
+	if err != nil {
+		return err
+	}
+	s.paths = ps
+	return nil
+}
+
+// scanPathSummary decodes every block and builds a fresh path summary.
+func (s *Store) scanPathSummary() (*pathsum.Summary, error) {
+	b := pathsum.NewBuilder()
+	for i := range s.dir {
+		pi := s.dir[i]
+		entries, err := s.blockEntries(context.Background(), i)
+		if err != nil {
+			return nil, err
+		}
+		code := pi.AccessCode
+		for _, e := range entries {
+			if e.HasCode {
+				code = e.Code
+			}
+			b.Entry(e.Tag, e.CloseCount, code)
+		}
+		b.EndBlock()
+	}
+	ps, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("nok: path summary scan: %w", err)
+	}
+	return ps, nil
+}
+
 // CheckConsistency cross-validates the in-memory page directory against
 // the on-disk block contents: contiguous node coverage, entry counts,
 // header depths and change bits, and balanced parenthesis structure. It is
@@ -591,6 +658,7 @@ func (s *Store) CheckConsistency() error {
 	}
 	next := xmltree.NodeID(0)
 	depth := -1
+	psb := pathsum.NewBuilder()
 	for i := range s.dir {
 		pi := s.dir[i]
 		if pi.FirstNode != next {
@@ -615,21 +683,25 @@ func (s *Store) CheckConsistency() error {
 		level := int(pi.StartDepth)
 		min := level
 		change := false
+		code := pi.AccessCode
 		for _, e := range entries {
 			if level < min {
 				min = level
 			}
 			if e.HasCode {
 				change = true
+				code = e.Code
 			}
 			if int(e.Tag) >= len(s.tags) {
 				return fmt.Errorf("nok: block %d references unknown tag %d", i, e.Tag)
 			}
+			psb.Entry(e.Tag, e.CloseCount, code)
 			level = level + 1 - e.CloseCount
 			if level < 0 {
 				return fmt.Errorf("nok: block %d closes below the root", i)
 			}
 		}
+		psb.EndBlock()
 		if int(pi.MinDepth) != min {
 			return fmt.Errorf("nok: block %d MinDepth %d, recomputed %d", i, pi.MinDepth, min)
 		}
@@ -647,6 +719,34 @@ func (s *Store) CheckConsistency() error {
 	}
 	if depth != 0 {
 		return fmt.Errorf("nok: document ends at depth %d, want 0", depth)
+	}
+	if s.paths != nil {
+		rebuilt, err := psb.Finish()
+		if err != nil {
+			return fmt.Errorf("nok: path summary recompute: %w", err)
+		}
+		if err := s.paths.VerifyAgainst(rebuilt); err != nil {
+			return err
+		}
+		// Cross-validate against the per-page summaries: every class the
+		// path summary places in a block must have its tag admitted by
+		// that block's tag bitmap (the two structures describe the same
+		// pages and must agree).
+		for b := 0; b < s.paths.NumBlocks(); b++ {
+			var bad error
+			blk := s.paths.Block(b)
+			blk.ForEach(func(id int32) {
+				if bad != nil {
+					return
+				}
+				if tag := s.paths.NodeAt(id).Tag; !s.summaries[b].MayContainTag(tag) {
+					bad = fmt.Errorf("nok: block %d holds path class %d (tag %d) absent from its page summary", b, id, tag)
+				}
+			})
+			if bad != nil {
+				return bad
+			}
+		}
 	}
 	return nil
 }

@@ -40,6 +40,10 @@ const (
 	// EvCandidateReject records a root candidate rejected from the deny
 	// bitmap alone, before any page was read for it.
 	EvCandidateReject EventKind = "candidate_reject"
+	// EvPathEmpty marks a query proven empty at compile time — the path
+	// summary admits no embedding of the pattern (or every embeddable
+	// class is uniformly denied to the view) — with zero pages pinned.
+	EvPathEmpty EventKind = "path_empty"
 	// EvJoinOpen covers draining a join's left side and building the
 	// joiner.
 	EvJoinOpen EventKind = "join_open"

@@ -45,6 +45,12 @@ type Options struct {
 	// grounds, never because the per-page summaries exclude the pattern's
 	// tags. For ablation experiments; answers are identical either way.
 	DisableSummarySkip bool
+	// DisablePathSummary turns off path-summary routing: unsatisfiable
+	// patterns are then discovered by scanning, candidate postings are not
+	// filtered by path class, dead-page bits lose the path refinement, and
+	// uniform-class access verdicts are checked per node again. For
+	// ablation experiments; answers are identical either way.
+	DisablePathSummary bool
 	// Parallelism bounds the worker pool that fans NoK-subtree candidate
 	// matching out across goroutines. 0 (the zero value) means
 	// runtime.GOMAXPROCS(0); 1 forces fully sequential evaluation.
@@ -93,6 +99,10 @@ type Evaluator struct {
 	store  *nok.Store
 	index  *btree.Tree
 	vindex *btree.ValueTree
+	// masks, when non-nil, memoizes compiled query shapes for the snapshot
+	// identified by seq (see Snapshot.Masks).
+	masks *MaskCache
+	seq   uint64
 }
 
 // NewEvaluator returns an evaluator over the given store and tag index.
@@ -115,11 +125,16 @@ type Snapshot struct {
 	// Values is the optional (tag, value) index over Store; nil disables
 	// value-constraint index lookups.
 	Values *btree.ValueTree
+	// Masks, when non-nil, memoizes compiled query shapes for this
+	// snapshot; Seq is the publishing sequence stamped on cache entries
+	// (every commit bumps it, so stale shapes can never hit).
+	Masks *MaskCache
+	Seq   uint64
 }
 
 // NewEvaluatorAt returns an evaluator bound to one immutable snapshot.
 func NewEvaluatorAt(sn Snapshot) *Evaluator {
-	return &Evaluator{store: sn.Store, index: sn.Index, vindex: sn.Values}
+	return &Evaluator{store: sn.Store, index: sn.Index, vindex: sn.Values, masks: sn.Masks, seq: sn.Seq}
 }
 
 // WithValueIndex attaches a (tag, value) index consulted when a NoK
@@ -176,6 +191,12 @@ type Answers struct {
 	matches *int
 	skips   *skipMask
 	trace   *obs.Trace
+	// pathEmpty records that path routing proved the query empty before
+	// any page was pinned; pathClasses counts access verdicts resolved at
+	// the path-class level, pathCands counts candidates it rejected.
+	pathEmpty   bool
+	pathClasses int64
+	pathCands   int64
 }
 
 // Open builds the cursor pipeline for the pattern tree without draining
@@ -198,32 +219,6 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 	if opts.View != nil {
 		checker = opts.View
 	}
-	// Compile the query's fused skip mask once: the view's page-deny bitmap
-	// (unless access skipping is ablated) plus, per pattern node, the pages
-	// whose structural summaries exclude every tag its child scans look for.
-	accessSkip := opts.View != nil && !opts.DisablePageSkip
-	structSkip := !opts.DisableSummarySkip
-	var sm *skipMask
-	if accessSkip || structSkip {
-		endCompile := opts.Trace.Span(obs.EvCompile)
-		sm = compileSkipMask(ev.store, t, opts.View, accessSkip, structSkip)
-		sm.trace = opts.Trace
-		endCompile()
-	}
-	m := &matcher{
-		store:    ev.store,
-		values:   ev.store.Values(),
-		checker:  checker,
-		pageSkip: !opts.DisablePageSkip,
-		tracked:  tracked,
-		masks:    sm,
-		trace:    opts.Trace,
-	}
-	// Freeze the matcher's derived state so match producers can share it
-	// across workers.
-	m.prepare(subs)
-	workers := opts.workers()
-
 	retSlot := -1
 	for i := range subs {
 		if s := ev.slotOfNode(subs, i, ret); s >= 0 {
@@ -235,11 +230,72 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 		return nil, fmt.Errorf("query: returning node not tracked")
 	}
 
+	// Compile the query's fused skip mask once: the view's page-deny bitmap
+	// (unless access skipping is ablated) plus the view-independent shape —
+	// per-page tag/depth bits and, when path routing is on, the path
+	// summary's class placement. The shape is memoized per (pattern,
+	// snapshot) when the evaluator carries a MaskCache.
+	accessSkip := opts.View != nil && !opts.DisablePageSkip
+	structSkip := !opts.DisableSummarySkip
+	pathOn := !opts.DisablePathSummary && ev.store.Paths() != nil
+	var (
+		sm    *skipMask
+		shape *compiledShape
+		route *pathRoute
+	)
+	if accessSkip || structSkip || pathOn {
+		endCompile := opts.Trace.Span(obs.EvCompile)
+		if structSkip || pathOn {
+			shape = ev.shapeFor(t, subs, structSkip, pathOn)
+		}
+		if shape != nil && shape.emptyStruct {
+			// The pattern has no embedding in the path summary: no document
+			// node can match it. Return before any candidate lookup — an
+			// anchored top subtree's candidate would otherwise pin pages.
+			endCompile()
+			opts.Trace.Mark(obs.EvPathEmpty)
+			return emptyAnswers(opts, retSlot), nil
+		}
+		route = resolvePathAccess(ev.store, t, subs, shape, opts.View)
+		if route != nil && route.emptyAccess {
+			// Every class some pattern node can bind is uniformly denied to
+			// this view: no accessible answer exists.
+			endCompile()
+			opts.Trace.Mark(obs.EvPathEmpty)
+			a := emptyAnswers(opts, retSlot)
+			a.pathClasses = route.preResolved
+			return a, nil
+		}
+		sm = fuseMask(ev.store, t, shape, opts.View, accessSkip)
+		if sm != nil {
+			sm.trace = opts.Trace
+		}
+		endCompile()
+	}
+	m := &matcher{
+		store:    ev.store,
+		values:   ev.store.Values(),
+		checker:  checker,
+		pageSkip: !opts.DisablePageSkip,
+		tracked:  tracked,
+		masks:    sm,
+		trace:    opts.Trace,
+	}
+	if route != nil {
+		m.preAllow = route.preAllow
+		m.preAllowRoot = route.preAllowRoot
+	}
+	// Freeze the matcher's derived state so match producers can share it
+	// across workers.
+	m.prepare(subs)
+	workers := opts.workers()
+
 	// Assemble the operator tree bottom-up: per-subtree match producers,
 	// the pruned-subtree root-path filter on the top subtree, one
 	// structural-join operator per cut edge, then dedup and limit.
 	pctx, cancel := context.WithCancel(ctx)
 	var cur Cursor
+	var pathCands int64
 	for i := range subs {
 		cands, err := ev.candidates(pctx, t, subs[i], i == 0)
 		if err != nil {
@@ -248,6 +304,21 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 				cur.Close()
 			}
 			return nil, err
+		}
+		// Route candidates through the path summary: a posting whose block
+		// holds no class this subtree root can bind cannot contribute an
+		// answer, so it is rejected before any page is read for it.
+		if shape != nil && shape.candKeep != nil && shape.candKeep[i] != nil {
+			kept := make([]btree.Posting, 0, len(cands))
+			for _, c := range cands {
+				if hasBit(shape.candKeep[i], ev.store.PageIndexOf(c.Node)) {
+					kept = append(kept, c)
+					continue
+				}
+				pathCands++
+				opts.Trace.CandidateReject(int64(c.Node), sm.pageIDOf(ev.store.PageIndexOf(c.Node)))
+			}
+			cands = kept
 		}
 		rc := newMatchCursor(pctx, ev, m, subs, i, cands, workers)
 		if i == 0 {
@@ -272,13 +343,46 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 	if opts.Limit > 0 {
 		top = &limitCursor{in: dd, remaining: opts.Limit}
 	}
+	a := &Answers{
+		p:         &pipeline{Cursor: top, cancel: cancel},
+		retSlot:   retSlot,
+		matches:   &dd.matches,
+		skips:     sm,
+		trace:     opts.Trace,
+		pathCands: pathCands,
+	}
+	if route != nil {
+		a.pathClasses = route.preResolved
+	}
+	return a, nil
+}
+
+// shapeFor compiles (or recalls) the query's view-independent shape.
+func (ev *Evaluator) shapeFor(t *PatternTree, subs []NoKSubtree, structSkip, pathOn bool) *compiledShape {
+	build := func() *compiledShape { return compileShape(ev.store, t, subs, structSkip, pathOn) }
+	if ev.masks == nil {
+		return build()
+	}
+	key := maskKey{pattern: t.String(), structSkip: structSkip, pathOn: pathOn}
+	return ev.masks.shapeFor(key, ev.seq, build)
+}
+
+// emptyCursor is the pipeline of a query proven empty at compile time.
+type emptyCursor struct{}
+
+func (emptyCursor) Next(ctx context.Context) (Tuple, error) { return nil, nil }
+func (emptyCursor) Close() error                            { return nil }
+
+// emptyAnswers builds the Answers of a query proven empty before any page
+// was pinned.
+func emptyAnswers(opts Options, retSlot int) *Answers {
 	return &Answers{
-		p:       &pipeline{Cursor: top, cancel: cancel},
-		retSlot: retSlot,
-		matches: &dd.matches,
-		skips:   sm,
-		trace:   opts.Trace,
-	}, nil
+		p:         &pipeline{Cursor: emptyCursor{}, cancel: func() {}},
+		retSlot:   retSlot,
+		matches:   new(int),
+		trace:     opts.Trace,
+		pathEmpty: true,
+	}
 }
 
 // Next returns the next distinct answer; ok is false once the stream is
@@ -298,8 +402,17 @@ func (a *Answers) Next(ctx context.Context) (n xmltree.NodeID, ok bool, err erro
 func (a *Answers) Matches() int { return *a.matches }
 
 // SkipStats snapshots how many page reads the query's fused skip mask has
-// avoided so far, by cause. Zero when skipping was disabled.
-func (a *Answers) SkipStats() SkipStats { return a.skips.stats() }
+// avoided so far, by cause, plus the path-routing outcomes fixed at Open.
+// Zero when skipping was disabled.
+func (a *Answers) SkipStats() SkipStats {
+	s := a.skips.stats()
+	s.PathCandidates = a.pathCands
+	s.PathClasses = a.pathClasses
+	if a.pathEmpty {
+		s.PathEmpty = 1
+	}
+	return s
+}
 
 // Close stops the pipeline's producers, waits for them to exit, and
 // releases every buffer-pool pin they held. Idempotent.

@@ -71,6 +71,14 @@ type matcher struct {
 	// skip state its child scans consult. Filled by prepare; read-only
 	// afterwards.
 	scanSkip map[*PatternNode]*nodeSkip
+	// preAllow, indexed by PatternNode.id, marks pattern nodes whose child
+	// scans need no per-node access checks: every path class the scan can
+	// accept is uniformly allowed to the view. preAllowRoot is the same
+	// verdict for subtree-root candidates. Both nil when path routing is
+	// off. (A pre-allowed scan may admit off-path nodes; those produce
+	// only join-doomed matches, so answers are unchanged.)
+	preAllow     []bool
+	preAllowRoot []bool
 	// trace, when non-nil, receives candidate-reject and merge-chunk
 	// events (page pins and skips are recorded elsewhere).
 	trace *obs.Trace
@@ -89,6 +97,17 @@ type nodeSkip struct {
 // masked is the count-free probe of the fused bitmap.
 func (ns *nodeSkip) masked(i int) bool {
 	return i >= 0 && i>>6 < len(ns.bits) && ns.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// scanPreAllowed reports that p's child scans carry a pre-resolved allow
+// verdict for every acceptable path class.
+func (m *matcher) scanPreAllowed(p *PatternNode) bool {
+	return m.preAllow != nil && p.id < len(m.preAllow) && m.preAllow[p.id]
+}
+
+// rootPreAllowed is the candidate-root counterpart of scanPreAllowed.
+func (m *matcher) rootPreAllowed(root *PatternNode) bool {
+	return m.preAllowRoot != nil && root.id < len(m.preAllowRoot) && m.preAllowRoot[root.id]
 }
 
 // prepare precomputes every lazily derived field for the given
@@ -339,7 +358,9 @@ func (m *matcher) npmStream(ctx context.Context, proot *PatternNode, u binding, 
 			return false, false, err
 		}
 		accessible := true
-		if m.checker != nil {
+		// When path routing proved every class this scan can accept
+		// uniformly allowed, the per-node check is redundant and skipped.
+		if m.checker != nil && !m.scanPreAllowed(proot) {
 			accessible, err = m.checker.AccessibleCtx(ctx, v)
 			if err != nil {
 				return false, false, err
@@ -445,7 +466,7 @@ func (m *matcher) matchCandidate(ctx context.Context, sub NoKSubtree, c btree.Po
 			return false, nil
 		}
 	}
-	if m.checker != nil {
+	if m.checker != nil && !m.rootPreAllowed(sub.Root) {
 		ok, err := m.checker.AccessibleCtx(ctx, c.Node)
 		if err != nil {
 			return false, err

@@ -62,6 +62,9 @@ func TestSummarySkipReducesPages(t *testing.T) {
 	} {
 		off := cfg.opts
 		off.DisableSummarySkip = true
+		// Path routing skips the same junk blocks by class; disable it too
+		// so the comparison isolates the per-page summaries.
+		off.DisablePathSummary = true
 		resOff, pagesOff := e.coldPages(t, pt, off)
 		resOn, pagesOn := e.coldPages(t, pt, cfg.opts)
 		if len(resOn.Nodes) != 2 {

@@ -1,0 +1,393 @@
+package query
+
+import (
+	"math/bits"
+
+	"dolxml/internal/dol"
+	"dolxml/internal/nok"
+	"dolxml/internal/pathsum"
+)
+
+// compiledShape is the view-independent half of a query's compiled skip
+// state: everything derivable from the pattern tree and the store's
+// structural metadata alone (per-page summaries, depth bounds, path
+// summary). Shapes depend only on (pattern string, ablation flags,
+// snapshot), so the facade memoizes them per snapshot sequence in a
+// MaskCache; per-node slices are indexed by PatternNode.id, which is
+// stable across reparses of the same pattern string.
+type compiledShape struct {
+	// words sizes the page bitmaps.
+	words int
+	// emptyStruct is set when the path summary admits no embedding of the
+	// pattern: the query has no answers under any view or semantics.
+	emptyStruct bool
+	// global holds query-wide struct dead-page bits (depth bound), nil
+	// when none apply.
+	global []uint64
+	// perNode holds, by pattern node id, the struct dead-page bits its
+	// child scans may skip (per-page tag summaries fused with path-class
+	// placement); nil entries mean no refinement beyond global.
+	perNode [][]uint64
+	// pathOn records whether path-summary routing contributed; down and
+	// matched are then the per-pattern-node class sets.
+	pathOn bool
+	// down[p.id] is the set of path classes reachable for p walking the
+	// pattern top-down; matched[p.id] additionally requires the whole
+	// pattern fragment below p to embed in the summary (matched ⊆ down).
+	down    [][]uint64
+	matched [][]uint64
+	// candKeep[i], when non-nil, is the bitmap of blocks that hold at
+	// least one class subtree i's root can bind: index postings on other
+	// blocks cannot contribute and are rejected before any I/O.
+	candKeep [][]uint64
+}
+
+// compileShape builds the view-independent skip state. structSkip gates
+// the per-page tag/depth bits, pathOn the path-summary routing; both do
+// in-memory work only.
+func compileShape(st *nok.Store, t *PatternTree, subs []NoKSubtree, structSkip, pathOn bool) *compiledShape {
+	n := st.NumPages()
+	sh := &compiledShape{words: (n + 63) / 64, perNode: make([][]uint64, t.Len())}
+
+	if structSkip {
+		// Depth bound: a pattern reachable only through child axes from
+		// the document root cannot bind nodes deeper than its deepest
+		// pattern node, so blocks living entirely below that depth are
+		// dead to the query.
+		if maxD, ok := boundedDepth(t); ok {
+			dir := st.Directory()
+			g := make([]uint64, sh.words)
+			for i := 0; i < n; i++ {
+				if int(dir[i].MinDepth) > maxD {
+					g[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+			sh.global = g
+		}
+		// Per-pattern-node refinement: for each node with child-axis
+		// pattern children, the pages whose summaries exclude every tag
+		// those children could match. A wildcard child matches any tag,
+		// so its parent gets no refinement.
+		sums := st.Summaries()
+		var walk func(p *PatternNode)
+		walk = func(p *PatternNode) {
+			for _, c := range p.Children {
+				walk(c)
+			}
+			kids := nokChildren(p)
+			if len(kids) == 0 {
+				return
+			}
+			codes := make([]int32, 0, len(kids))
+			for _, c := range kids {
+				if c.Tag == "*" {
+					return
+				}
+				if code, ok := st.LookupTag(c.Tag); ok {
+					codes = append(codes, code)
+				}
+				// A tag absent from the dictionary matches nowhere and
+				// cannot keep any page alive.
+			}
+			bitsOut := make([]uint64, sh.words)
+			for i := 0; i < n; i++ {
+				mayMatch := false
+				for _, code := range codes {
+					if sums[i].MayContainTag(code) {
+						mayMatch = true
+						break
+					}
+				}
+				if !mayMatch {
+					bitsOut[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+			sh.perNode[p.id] = bitsOut
+		}
+		walk(t.Root)
+	}
+	if pathOn {
+		compilePathShape(st, t, subs, sh)
+	}
+	return sh
+}
+
+// compilePathShape embeds the pattern tree into the path summary: a
+// top-down pass computes each pattern node's reachable class set, a
+// bottom-up pass prunes classes under which the remaining fragment cannot
+// embed. An empty set anywhere proves the query unsatisfiable before any
+// I/O; otherwise the matched classes' block placement refines the dead-
+// page bits and routes candidate postings.
+func compilePathShape(st *nok.Store, t *PatternTree, subs []NoKSubtree, sh *compiledShape) {
+	sum := st.Paths()
+	if sum == nil {
+		return
+	}
+	sh.pathOn = true
+	nc := sum.NumNodes()
+	cw := (nc + 63) / 64
+	if cw == 0 {
+		cw = 1
+	}
+
+	tagClasses := func(tag string) []uint64 {
+		out := make([]uint64, cw)
+		if tag == "*" {
+			for id := 0; id < nc; id++ {
+				out[id>>6] |= 1 << (uint(id) & 63)
+			}
+			return out
+		}
+		code, ok := st.LookupTag(tag)
+		if !ok {
+			return out
+		}
+		for id := int32(0); int(id) < nc; id++ {
+			if sum.NodeAt(id).Tag == code {
+				out[id>>6] |= 1 << (uint(id) & 63)
+			}
+		}
+		return out
+	}
+
+	down := make([][]uint64, t.Len())
+	if t.Root.Axis == AxisChild {
+		out := make([]uint64, cw)
+		forEachSet(tagClasses(t.Root.Tag), func(id int32) {
+			if sum.NodeAt(id).Depth == 0 {
+				out[id>>6] |= 1 << (uint(id) & 63)
+			}
+		})
+		down[t.Root.id] = out
+	} else {
+		down[t.Root.id] = tagClasses(t.Root.Tag)
+	}
+	var downWalk func(p *PatternNode)
+	downWalk = func(p *PatternNode) {
+		for _, c := range p.Children {
+			tc := tagClasses(c.Tag)
+			out := make([]uint64, cw)
+			if c.Axis == AxisChild {
+				forEachSet(down[p.id], func(u int32) {
+					for _, k := range sum.ChildrenOf(u) {
+						if tc[k>>6]&(1<<(uint(k)&63)) != 0 {
+							out[k>>6] |= 1 << (uint(k) & 63)
+						}
+					}
+				})
+			} else {
+				// Proper-descendant closure of down[p], then tag filter.
+				desc := make([]uint64, cw)
+				var frontier []int32
+				forEachSet(down[p.id], func(u int32) { frontier = append(frontier, u) })
+				for len(frontier) > 0 {
+					u := frontier[len(frontier)-1]
+					frontier = frontier[:len(frontier)-1]
+					for _, k := range sum.ChildrenOf(u) {
+						w, b := k>>6, uint64(1)<<(uint(k)&63)
+						if desc[w]&b == 0 {
+							desc[w] |= b
+							frontier = append(frontier, k)
+						}
+					}
+				}
+				for i := range out {
+					out[i] = desc[i] & tc[i]
+				}
+			}
+			down[c.id] = out
+			downWalk(c)
+		}
+	}
+	downWalk(t.Root)
+
+	matched := make([][]uint64, t.Len())
+	empty := false
+	var upWalk func(p *PatternNode)
+	upWalk = func(p *PatternNode) {
+		for _, c := range p.Children {
+			upWalk(c)
+		}
+		m := append([]uint64(nil), down[p.id]...)
+		for _, c := range p.Children {
+			req := make([]uint64, cw)
+			if c.Axis == AxisChild {
+				forEachSet(matched[c.id], func(d int32) {
+					if par := sum.NodeAt(d).Parent; par >= 0 {
+						req[par>>6] |= 1 << (uint(par) & 63)
+					}
+				})
+			} else {
+				forEachSet(matched[c.id], func(d int32) {
+					for a := sum.NodeAt(d).Parent; a >= 0; a = sum.NodeAt(a).Parent {
+						w, b := a>>6, uint64(1)<<(uint(a)&63)
+						if req[w]&b != 0 {
+							break // this chain is already marked upward
+						}
+						req[w] |= b
+					}
+				})
+			}
+			for i := range m {
+				m[i] &= req[i]
+			}
+		}
+		matched[p.id] = m
+		if isEmptySet(m) {
+			empty = true
+		}
+	}
+	upWalk(t.Root)
+	sh.down, sh.matched = down, matched
+	if empty {
+		sh.emptyStruct = true
+		return
+	}
+
+	n := st.NumPages()
+	for _, p := range t.nodes {
+		kids := nokChildren(p)
+		if len(kids) == 0 {
+			continue
+		}
+		keep := make([]uint64, cw)
+		for _, q := range kids {
+			for i, w := range matched[q.id] {
+				keep[i] |= w
+			}
+		}
+		alive := sum.PageBits(keep)
+		dead := sh.perNode[p.id]
+		if dead == nil {
+			dead = make([]uint64, sh.words)
+			sh.perNode[p.id] = dead
+		}
+		for i := 0; i < n; i++ {
+			if !hasBit(alive, i) {
+				dead[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	sh.candKeep = make([][]uint64, len(subs))
+	for i := range subs {
+		if i == 0 && t.Root.Axis == AxisChild {
+			continue // the document root needs no routing
+		}
+		sh.candKeep[i] = sum.PageBits(matched[subs[i].Root.id])
+	}
+}
+
+// pathRoute is the view-dependent half of path routing: access verdicts
+// stamped on the summary's path classes for one SubjectView. Resolved per
+// query (it is as cheap as a handful of memoized codebook probes), on top
+// of a memoized shape.
+type pathRoute struct {
+	// emptyAccess is set when every class some pattern node can bind is
+	// uniformly denied: the query has no accessible answers.
+	emptyAccess bool
+	// preAllow[p.id] means every class a child scan of p can accept is
+	// uniformly allowed — the per-child access checks are skipped.
+	preAllow []bool
+	// preAllowRoot[root.id] means every on-path class of a subtree root
+	// is uniformly allowed — the per-candidate root check is skipped.
+	// (Off-path candidates admitted this way produce only join-doomed
+	// matches, so answers are unchanged.)
+	preAllowRoot []bool
+	// preResolved counts the distinct path classes whose verdict was
+	// pre-resolved from a uniform code.
+	preResolved int64
+}
+
+// resolvePathAccess stamps the view's allow/deny verdicts onto the
+// shape's class sets. Returns nil when path routing is off or no view is
+// set.
+func resolvePathAccess(st *nok.Store, t *PatternTree, subs []NoKSubtree, sh *compiledShape, view *dol.SubjectView) *pathRoute {
+	sum := st.Paths()
+	if sum == nil || sh == nil || !sh.pathOn || sh.emptyStruct || view == nil {
+		return nil
+	}
+	r := &pathRoute{
+		preAllow:     make([]bool, t.Len()),
+		preAllowRoot: make([]bool, t.Len()),
+	}
+	const (
+		vAllow = 1
+		vDeny  = 2
+		vMixed = 3
+	)
+	state := make([]uint8, sum.NumNodes())
+	verdict := func(id int32) uint8 {
+		if s := state[id]; s != 0 {
+			return s
+		}
+		v := uint8(vMixed)
+		if n := sum.NodeAt(id); n.Mode == pathsum.CodeUniform {
+			r.preResolved++
+			if view.CodeAllowed(n.Code) {
+				v = vAllow
+			} else {
+				v = vDeny
+			}
+		}
+		state[id] = v
+		return v
+	}
+	all := func(set []uint64, want uint8) bool {
+		ok := true
+		forEachSet(set, func(id int32) {
+			if verdict(id) != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	for _, p := range t.nodes {
+		// Every binding of p must be accessible (scans and candidate
+		// checks enforce it); all bindable classes uniformly denied means
+		// no answer can exist.
+		if all(sh.matched[p.id], vDeny) {
+			r.emptyAccess = true
+			return r
+		}
+	}
+	for _, p := range t.nodes {
+		kids := nokChildren(p)
+		if len(kids) == 0 {
+			continue
+		}
+		u := make([]uint64, len(sh.down[kids[0].id]))
+		for _, q := range kids {
+			for i, w := range sh.down[q.id] {
+				u[i] |= w
+			}
+		}
+		r.preAllow[p.id] = all(u, vAllow)
+	}
+	for i := range subs {
+		r.preAllowRoot[subs[i].Root.id] = all(sh.down[subs[i].Root.id], vAllow)
+	}
+	return r
+}
+
+func forEachSet(w []uint64, fn func(id int32)) {
+	for i, word := range w {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(int32(i*64 + b))
+			word &^= 1 << uint(b)
+		}
+	}
+}
+
+func isEmptySet(w []uint64) bool {
+	for _, word := range w {
+		if word != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hasBit(w []uint64, i int) bool {
+	return i >= 0 && i>>6 < len(w) && w[i>>6]&(1<<(uint(i)&63)) != 0
+}

@@ -21,6 +21,15 @@ type SkipStats struct {
 	// Candidates counts root candidates rejected by the page-deny bitmap
 	// alone, before any page was read for them.
 	Candidates int64
+	// PathCandidates counts root candidates rejected because the path
+	// summary proves their block holds no class the subtree root can bind.
+	PathCandidates int64
+	// PathClasses counts path classes whose access verdict the query
+	// resolved once from a uniform code instead of per candidate node.
+	PathClasses int64
+	// PathEmpty is 1 when the path summary (or the view's verdicts over
+	// it) proved the query empty before any page was pinned.
+	PathEmpty int64
 }
 
 // skipMask is one query's compiled page-skip state: the subject view's
@@ -129,13 +138,28 @@ func (sm *skipMask) scanSkipFn(p *PatternNode) func(int) bool {
 	}
 }
 
-// compileSkipMask intersects the query's shape with the store's per-page
-// summaries (and the view's page-deny bitmap) once, before evaluation.
-// accessSkip gates the §3.3 access-based bits, structSkip the summary-based
-// bits; with both off it returns nil and scans run unassisted.
-func compileSkipMask(st *nok.Store, t *PatternTree, view *dol.SubjectView, accessSkip, structSkip bool) *skipMask {
+// fuseMask combines the query's view-independent shape (depth bound,
+// per-page tag summaries, path-class placement — see compileShape) with
+// the view's page-deny bitmap into the mask evaluation consults.
+// accessSkip gates the §3.3 access-based bits; with it off and an empty
+// shape it returns nil and scans run unassisted. Compilation touches only
+// in-memory state and performs no page I/O.
+func fuseMask(st *nok.Store, t *PatternTree, shape *compiledShape, view *dol.SubjectView, accessSkip bool) *skipMask {
 	accessSkip = accessSkip && view != nil
-	if !accessSkip && !structSkip {
+	hasShape := false
+	if shape != nil {
+		if shape.global != nil {
+			hasShape = true
+		} else {
+			for _, b := range shape.perNode {
+				if b != nil {
+					hasShape = true
+					break
+				}
+			}
+		}
+	}
+	if !accessSkip && !hasShape {
 		return nil
 	}
 	n := st.NumPages()
@@ -145,7 +169,7 @@ func compileSkipMask(st *nok.Store, t *PatternTree, view *dol.SubjectView, acces
 	if accessSkip {
 		sm.access = view.PageDenyBits()
 	}
-	if !structSkip {
+	if !hasShape {
 		// Access-only mask: the fused global mask is the deny bitmap and no
 		// per-node refinement exists.
 		sm.global = sm.access
@@ -154,66 +178,25 @@ func compileSkipMask(st *nok.Store, t *PatternTree, view *dol.SubjectView, acces
 
 	global := make([]uint64, words)
 	copy(global, sm.access) // nil access copies nothing
-	// Depth bound: a pattern reachable only through child axes from the
-	// document root cannot bind nodes deeper than its deepest pattern node,
-	// so blocks living entirely below that depth are dead to the query.
-	// (Sibling scans at shallower target levels already skip such blocks
-	// via the directory; the bit keeps the fused mask complete for any
-	// consumer.)
-	if maxD, ok := boundedDepth(t); ok {
-		dir := st.Directory()
-		for i := 0; i < n; i++ {
-			if int(dir[i].MinDepth) > maxD {
-				global[i>>6] |= 1 << (uint(i) & 63)
-			}
+	if shape.global != nil {
+		for i := range global {
+			global[i] |= shape.global[i]
 		}
 	}
 	sm.global = global
-
-	// Per-pattern-node refinement: for each node with child-axis pattern
-	// children, mark the pages whose summaries exclude every tag those
-	// children could match. A wildcard child matches any tag, so its parent
-	// gets no structural refinement.
 	sm.perNode = make(map[*PatternNode][]uint64)
-	sums := st.Summaries()
-	var walk func(p *PatternNode)
-	walk = func(p *PatternNode) {
-		for _, c := range p.Children {
-			walk(c)
-		}
-		kids := nokChildren(p)
-		if len(kids) == 0 {
-			return
-		}
-		codes := make([]int32, 0, len(kids))
-		for _, c := range kids {
-			if c.Tag == "*" {
-				sm.perNode[p] = global
-				return
-			}
-			if code, ok := st.LookupTag(c.Tag); ok {
-				codes = append(codes, code)
-			}
-			// A tag absent from the dictionary matches nowhere and cannot
-			// keep any page alive.
+	for _, p := range t.nodes {
+		sb := shape.perNode[p.id]
+		if sb == nil {
+			continue
 		}
 		bits := make([]uint64, words)
 		copy(bits, global)
-		for i := 0; i < n; i++ {
-			mayMatch := false
-			for _, code := range codes {
-				if sums[i].MayContainTag(code) {
-					mayMatch = true
-					break
-				}
-			}
-			if !mayMatch {
-				bits[i>>6] |= 1 << (uint(i) & 63)
-			}
+		for i := range bits {
+			bits[i] |= sb[i]
 		}
 		sm.perNode[p] = bits
 	}
-	walk(t.Root)
 	return sm
 }
 

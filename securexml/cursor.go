@@ -30,6 +30,12 @@ type QueryOptions struct {
 	// per-page summary half of the fused skip mask), for ablation. Answers
 	// are identical either way; only the pages read differ.
 	DisableSummarySkip bool
+	// DisablePathSummary turns off path-summary routing: compile-time
+	// empty-query detection, path-class candidate filtering, the path
+	// refinement of the dead-page bits, and pre-resolved access verdicts
+	// on uniform path classes. For ablation; answers are identical either
+	// way, only the pages read and access checks performed differ.
+	DisablePathSummary bool
 	// Trace, when set, receives the query's timestamped event log: every
 	// span, page pin, page skip (with cause), candidate rejection, join
 	// probe and emitted answer. Tracing is off (zero cost beyond nil
@@ -83,6 +89,7 @@ func (s *Store) QueryCursor(ctx context.Context, user, mode, xpath string, opts 
 		Limit:              opts.Limit,
 		Parallelism:        opts.Parallelism,
 		DisableSummarySkip: opts.DisableSummarySkip,
+		DisablePathSummary: opts.DisablePathSummary,
 		Trace:              opts.Trace.inner(),
 	}
 	tr, finish := s.startQuery(&qo)
@@ -149,9 +156,12 @@ func (c *QueryCursor) Matches() int { return c.a.Matches() }
 func (c *QueryCursor) SkipStats() SkipStats {
 	sk := c.a.SkipStats()
 	return SkipStats{
-		AccessPages: sk.AccessPages,
-		StructPages: sk.StructPages,
-		Candidates:  sk.Candidates,
+		AccessPages:    sk.AccessPages,
+		StructPages:    sk.StructPages,
+		Candidates:     sk.Candidates,
+		PathCandidates: sk.PathCandidates,
+		PathClasses:    sk.PathClasses,
+		PathEmpty:      sk.PathEmpty,
 	}
 }
 

@@ -92,7 +92,28 @@ func (s *Store) initObs() error {
 	s.skipAccess = s.reg.Counter("query_pages_skipped_access")
 	s.skipStruct = s.reg.Counter("query_pages_skipped_struct")
 	s.candRejects = s.reg.Counter("query_candidates_rejected")
+	s.pathRejects = s.reg.Counter("query_candidates_rejected_path")
+	s.pathEmpties = s.reg.Counter("query_path_empty_total")
+	s.pathClasses = s.reg.Counter("query_path_classes_preresolved")
 	s.queryLatency = s.reg.Histogram("query_latency_us")
+	// The mask-compilation counters predate the registry (the first
+	// snapshot's MaskCache captures them in initSnapshot); register the
+	// existing counters rather than minting fresh ones.
+	if err := s.reg.RegisterCounter("skipmask_compile_hits", s.maskHits); err != nil {
+		return err
+	}
+	if err := s.reg.RegisterCounter("skipmask_compile_misses", s.maskMisses); err != nil {
+		return err
+	}
+	if err := s.reg.RegisterGauge("path_summary_bytes", func() int64 {
+		sn := s.cur.Load()
+		if sn == nil {
+			return 0
+		}
+		return int64(sn.st.PathSummaryBytes())
+	}); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -103,6 +124,9 @@ func (s *Store) recordSkips(sk query.SkipStats) {
 	s.skipAccess.Add(sk.AccessPages)
 	s.skipStruct.Add(sk.StructPages)
 	s.candRejects.Add(sk.Candidates)
+	s.pathRejects.Add(sk.PathCandidates)
+	s.pathEmpties.Add(sk.PathEmpty)
+	s.pathClasses.Add(sk.PathClasses)
 }
 
 // startQuery prepares one query's observability state: it resolves the

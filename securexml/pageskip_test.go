@@ -104,7 +104,9 @@ func TestCursorSkipStatsAndDisable(t *testing.T) {
 	}
 
 	on, skOn := drain(QueryOptions{})
-	off, skOff := drain(QueryOptions{DisableSummarySkip: true})
+	// Path routing off too, so the off arm isolates the per-page summaries
+	// (path-dead bits land in StructPages as well).
+	off, skOff := drain(QueryOptions{DisableSummarySkip: true, DisablePathSummary: true})
 	if len(on) != 500 || len(off) != 500 {
 		t.Fatalf("books: %d with summaries, %d without, want 500", len(on), len(off))
 	}

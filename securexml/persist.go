@@ -12,6 +12,7 @@ import (
 	"dolxml/internal/acl"
 	"dolxml/internal/dol"
 	"dolxml/internal/nok"
+	"dolxml/internal/obs"
 	"dolxml/internal/storage"
 )
 
@@ -181,6 +182,16 @@ func (s *Store) marshalMeta() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The path summary is re-encoded per commit like the page-ID list: ACL
+	// rewrites can degrade class code modes and structural updates change
+	// the class sets, and the summary is small (one node per distinct
+	// label path plus per-block bitsets).
+	var psum []byte
+	if pm := st.PathSummaryMeta(); pm != nil {
+		if psum, err = json.Marshal(pm); err != nil {
+			return nil, err
+		}
+	}
 	cb, err := s.ss.Codebook().MarshalBinary()
 	if err != nil {
 		return nil, err
@@ -193,6 +204,10 @@ func (s *Store) marshalMeta() ([]byte, error) {
 	buf.Write(s.metaNokHead[:len(s.metaNokHead)-1])
 	buf.WriteString(`,"structure_pages":`)
 	buf.Write(pages)
+	if psum != nil {
+		buf.WriteString(`,"path_summary":`)
+		buf.Write(psum)
+	}
 	if s.metaVals != nil {
 		buf.WriteString(`,"value_refs":`)
 		buf.Write(s.metaVals)
@@ -372,15 +387,17 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 		modeIdx[m] = i
 	}
 	s := &Store{
-		opts:     opts,
-		pool:     pool,
-		ss:       dol.OpenSecureStore(st, cb),
-		dir:      d,
-		modes:    ps.Modes,
-		modeIdx:  modeIdx,
-		sink:     sink,
-		recovery: info,
-		wp:       wal,
+		opts:       opts,
+		pool:       pool,
+		ss:         dol.OpenSecureStore(st, cb),
+		dir:        d,
+		modes:      ps.Modes,
+		modeIdx:    modeIdx,
+		sink:       sink,
+		recovery:   info,
+		wp:         wal,
+		maskHits:   obs.NewCounter(),
+		maskMisses: obs.NewCounter(),
 	}
 	s.initSnapshot()
 	if err := s.initObs(); err != nil {

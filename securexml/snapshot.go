@@ -43,9 +43,17 @@ type indexState struct {
 	err      error
 	index    *btree.Tree
 	vindex   *btree.ValueTree
+	// masks memoizes compiled query shapes (skip masks + path routing)
+	// across the snapshots sharing this index state. Entries are stamped
+	// with the publishing sequence and hit only on an exact match, so an
+	// ACL-only commit (which shares the indexState but shadow-pages the
+	// block directory) still recompiles.
+	masks *query.MaskCache
 }
 
-func newIndexState(pageSize int) *indexState { return &indexState{pageSize: pageSize} }
+func newIndexState(pageSize int, masks *query.MaskCache) *indexState {
+	return &indexState{pageSize: pageSize, masks: masks}
+}
 
 // ensure builds the indexes from st on first use and returns the build
 // outcome (memoized; a failed build fails every query of this snapshot
@@ -208,7 +216,7 @@ func (s *Store) publish(structural bool) {
 	}
 	s.dirShared = true
 	if structural || prev == nil {
-		sn.idx = newIndexState(s.opts.PageSize)
+		sn.idx = newIndexState(s.opts.PageSize, query.NewMaskCache(s.maskHits, s.maskMisses))
 	} else {
 		sn.idx = prev.idx
 	}
@@ -235,7 +243,7 @@ func (s *Store) initSnapshot() {
 		st:  frozen,
 		ss:  s.ss.Freeze(frozen),
 		dir: s.dir,
-		idx: newIndexState(s.opts.PageSize),
+		idx: newIndexState(s.opts.PageSize, query.NewMaskCache(s.maskHits, s.maskMisses)),
 	})
 }
 
@@ -257,6 +265,8 @@ func evaluatorAt(sn *snapshot) *query.Evaluator {
 		Store:  sn.st,
 		Index:  sn.idx.index,
 		Values: sn.idx.vindex,
+		Masks:  sn.idx.masks,
+		Seq:    sn.seq,
 	})
 }
 

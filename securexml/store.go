@@ -172,7 +172,15 @@ type Store struct {
 	skipAccess   *obs.Counter
 	skipStruct   *obs.Counter
 	candRejects  *obs.Counter
+	pathRejects  *obs.Counter
+	pathEmpties  *obs.Counter
+	pathClasses  *obs.Counter
 	queryLatency *obs.Histogram
+	// maskHits/maskMisses count skip-mask (shape) compilations served from
+	// and missed by the per-snapshot MaskCache. They are created before the
+	// first snapshot (whose cache captures them) and registered in initObs.
+	maskHits   *obs.Counter
+	maskMisses *obs.Counter
 	snapPins     *obs.Counter
 	snapUnpins   *obs.Counter
 	snapPinUs    *obs.Histogram
@@ -261,14 +269,16 @@ func (b *Builder) Seal(opts StoreOptions) (*Store, error) {
 	}
 	applyDecodeCacheBudget(ss.Store(), opts.DecodeCacheBytes)
 	s := &Store{
-		opts:    opts,
-		pool:    pool,
-		ss:      ss,
-		dir:     b.dir,
-		modes:   b.modes,
-		modeIdx: b.modeIdx,
-		sink:    sink,
-		wp:      wal,
+		opts:       opts,
+		pool:       pool,
+		ss:         ss,
+		dir:        b.dir,
+		modes:      b.modes,
+		modeIdx:    b.modeIdx,
+		sink:       sink,
+		wp:         wal,
+		maskHits:   obs.NewCounter(),
+		maskMisses: obs.NewCounter(),
 	}
 	s.initSnapshot()
 	if err := s.initObs(); err != nil {
@@ -363,6 +373,7 @@ func (s *Store) run(ctx context.Context, user, mode, xpath string, opts QueryOpt
 		Limit:              opts.Limit,
 		Parallelism:        opts.Parallelism,
 		DisableSummarySkip: opts.DisableSummarySkip,
+		DisablePathSummary: opts.DisablePathSummary,
 		Trace:              opts.Trace.inner(),
 	}
 	tr, finish := s.startQuery(&qo)
@@ -915,7 +926,11 @@ type Stats struct {
 	// SummaryBytes is the in-memory footprint of the per-page structural
 	// summaries driving structure-aware page skipping.
 	SummaryBytes int
-	Pool         storage.PoolStats
+	// PathSummaryBytes is the in-memory footprint of the path summary
+	// (one node per distinct root-to-tag path plus per-block class sets)
+	// driving path routing.
+	PathSummaryBytes int
+	Pool             storage.PoolStats
 	IO           storage.IOStats
 	// DecodeCache reports the decoded-block cache's counters.
 	DecodeCache CacheStats
@@ -937,10 +952,16 @@ type CacheStats struct {
 // subject (Access), pages skipped because the per-page structural
 // summaries prove them irrelevant to the pattern (Struct), and root
 // candidates rejected from the directory alone (Candidates).
+// PathCandidates counts candidates the path summary rejected before any
+// I/O, PathClasses the access verdicts it resolved at the path-class
+// level, and PathEmpty is 1 when it proved the query empty outright.
 type SkipStats struct {
-	AccessPages int64
-	StructPages int64
-	Candidates  int64
+	AccessPages    int64
+	StructPages    int64
+	Candidates     int64
+	PathCandidates int64
+	PathClasses    int64
+	PathEmpty      int64
 }
 
 // Stats collects the store's current statistics against one pinned
@@ -960,16 +981,17 @@ func (s *Store) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	return Stats{
-		Nodes:           sn.st.NumNodes(),
-		StructurePages:  sn.st.NumPages(),
-		Transitions:     tr,
-		CodebookEntries: sn.ss.Codebook().Len(),
-		CodebookBytes:   sn.ss.Codebook().Bytes(),
-		DirectoryBytes:  sn.st.DirectoryBytes(),
-		SummaryBytes:    sn.st.SummaryBytes(),
-		Pool:            s.pool.Stats(),
-		IO:              s.pool.Pager().Stats(),
-		DecodeCache:     s.DecodeCacheStats(),
+		Nodes:            sn.st.NumNodes(),
+		StructurePages:   sn.st.NumPages(),
+		Transitions:      tr,
+		CodebookEntries:  sn.ss.Codebook().Len(),
+		CodebookBytes:    sn.ss.Codebook().Bytes(),
+		DirectoryBytes:   sn.st.DirectoryBytes(),
+		SummaryBytes:     sn.st.SummaryBytes(),
+		PathSummaryBytes: sn.st.PathSummaryBytes(),
+		Pool:             s.pool.Stats(),
+		IO:               s.pool.Pager().Stats(),
+		DecodeCache:      s.DecodeCacheStats(),
 	}, nil
 }
 
