@@ -12,6 +12,7 @@
 //	dolcli export -store DIR -user NAME -mode read [-o view.xml]
 //	dolcli stats -store DIR
 //	dolcli serve -store DIR -addr 127.0.0.1:9464 [-slow 100ms] [-snapshot-log 1s]
+//	dolcli serve -root TENANTS_DIR [-max-open 16] [-pool-budget 67108864] [-tokens tokens.json] [-rate 50]
 //
 // The policy file is line-oriented:
 //
@@ -38,10 +39,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"dolxml/securexml"
+	"dolxml/securexml/registry"
 )
 
 func main() {
@@ -288,64 +293,136 @@ func runQuery(args []string) error {
 
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	storeDir := fs.String("store", "", "store directory")
+	storeDir := fs.String("store", "", "store directory (single-tenant mode)")
+	root := fs.String("root", "", "tenant root directory (multi-tenant mode: one store per tenant id)")
 	addr := fs.String("addr", "127.0.0.1:9464", "listen address")
 	slow := fs.Duration("slow", 0, "slow-query threshold: queries at least this slow dump their trace to stderr (0 = off)")
 	snapLog := fs.Duration("snapshot-log", 0, "slow-pin threshold: snapshot pins held at least this long are reported to stderr — long pins keep retired page versions alive (0 = off)")
+	maxOpen := fs.Int("max-open", 16, "multi-tenant: max concurrently open stores (LRU beyond)")
+	poolBudget := fs.Int64("pool-budget", 64<<20, "multi-tenant: global buffer-pool byte budget shared across open stores")
+	cacheBudget := fs.Int64("cache-budget", 16<<20, "multi-tenant: global decode-cache byte budget shared across open stores")
+	tokensFile := fs.String("tokens", "", "multi-tenant: JSON file mapping bearer tokens to {\"tenant\",\"subject\",\"admin\"} (omit for open trusted mode)")
+	rate := fs.Float64("rate", 0, "multi-tenant: sustained per-principal queries/sec (token bucket; 0 = unlimited)")
+	burst := fs.Int("burst", 0, "multi-tenant: rate-limit burst depth (default ~rate)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown: in-flight drain deadline after SIGTERM/SIGINT")
 	fs.Parse(args)
-	if *storeDir == "" {
-		return fmt.Errorf("serve requires -store")
+	if (*storeDir == "") == (*root == "") {
+		return fmt.Errorf("serve requires exactly one of -store or -root")
 	}
-	s, err := securexml.Open(*storeDir, securexml.StoreOptions{
-		SlowQueryThreshold: *slow,
-		SlowPinThreshold:   *snapLog,
-	})
-	if err != nil {
-		return err
-	}
-	defer s.Close()
-	mux := http.NewServeMux()
-	// DebugHandler carries /debug/vars (JSON) and /metrics (Prometheus).
-	mux.Handle("/debug/vars", s.DebugHandler())
-	mux.Handle("/metrics", s.DebugHandler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query()
-		opts := securexml.QueryOptions{
-			Unrestricted:       q.Get("admin") != "",
-			Pruned:             q.Get("pruned") != "",
-			DisablePathSummary: q.Get("nopathsummary") != "",
-		}
-		if lim := q.Get("limit"); lim != "" {
-			fmt.Sscanf(lim, "%d", &opts.Limit)
-		}
-		mode := q.Get("mode")
-		if mode == "" {
-			mode = "read"
-		}
-		ms, err := s.QueryCtx(r.Context(), q.Get("user"), mode, q.Get("xpath"), opts)
+
+	// SIGTERM/SIGINT begins a graceful shutdown: stop accepting, drain
+	// in-flight requests bounded by -drain, then close stores so their WAL
+	// checkpoints land.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var handler http.Handler
+	var shutdown func(context.Context) error
+	if *root != "" {
+		reg, err := registry.New(registry.Options{
+			Root:             *root,
+			MaxOpen:          *maxOpen,
+			PoolBytes:        *poolBudget,
+			DecodeCacheBytes: *cacheBudget,
+			Store: securexml.StoreOptions{
+				SlowQueryThreshold: *slow,
+				SlowPinThreshold:   *snapLog,
+			},
+		})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return err
 		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", " ")
-		enc.Encode(ms)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		var tokens map[string]registry.Token
+		if *tokensFile != "" {
+			raw, err := os.ReadFile(*tokensFile)
+			if err != nil {
+				return err
+			}
+			if err := json.Unmarshal(raw, &tokens); err != nil {
+				return fmt.Errorf("parsing %s: %w", *tokensFile, err)
+			}
+		}
+		srv := registry.NewServer(reg, registry.ServerOptions{
+			Tokens:       tokens,
+			RatePerSec:   *rate,
+			Burst:        *burst,
+			DrainTimeout: *drain,
+		})
+		handler = srv
+		shutdown = srv.Shutdown
+	} else {
+		s, err := securexml.Open(*storeDir, securexml.StoreOptions{
+			SlowQueryThreshold: *slow,
+			SlowPinThreshold:   *snapLog,
+		})
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		// DebugHandler carries /debug/vars (JSON) and /metrics (Prometheus).
+		mux.Handle("/debug/vars", s.DebugHandler())
+		mux.Handle("/metrics", s.DebugHandler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			opts := securexml.QueryOptions{
+				Unrestricted:       q.Get("admin") != "",
+				Pruned:             q.Get("pruned") != "",
+				DisablePathSummary: q.Get("nopathsummary") != "",
+			}
+			if lim := q.Get("limit"); lim != "" {
+				fmt.Sscanf(lim, "%d", &opts.Limit)
+			}
+			mode := q.Get("mode")
+			if mode == "" {
+				mode = "read"
+			}
+			ms, err := s.QueryCtx(r.Context(), q.Get("user"), mode, q.Get("xpath"), opts)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			enc.Encode(ms)
+		})
+		handler = mux
+		shutdown = func(context.Context) error { return s.Close() }
+	}
+
+	outer := http.NewServeMux()
+	outer.Handle("/", handler)
+	outer.HandleFunc("/debug/pprof/", pprof.Index)
+	outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	httpSrv := &http.Server{Handler: outer}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "dolcli: serving on http://%s (/debug/vars, /metrics, /query, /healthz, /debug/pprof/)\n", ln.Addr())
-	return http.Serve(ln, mux)
+
+	select {
+	case err := <-errc:
+		shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Fprintf(os.Stderr, "dolcli: shutting down (draining up to %s)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dolcli: http drain: %v\n", err)
+	}
+	return shutdown(sctx)
 }
 
 // setAccess applies an accessibility update to a persisted store: the

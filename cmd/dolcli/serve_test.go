@@ -1,0 +1,162 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dolxml/securexml"
+)
+
+// buildServeStore seals a small store into dir for serve tests.
+func buildServeStore(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s, err := securexml.NewBuilder().
+		LoadXMLString(`<doc><item><public>hello</public><secret>shh</secret></item></doc>`).
+		AddUser("alice").
+		Grant("alice", "read", "/doc").
+		Revoke("alice", "read", "//secret").
+		Seal(securexml.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// freePort reserves and releases a TCP port. The small reuse race is
+// acceptable in tests; serve has no way to report a :0-chosen port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+// TestServeGracefulShutdown runs the multi-tenant serve command in-process,
+// queries it, sends SIGTERM, and verifies serve returns cleanly, the port
+// closes, and the stores reopen (their WAL checkpoints landed at close).
+func TestServeGracefulShutdown(t *testing.T) {
+	root := t.TempDir()
+	for _, id := range []string{"t0", "t1"} {
+		buildServeStore(t, filepath.Join(root, id))
+	}
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve([]string{"-root", root, "-addr", addr, "-drain", "5s"})
+	}()
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	resp, err := http.Get(base + "/query?tenant=t0&user=alice&xpath=//public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hello") {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+
+	// SIGTERM to ourselves: serve's NotifyContext catches it and begins the
+	// drain; the test process survives because the handler is installed.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+	// Stores closed cleanly: reopening must succeed and answer.
+	for _, id := range []string{"t0", "t1"} {
+		s, err := securexml.Open(filepath.Join(root, id), securexml.StoreOptions{})
+		if err != nil {
+			t.Fatalf("reopen %s: %v", id, err)
+		}
+		ms, err := s.Query("alice", "read", "//public")
+		if err != nil || len(ms) != 1 {
+			t.Fatalf("reopened %s: %v (%d matches)", id, err, len(ms))
+		}
+		s.Close()
+	}
+}
+
+// TestServeSingleStoreShutdown exercises the classic -store mode through
+// the same signal path.
+func TestServeSingleStoreShutdown(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	buildServeStore(t, dir)
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve([]string{"-store", dir, "-addr", addr, "-drain", "5s"})
+	}()
+	base := "http://" + addr
+	waitHealthy(t, base)
+	resp, err := http.Get(base + "/query?user=alice&xpath=//public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hello") {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after SIGTERM")
+	}
+	if s, err := securexml.Open(dir, securexml.StoreOptions{}); err != nil {
+		t.Fatalf("reopen after shutdown: %v", err)
+	} else {
+		s.Close()
+	}
+}

@@ -43,6 +43,12 @@ type Config struct {
 	// experiments average over (the synthetic generator has high
 	// variance at a single draw).
 	ACLTrials int
+	// Tenants is how many stores the multitenant experiment serves
+	// through one registry.
+	Tenants int
+	// CodebookSubjects are the population points of the codebook
+	// subject-scaling sweep (ascending).
+	CodebookSubjects []int
 }
 
 // DefaultConfig returns a laptop-scale configuration: every experiment
@@ -58,6 +64,10 @@ func DefaultConfig() Config {
 		PoolPages:    8192,
 		SampledUsers: 10,
 		ACLTrials:    3,
+		Tenants:      24,
+		CodebookSubjects: []int{
+			10000, 100000, 1000000,
+		},
 	}
 }
 
@@ -73,6 +83,8 @@ func QuickConfig() Config {
 	cfg.QueryRuns = 2
 	cfg.SampledUsers = 4
 	cfg.ACLTrials = 2
+	cfg.Tenants = 8
+	cfg.CodebookSubjects = []int{1000, 10000, 100000}
 	return cfg
 }
 
@@ -89,6 +101,7 @@ func PaperConfig() Config {
 	cfg.UnixFS = synthacl.UnixFSConfig{Seed: 1, Files: 400000, Users: 182, Groups: 65}
 	cfg.QueryRuns = 5
 	cfg.PoolPages = 65536
+	cfg.Tenants = 32
 	return cfg
 }
 
@@ -197,6 +210,7 @@ var Experiments = []string{
 	"fig4a", "fig4b", "fig5", "fig6", "storage", "fig7", "joins",
 	"updates", "worstcase", "ablation", "modes", "parallel", "streaming",
 	"pageskip", "pathsummary", "wal", "writeload", "obs",
+	"codebook", "multitenant",
 }
 
 // Run executes the named experiment and returns its tables, each stamped
@@ -251,6 +265,10 @@ func run(name string, cfg Config) ([]*Table, error) {
 		return Writeload(cfg), nil
 	case "obs":
 		return Obs(cfg), nil
+	case "codebook":
+		return []*Table{CodebookScaling(cfg)}, nil
+	case "multitenant":
+		return Multitenant(cfg), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

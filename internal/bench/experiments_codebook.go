@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dolxml/internal/dol"
+	"dolxml/internal/synthacl"
+)
+
+// CodebookScaling reproduces the paper's central compactness claim at
+// populations the materializing generators cannot reach: codebook size is
+// a function of the *rule vocabulary* (groups × folders), not of the
+// subject population. The streamed synthacl generator scales subjects from
+// thousands to a million under a √S group structure (ceil(sqrt(S))-member
+// groups, a fixed number of folders per group, a constant per-subject
+// deviation rate), so the distinct-ACL vocabulary grows like √S while the
+// population grows like S.
+//
+// Self-checks, each breach recorded as a "VIOLATION:" note (failing
+// `dolbench -strict`):
+//
+//   - Sublinearity: between consecutive population points with subject
+//     ratio R, the live-entry count may grow by at most R/2. Under the √S
+//     model the observed factor is ~√R (≈3.2 per decade); a linear
+//     codebook (the §2.1 worst case) would grow by R and fail the gate.
+//   - Row compaction: at the largest point, the run-length encoding of the
+//     live dictionary must be at most 10 % of its dense bit-matrix size —
+//     the reason the v2 sparse rows exist.
+//   - Oracle: at the smallest point the sparse streamed build must agree
+//     with a dense replay of the same grant stream (entry count and every
+//     folder's ACL bits).
+//   - Persistence: the dense replay's codebook must round-trip through
+//     MarshalBinary/UnmarshalBinary as a byte fixpoint, choosing the v2
+//     sparse framing once the population crosses the sparse threshold.
+func CodebookScaling(cfg Config) *Table {
+	t := &Table{
+		ID:    "codebook",
+		Title: "codebook growth vs subject population (streamed √S-group ACLs)",
+		Columns: []string{"subjects", "groups", "folders", "entries", "entry growth",
+			"max runs", "sparse B", "dense B", "sparse/dense", "build"},
+	}
+	sizes := cfg.CodebookSubjects
+	if len(sizes) == 0 {
+		sizes = []int{10000, 100000, 1000000}
+	}
+
+	var results []*synthacl.StreamResult
+	for _, n := range sizes {
+		res := synthacl.StreamCodebook(synthacl.DefaultStream(cfg.Seed, n))
+		results = append(results, res)
+		s := res.Stats
+		growth := "-"
+		if len(results) > 1 {
+			prev := results[len(results)-2].Stats
+			growth = fmt.Sprintf("%.2fx", float64(s.Entries)/float64(prev.Entries))
+		}
+		ratio := float64(s.SparseBytes) / float64(s.DenseBytes)
+		t.AddRow(
+			fmt.Sprintf("%d", s.Subjects),
+			fmt.Sprintf("%d", s.Groups),
+			fmt.Sprintf("%d", s.Folders),
+			fmt.Sprintf("%d", s.Entries),
+			growth,
+			fmt.Sprintf("%d", s.MaxRuns),
+			fmt.Sprintf("%d", s.SparseBytes),
+			fmt.Sprintf("%d", s.DenseBytes),
+			fmt.Sprintf("%.4f", ratio),
+			s.BuildTime.Round(time.Millisecond).String(),
+		)
+	}
+
+	// Gate 1: sublinear entry growth between consecutive points.
+	for i := 1; i < len(results); i++ {
+		prev, cur := results[i-1].Stats, results[i].Stats
+		subjectFactor := float64(cur.Subjects) / float64(prev.Subjects)
+		entryFactor := float64(cur.Entries) / float64(prev.Entries)
+		if entryFactor > subjectFactor/2 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"VIOLATION: entries grew %.2fx over a %.0fx subject increase (%d -> %d subjects); want <= %.1fx",
+				entryFactor, subjectFactor, prev.Subjects, cur.Subjects, subjectFactor/2))
+		}
+	}
+
+	// Gate 2: the sparse dictionary must stay small next to its dense form.
+	top := results[len(results)-1].Stats
+	if ratio := float64(top.SparseBytes) / float64(top.DenseBytes); ratio > 0.10 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: sparse dictionary is %.2f%% of dense at %d subjects; want <= 10%%",
+			ratio*100, top.Subjects))
+	}
+
+	// Gate 3: dense oracle agreement at the smallest point.
+	smallCfg := synthacl.DefaultStream(cfg.Seed, sizes[0])
+	sparse := results[0]
+	denseCB, denseCodes := synthacl.StreamCodebookDense(smallCfg)
+	if got, want := sparse.Codebook.Len(), denseCB.Len(); got != want {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: sparse build has %d entries, dense oracle %d", got, want))
+	}
+	mismatches := 0
+	for i := range sparse.Codes {
+		if !sparse.Codebook.ACL(sparse.Codes[i]).EqualBits(denseCB.ACL(denseCodes[i])) {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: %d of %d folder ACLs differ between sparse build and dense oracle",
+			mismatches, len(sparse.Codes)))
+	}
+
+	// Gate 4: persistence round-trip with the expected framing.
+	blob, err := denseCB.MarshalBinary()
+	if err != nil {
+		t.Notes = append(t.Notes, "VIOLATION: codebook marshal failed: "+err.Error())
+		return t
+	}
+	if v := dol.CodebookFormatVersion(blob); v != 2 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: %d-subject codebook marshaled as v%d; want the v2 sparse framing",
+			sizes[0], v))
+	}
+	var re dol.Codebook
+	if err := re.UnmarshalBinary(blob); err != nil {
+		t.Notes = append(t.Notes, "VIOLATION: codebook unmarshal failed: "+err.Error())
+		return t
+	}
+	blob2, err := re.MarshalBinary()
+	if err != nil || string(blob) != string(blob2) {
+		t.Notes = append(t.Notes, "VIOLATION: codebook round-trip is not a byte fixpoint")
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"entries follow the rule vocabulary (~sqrt of subjects): %d subjects need %d entries (%d B sparse)",
+		top.Subjects, top.Entries, top.SparseBytes))
+	return t
+}

@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"dolxml/internal/xmark"
+	"dolxml/securexml"
+	"dolxml/securexml/registry"
+)
+
+// Multitenant validates the registry serve path at fleet scale: cfg.Tenants
+// stores served through one registry with MaxOpen far below the tenant
+// count, one shared buffer-pool byte budget, mixed read/update traffic, and
+// LRU eviction churning stores in and out mid-workload.
+//
+// Two arms run the identical per-tenant update sequence:
+//
+//   - isolated: every tenant opened alone, updates applied sequentially —
+//     the ground truth.
+//   - registry: all tenants updated concurrently through registry handles
+//     (one updater per tenant, acquiring per batch so the LRU churns),
+//     with open-loop readers querying random tenants throughout and a
+//     sampler watching the global pool budget.
+//
+// Self-checks, each breach a "VIOLATION:" note (failing `dolbench
+// -strict`):
+//
+//   - After the registry arm quiesces, every tenant's query fingerprint
+//     (the Table 1 workload, plain and pruned) must match its isolated-arm
+//     fingerprint byte for byte — eviction, draining, and budget
+//     rebalancing may never change an answer.
+//   - The summed buffer-pool bytes of all open stores must stay within the
+//     global budget at every sample.
+//   - Evictions must actually happen (MaxOpen < Tenants makes the LRU
+//     churn part of the test, not an accident of sizing).
+func Multitenant(cfg Config) []*Table {
+	t := &Table{
+		ID:    "multitenant",
+		Title: "multi-tenant registry vs isolated stores",
+		Columns: []string{"arm", "tenants", "max open", "pool budget B", "peak pool B",
+			"opens", "evictions", "updates", "elapsed", "fingerprints"},
+	}
+	tables := []*Table{t}
+	fail := func(err error) []*Table {
+		t.Notes = append(t.Notes, "ERROR: "+err.Error())
+		return tables
+	}
+
+	tenants := cfg.Tenants
+	if tenants < 2 {
+		tenants = 2
+	}
+	nodes := cfg.XMarkNodes / 50
+	if nodes < 300 {
+		nodes = 300
+	}
+	opsPerTenant := 40
+	if cfg.XMarkNodes < 50000 {
+		opsPerTenant = 12
+	}
+	maxOpen := tenants / 3
+	if maxOpen < 2 {
+		maxOpen = 2
+	}
+	// A budget tight enough that fair shares force real eviction pressure,
+	// but above tenants × MinPoolPages so every store keeps a working set.
+	poolBudget := int64(tenants) * int64(cfg.PageSize) * 48
+	t.Title += fmt.Sprintf(" (%d tenants, ~%d nodes each, %d updates each)", tenants, nodes, opsPerTenant)
+
+	root, err := os.MkdirTemp("", "dolbench-multitenant")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(root)
+	armA := filepath.Join(root, "isolated")
+	armB := filepath.Join(root, "shared")
+
+	// Build every tenant store once, snapshot into both arms, and plan the
+	// per-tenant update sequence against its node IDs.
+	ids := make([]string, tenants)
+	targets := make([][]securexml.NodeID, tenants)
+	for i := 0; i < tenants; i++ {
+		ids[i] = fmt.Sprintf("tenant-%02d", i)
+		doc := xmark.Generate(xmark.Scaled(cfg.Seed+int64(100+i), nodes))
+		var xb strings.Builder
+		if err := doc.WriteXML(&xb); err != nil {
+			return fail(err)
+		}
+		dir := filepath.Join(armA, ids[i])
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fail(err)
+		}
+		s, err := securexml.NewBuilder().
+			LoadXMLString(xb.String()).
+			AddGroup("staff").
+			AddUser("u").
+			AddMember("staff", "u").
+			Grant("staff", "read", "/site").
+			Seal(securexml.StoreOptions{PageSize: cfg.PageSize, PoolPages: 256})
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.Save(dir); err != nil {
+			s.Close()
+			return fail(err)
+		}
+		ms, err := s.QueryUnrestricted("//keyword")
+		if err != nil {
+			s.Close()
+			return fail(err)
+		}
+		if err := s.Close(); err != nil {
+			return fail(err)
+		}
+		if len(ms) == 0 {
+			return fail(fmt.Errorf("tenant %s has no keyword nodes to toggle", ids[i]))
+		}
+		for _, m := range ms {
+			targets[i] = append(targets[i], m.Node)
+		}
+		if err := copyDirFiles(dir, filepath.Join(armB, ids[i])); err != nil {
+			return fail(err)
+		}
+	}
+
+	// applyUpdates replays tenant i's deterministic toggle sequence through
+	// fn (which supplies a store per batch). Both arms call this with the
+	// same sequence, so final states must agree.
+	applyUpdates := func(i int, fn func(apply func(s *securexml.Store) error) error) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+i)))
+		const batch = 4
+		for done := 0; done < opsPerTenant; done += batch {
+			n := batch
+			if opsPerTenant-done < n {
+				n = opsPerTenant - done
+			}
+			if err := fn(func(s *securexml.Store) error {
+				for k := 0; k < n; k++ {
+					node := targets[i][rng.Intn(len(targets[i]))]
+					allowed := rng.Intn(2) == 0
+					if err := s.SetAccess("staff", "read", node, allowed, false); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Arm 1: isolated ground truth.
+	want := make([]string, tenants)
+	isoStart := time.Now()
+	for i := 0; i < tenants; i++ {
+		s, err := securexml.Open(filepath.Join(armA, ids[i]), securexml.StoreOptions{PoolPages: 256})
+		if err != nil {
+			return fail(err)
+		}
+		if err := applyUpdates(i, func(apply func(*securexml.Store) error) error {
+			return apply(s)
+		}); err != nil {
+			s.Close()
+			return fail(err)
+		}
+		fp, err := writeloadFingerprint(s)
+		if err != nil {
+			s.Close()
+			return fail(err)
+		}
+		want[i] = fp
+		if err := s.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	isoElapsed := time.Since(isoStart)
+	t.AddRow("isolated", fmt.Sprintf("%d", tenants), "-", "-", "-", "-", "-",
+		fmt.Sprintf("%d", tenants*opsPerTenant), isoElapsed.Round(time.Millisecond).String(), "baseline")
+
+	// Arm 2: everything through one registry.
+	reg, err := registry.New(registry.Options{
+		Root:      armB,
+		MaxOpen:   maxOpen,
+		PoolBytes: poolBudget,
+		Store:     securexml.StoreOptions{},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	var (
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+		peakBytes int64
+		budgetBad int64
+	)
+	report := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	regStart := time.Now()
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := applyUpdates(i, func(apply func(*securexml.Store) error) error {
+				h, err := reg.Acquire(ids[i])
+				if err != nil {
+					return err
+				}
+				defer h.Close()
+				return apply(h.Store())
+			})
+			if err != nil {
+				report(fmt.Errorf("tenant %s updates: %w", ids[i], err))
+			}
+		}(i)
+	}
+	updatersDone := make(chan struct{})
+	go func() { wg.Wait(); close(updatersDone) }()
+
+	var aux sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		aux.Add(1)
+		go func(w int) {
+			defer aux.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(9000+w)))
+			for {
+				select {
+				case <-updatersDone:
+					return
+				default:
+				}
+				h, err := reg.Acquire(ids[rng.Intn(tenants)])
+				if err != nil {
+					report(fmt.Errorf("reader acquire: %w", err))
+					return
+				}
+				if _, err := h.Store().Query("u", "read", "//keyword"); err != nil {
+					report(fmt.Errorf("reader query: %w", err))
+				}
+				h.Close()
+			}
+		}(w)
+	}
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			use := reg.PoolBytesInUse()
+			if use > peakBytes {
+				peakBytes = use
+			}
+			if use > poolBudget {
+				budgetBad++
+			}
+			select {
+			case <-updatersDone:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	<-updatersDone
+	aux.Wait()
+	if firstErr != nil {
+		return fail(firstErr)
+	}
+
+	// Quiesced: compare every tenant's fingerprint against the isolated arm.
+	mismatches := 0
+	for i := 0; i < tenants; i++ {
+		h, err := reg.Acquire(ids[i])
+		if err != nil {
+			return fail(err)
+		}
+		fp, err := writeloadFingerprint(h.Store())
+		h.Close()
+		if err != nil {
+			return fail(err)
+		}
+		if fp != want[i] {
+			mismatches++
+		}
+	}
+	regElapsed := time.Since(regStart)
+	snap := reg.MetricsSnapshot()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = reg.Close(ctx)
+	cancel()
+	if err != nil {
+		return fail(err)
+	}
+
+	match := "all match"
+	if mismatches > 0 {
+		match = fmt.Sprintf("%d MISMATCH", mismatches)
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: %d of %d tenants answered differently through the registry than isolated", mismatches, tenants))
+	}
+	if budgetBad > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"VIOLATION: pool bytes in use exceeded the %d B global budget at %d samples (peak %d B)",
+			poolBudget, budgetBad, peakBytes))
+	}
+	if snap.Get("evictions_total") == 0 {
+		t.Notes = append(t.Notes, "VIOLATION: no evictions occurred; the LRU churn path went untested")
+	}
+	t.AddRow("registry", fmt.Sprintf("%d", tenants), fmt.Sprintf("%d", maxOpen),
+		fmt.Sprintf("%d", poolBudget), fmt.Sprintf("%d", peakBytes),
+		fmt.Sprintf("%d", snap.Get("opens_total")), fmt.Sprintf("%d", snap.Get("evictions_total")),
+		fmt.Sprintf("%d", tenants*opsPerTenant), regElapsed.Round(time.Millisecond).String(), match)
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"registry arm ran %d concurrent updaters + 4 readers over %d stores with only %d open at once",
+		tenants, tenants, maxOpen))
+	return tables
+}
+
+// copyDirFiles copies the regular files of src into dst (created).
+func copyDirFiles(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

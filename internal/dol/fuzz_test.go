@@ -47,6 +47,108 @@ func FuzzCodebookUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzCodebookMeta drives a codebook through a fuzzer-chosen op sequence
+// (interning sparse and dense rows over a wide population, retains,
+// releases, subject adds), then requires the serialized form — version 2
+// with run-length rows once the population is wide — to decode to the same
+// dictionary and re-marshal to the same bytes. The raw input is also fed
+// straight to the decoder, which must fail cleanly or round-trip.
+func FuzzCodebookMeta(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 10, 2, 3, 40, 1, 2, 0})
+	f.Add([]byte{3, 200, 200, 1, 4, 4, 4, 2, 0, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const pop = 4096 // wide enough that run rows are eligible
+		cb := NewCodebook(pop)
+		var live []Code
+		next := func(i *int) int {
+			if *i >= len(ops) {
+				return 0
+			}
+			v := int(ops[*i])
+			*i++
+			return v
+		}
+		for i := 0; i < len(ops); {
+			switch next(&i) % 4 {
+			case 0: // intern a run-structured row
+				b := bitset.New(pop)
+				nRuns := next(&i)%4 + 1
+				at := 0
+				for r := 0; r < nRuns; r++ {
+					at += next(&i) * 7
+					ln := next(&i)%97 + 1
+					if at+ln > pop {
+						break
+					}
+					b.SetRange(at, at+ln)
+					at += ln + 1
+				}
+				c := cb.Intern(b)
+				cb.Retain(c)
+				live = append(live, c)
+			case 1: // intern a scattered (dense-ish) row
+				b := bitset.New(pop)
+				for j := 0; j < next(&i); j++ {
+					b.Set((j*2654435761 + next(&i)) % pop)
+				}
+				c := cb.Intern(b)
+				cb.Retain(c)
+				live = append(live, c)
+			case 2: // release a live reference
+				if len(live) > 0 {
+					k := next(&i) % len(live)
+					cb.Release(live[k])
+					live = append(live[:k], live[k+1:]...)
+				}
+			case 3:
+				cb.AddSubject()
+			}
+		}
+		data, err := cb.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Codebook
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("own serialization rejected: %v", err)
+		}
+		if back.NumSubjects() != cb.NumSubjects() || back.Len() != cb.Len() || back.Cap() != cb.Cap() {
+			t.Fatalf("shape changed: subjects %d->%d len %d->%d cap %d->%d",
+				cb.NumSubjects(), back.NumSubjects(), cb.Len(), back.Len(), cb.Cap(), back.Cap())
+		}
+		for c := 0; c < cb.Cap(); c++ {
+			if cb.entries[c] == nil {
+				if back.entries[c] != nil {
+					t.Fatalf("code %d: freed slot decoded live", c)
+				}
+				continue
+			}
+			if back.entries[c] == nil || !back.entries[c].EqualBits(cb.entries[c]) {
+				t.Fatalf("code %d: ACL changed across round-trip", c)
+			}
+			if back.Refs(Code(c)) != cb.Refs(Code(c)) {
+				t.Fatalf("code %d: refs %d -> %d", c, cb.Refs(Code(c)), back.Refs(Code(c)))
+			}
+		}
+		again, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatal("marshal not a fixpoint")
+		}
+		// Decoder hardening: the raw op bytes fed straight in must fail
+		// cleanly or produce a re-marshalable book.
+		var raw Codebook
+		if err := raw.UnmarshalBinary(ops); err == nil {
+			if _, err := raw.MarshalBinary(); err != nil {
+				t.Fatalf("decoded raw input fails to marshal: %v", err)
+			}
+		}
+	})
+}
+
 func mustMarshal(t *testing.T, cb *Codebook) []byte {
 	t.Helper()
 	data, err := cb.MarshalBinary()

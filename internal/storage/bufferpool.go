@@ -103,7 +103,11 @@ func NewBufferPool(pager Pager, capacity int) *BufferPool {
 func (bp *BufferPool) Pager() Pager { return bp.pager }
 
 // Capacity returns the maximum number of buffered frames.
-func (bp *BufferPool) Capacity() int { return bp.capacity }
+func (bp *BufferPool) Capacity() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.capacity
+}
 
 // closedReady is shared by frames whose contents are valid from birth
 // (allocations and reloads), so waiting on ready never blocks for them.
@@ -197,9 +201,11 @@ func (bp *BufferPool) Allocate() (*Frame, error) {
 
 // newFrame installs an empty frame for id, evicting if needed. The frame is
 // born ready (callers that must load it asynchronously replace the channel
-// before releasing the mutex). Caller holds bp.mu.
+// before releasing the mutex). The loop matters once SetCapacity can shrink
+// a pool below its occupancy: one admission may have to reclaim several
+// frames before the pool is back under budget. Caller holds bp.mu.
 func (bp *BufferPool) newFrame(id PageID) (*Frame, error) {
-	if len(bp.frames) >= bp.capacity {
+	for len(bp.frames) >= bp.capacity {
 		if err := bp.evict(); err != nil {
 			return nil, err
 		}
@@ -207,6 +213,27 @@ func (bp *BufferPool) newFrame(id PageID) (*Frame, error) {
 	f := &Frame{id: id, Data: make([]byte, bp.pager.PageSize()), ready: closedReady}
 	bp.frames[id] = f
 	return f, nil
+}
+
+// SetCapacity re-budgets the pool to at most capacity frames, evicting LRU
+// frames (writing back dirty ones) until occupancy fits. Pinned frames
+// cannot be reclaimed; if pins alone exceed the new capacity the shrink
+// stops there and completes lazily as later admissions evict. The tenant
+// registry calls this on every open and close to keep the sum of per-store
+// capacities under one global byte budget.
+func (bp *BufferPool) SetCapacity(capacity int) error {
+	if capacity < 1 {
+		capacity = 1
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.capacity = capacity
+	for len(bp.frames) > bp.capacity && bp.lru.Back() != nil {
+		if err := bp.evict(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // pin marks f in use. Caller holds bp.mu.
@@ -326,7 +353,7 @@ func (bp *BufferPool) RegisterMetrics(reg *obs.Registry, prefix string) error {
 	if err := reg.RegisterGauge(prefix+"_buffered", func() int64 { return int64(bp.Buffered()) }); err != nil {
 		return err
 	}
-	return reg.RegisterGauge(prefix+"_capacity", func() int64 { return int64(bp.capacity) })
+	return reg.RegisterGauge(prefix+"_capacity", func() int64 { return int64(bp.Capacity()) })
 }
 
 // Pinned returns the total number of outstanding pins across all frames.

@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func poolWithPages(t *testing.T, capacity, pages int) (*BufferPool, []PageID) {
+	t.Helper()
+	bp := NewBufferPool(NewMemPager(64), capacity)
+	ids := make([]PageID, pages)
+	for i := range ids {
+		f, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = f.ID()
+		f.Data[0] = byte(i)
+		if err := bp.Unpin(f.ID(), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bp, ids
+}
+
+func TestSetCapacityShrinkEvictsAndWritesBack(t *testing.T) {
+	bp, ids := poolWithPages(t, 16, 8)
+	if bp.Buffered() != 8 {
+		t.Fatalf("Buffered = %d, want 8", bp.Buffered())
+	}
+	if err := bp.SetCapacity(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.Buffered(); got != 3 {
+		t.Fatalf("Buffered after shrink = %d, want 3", got)
+	}
+	if got := bp.Capacity(); got != 3 {
+		t.Fatalf("Capacity = %d, want 3", got)
+	}
+	// Evicted dirty pages were written back: rereading returns the data.
+	for i, id := range ids {
+		f, err := bp.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != byte(i) {
+			t.Fatalf("page %d lost its write on shrink eviction", id)
+		}
+		if err := bp.Unpin(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bp.Buffered(); got > 3 {
+		t.Fatalf("rereads grew the pool to %d frames over capacity 3", got)
+	}
+}
+
+func TestSetCapacityGrow(t *testing.T) {
+	bp, ids := poolWithPages(t, 2, 2)
+	if err := bp.SetCapacity(8); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		f, err := bp.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer bp.Unpin(f.ID(), false)
+	}
+	if bp.Buffered() != 2 {
+		t.Fatalf("Buffered = %d", bp.Buffered())
+	}
+}
+
+// TestSetCapacityBelowPins pins more frames than the new capacity: the
+// shrink must stop at the pinned set (not error, not reclaim pinned data)
+// and later admissions complete the shrink as pins release.
+func TestSetCapacityBelowPins(t *testing.T) {
+	bp, ids := poolWithPages(t, 8, 4)
+	for _, id := range ids[:3] {
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bp.SetCapacity(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.Buffered(); got != 3 {
+		t.Fatalf("Buffered = %d, want the 3 pinned frames", got)
+	}
+	for _, id := range ids[:3] {
+		if err := bp.Unpin(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Next admission loop-evicts down to capacity.
+	f, err := bp.Get(ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Unpin(f.ID(), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.Buffered(); got > 2 {
+		t.Fatalf("Buffered = %d after release + admission, want <= 2", got)
+	}
+}
+
+// TestSetCapacityConcurrent rebudgets while readers hammer the pool; run
+// under -race this is the registry's shared-budget interleaving in
+// miniature. Invariant: occupancy never exceeds the largest capacity in
+// play once the dust settles.
+func TestSetCapacityConcurrent(t *testing.T) {
+	bp, ids := poolWithPages(t, 8, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[(i+w)%len(ids)]
+				f, err := bp.Get(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = f.Data[0]
+				if err := bp.Unpin(id, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		if err := bp.SetCapacity(1 + i%8); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := bp.SetCapacity(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.Buffered(); got > 4 {
+		t.Fatalf("Buffered = %d with capacity 4 and no pins", got)
+	}
+}

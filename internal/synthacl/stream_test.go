@@ -1,0 +1,80 @@
+package synthacl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStreamSparseMatchesDenseOracle replays one grant stream into both the
+// run-length codebook and a dense materialized codebook and requires the
+// same dictionary: equal entry counts and, folder by folder, equal ACLs.
+func TestStreamSparseMatchesDenseOracle(t *testing.T) {
+	cfg := DefaultStream(42, 3000)
+	cfg.Nodes = 5000
+	res := StreamCodebook(cfg)
+	dense, denseCodes := StreamCodebookDense(cfg)
+	if res.Codebook.Len() != dense.Len() {
+		t.Fatalf("sparse has %d entries, dense oracle %d", res.Codebook.Len(), dense.Len())
+	}
+	if len(res.Codes) != len(denseCodes) {
+		t.Fatalf("folder counts differ: %d vs %d", len(res.Codes), len(denseCodes))
+	}
+	for i := range res.Codes {
+		sparse := res.Codebook.ACL(res.Codes[i])
+		if !sparse.EqualBits(dense.ACL(denseCodes[i])) {
+			t.Fatalf("folder %d: sparse and dense ACLs diverge", i)
+		}
+	}
+	// Membership probes through the sparse path.
+	for u := 0; u < cfg.Subjects; u += 97 {
+		for i := 0; i < len(res.Codes); i += 13 {
+			if res.Codebook.Accessible(res.Codes[i], u) != dense.ACL(denseCodes[i]).Test(u) {
+				t.Fatalf("folder %d subject %d: Accessible disagrees with oracle", i, u)
+			}
+		}
+	}
+}
+
+// TestStreamDeterministic pins that the generator is a pure function of its
+// configuration — the multitenant and codebook gates depend on replays
+// agreeing byte for byte.
+func TestStreamDeterministic(t *testing.T) {
+	cfg := DefaultStream(7, 2000)
+	a := StreamCodebook(cfg)
+	b := StreamCodebook(cfg)
+	a.Stats.BuildTime, b.Stats.BuildTime = 0, 0
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Fatalf("stats diverged across replays: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if !reflect.DeepEqual(a.Codes, b.Codes) {
+		t.Fatal("folder codes diverged across replays")
+	}
+}
+
+// TestStreamSublinearGrowth checks the shape the full sweep gates on: a 10×
+// subject increase must grow codebook entries by well under 10×.
+func TestStreamSublinearGrowth(t *testing.T) {
+	sizes := []int{1000, 10000}
+	if !testing.Short() {
+		sizes = append(sizes, 100000)
+	}
+	prev := 0
+	for i, n := range sizes {
+		res := StreamCodebook(DefaultStream(1, n))
+		st := res.Stats
+		if st.Entries < st.Groups/2 {
+			t.Fatalf("%d subjects: implausibly few entries (%d) for %d groups", n, st.Entries, st.Groups)
+		}
+		if i > 0 {
+			factor := float64(st.Entries) / float64(prev)
+			if factor > 5 {
+				t.Fatalf("entries grew %.1f× on a 10× subject step (%d -> %d)", factor, prev, st.Entries)
+			}
+		}
+		// Sparse rows must beat dense rows decisively once rows are wide.
+		if n >= 10000 && st.SparseBytes*10 > st.DenseBytes {
+			t.Fatalf("%d subjects: sparse %d B not under 10%% of dense %d B", n, st.SparseBytes, st.DenseBytes)
+		}
+		prev = st.Entries
+	}
+}

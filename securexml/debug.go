@@ -68,6 +68,13 @@ func (s *Store) WriteMetricsPrometheus(w io.Writer) error {
 	return s.reg.WritePrometheus(w, MetricsPrefix)
 }
 
+// WriteMetricsPrometheusAs writes the registry in Prometheus text format
+// under an explicit prefix instead of the default dolxml_. Multi-tenant
+// servers use it to split one scrape target by tenant (dolxml_tenant_<id>).
+func (s *Store) WriteMetricsPrometheusAs(w io.Writer, prefix string) error {
+	return s.reg.WritePrometheus(w, prefix)
+}
+
 // DebugHandler serves the store's live metrics over HTTP:
 //
 //	/debug/vars  — the registry as JSON (expvar-style)

@@ -1,0 +1,42 @@
+package registry
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzRegistryPaths fuzzes the tenant-id → store-directory mapping, the
+// only place untrusted request bytes meet the filesystem. Whatever the
+// input, an accepted ID must resolve to a direct child of root — no
+// traversal, no absolute escapes, no separator smuggling.
+func FuzzRegistryPaths(f *testing.F) {
+	for _, seed := range []string{
+		"tenant-01", "a", "..", "../../etc/passwd", "a/../b", "a/b",
+		"a\\b", "C:\\x", ".", ".hidden", "-", "_", "UPPER", "t\x00x",
+		strings.Repeat("a", 64), strings.Repeat("a", 65), "a..b", "a.b",
+		"%2e%2e%2f", "a\nb", "\u2025", "ｅｖｉｌ",
+	} {
+		f.Add(seed)
+	}
+	const root = "/srv/dolxml/tenants"
+	f.Fuzz(func(t *testing.T, id string) {
+		p, err := TenantPath(root, id)
+		if err != nil {
+			return // rejected — nothing else to hold
+		}
+		if p != filepath.Join(root, id) {
+			t.Fatalf("TenantPath(%q) = %q, not root/id", id, p)
+		}
+		if filepath.Dir(p) != root {
+			t.Fatalf("TenantPath(%q) = %q escapes root", id, p)
+		}
+		if strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") ||
+			strings.ContainsAny(id, "\x00\n\r ") || id != strings.ToLower(id) {
+			t.Fatalf("TenantPath accepted suspicious id %q", id)
+		}
+		if rel, err := filepath.Rel(root, p); err != nil || rel != id || strings.HasPrefix(rel, "..") {
+			t.Fatalf("TenantPath(%q): rel = %q err = %v", id, rel, err)
+		}
+	})
+}

@@ -1,0 +1,287 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dolxml/securexml"
+)
+
+// Token is one auth credential: it names the tenant and subject a bearer
+// may query as, and whether it may run unrestricted (admin) queries. The
+// serve path is multi-subject by construction — the token, not a query
+// parameter, decides whose view a query evaluates under.
+type Token struct {
+	Tenant  string `json:"tenant"`
+	Subject string `json:"subject"`
+	Admin   bool   `json:"admin,omitempty"`
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Tokens maps bearer-token strings to identities. A nil map runs the
+	// server in open trusted mode (single-operator use, like the classic
+	// one-store serve): any tenant/user may be named in the query string.
+	Tokens map[string]Token
+	// RatePerSec is the sustained per-principal query rate (token bucket;
+	// 0 disables rate limiting). The principal is the bearer token, or the
+	// client IP in open mode.
+	RatePerSec float64
+	// Burst is the bucket depth (default max(1, round(RatePerSec))).
+	Burst int
+	// DrainTimeout bounds how long Shutdown waits for in-flight requests
+	// (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Burst < 1 {
+		o.Burst = int(o.RatePerSec + 0.5)
+		if o.Burst < 1 {
+			o.Burst = 1
+		}
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// bucket is one principal's token bucket.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) allow(rate float64, burst int, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += rate * now.Sub(b.last).Seconds()
+	b.last = now
+	if max := float64(burst); b.tokens > max {
+		b.tokens = max
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Server fronts a Registry over HTTP:
+//
+//	/query       — evaluate an XPath under a subject's view (auth-scoped)
+//	/metrics     — registry metrics + per-tenant store metrics (Prometheus)
+//	/debug/vars  — registry metrics as JSON
+//	/tenants     — open/draining tenant list as JSON
+//	/healthz     — liveness
+//
+// Every request pins its tenant's store through a registry Handle, so LRU
+// eviction never closes a store a request is reading. Shutdown refuses new
+// requests, drains in-flight ones bounded by DrainTimeout, then closes the
+// registry so every store's WAL checkpoint lands.
+type Server struct {
+	reg  *Registry
+	opts ServerOptions
+	mux  *http.ServeMux
+
+	closing  atomic.Bool
+	inflight sync.WaitGroup
+
+	bmu     sync.Mutex
+	buckets map[string]*bucket
+}
+
+// NewServer wraps reg in the multi-tenant HTTP front end.
+func NewServer(reg *Registry, opts ServerOptions) *Server {
+	s := &Server{
+		reg:     reg,
+		opts:    opts.withDefaults(),
+		mux:     http.NewServeMux(),
+		buckets: map[string]*bucket{},
+	}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WriteMetricsPrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	s.mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := s.reg.WriteMetricsJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	s.mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(s.reg.Tenants())
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler. Requests arriving after Shutdown has
+// begun get 503 without touching the registry.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	// Re-check after joining the in-flight set: Shutdown's closing store
+	// happens-before its Wait, so a request seen here is either refused or
+	// fully drained — never abandoned mid-flight.
+	if s.closing.Load() {
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// identity resolves the request's auth token into (tenant, subject, admin).
+// In open mode (no token table) the query string is trusted.
+func (s *Server) identity(r *http.Request) (Token, string, error) {
+	raw := ""
+	if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+		raw = strings.TrimPrefix(h, "Bearer ")
+	} else {
+		raw = r.URL.Query().Get("token")
+	}
+	if s.opts.Tokens == nil {
+		q := r.URL.Query()
+		key := raw
+		if key == "" {
+			host, _, err := net.SplitHostPort(r.RemoteAddr)
+			if err != nil {
+				host = r.RemoteAddr
+			}
+			key = "anon:" + host
+		}
+		return Token{Tenant: q.Get("tenant"), Subject: q.Get("user"), Admin: true}, key, nil
+	}
+	tok, ok := s.opts.Tokens[raw]
+	if !ok {
+		return Token{}, "", fmt.Errorf("missing or unknown token")
+	}
+	return tok, raw, nil
+}
+
+// allow applies the per-principal token bucket.
+func (s *Server) allow(key string) bool {
+	if s.opts.RatePerSec <= 0 {
+		return true
+	}
+	s.bmu.Lock()
+	b, ok := s.buckets[key]
+	if !ok {
+		b = &bucket{tokens: float64(s.opts.Burst), last: time.Now()}
+		s.buckets[key] = b
+	}
+	s.bmu.Unlock()
+	return b.allow(s.opts.RatePerSec, s.opts.Burst, time.Now())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tok, key, err := s.identity(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+		return
+	}
+	if !s.allow(key) {
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	q := r.URL.Query()
+	// The token binds the identity: explicit parameters may restate it but
+	// not change it. (Open mode issues a fully trusted token above.)
+	if t := q.Get("tenant"); t != "" && t != tok.Tenant {
+		http.Error(w, "token is not valid for this tenant", http.StatusForbidden)
+		return
+	}
+	user := tok.Subject
+	if u := q.Get("user"); u != "" {
+		if u != tok.Subject && !tok.Admin {
+			http.Error(w, "token is not valid for this subject", http.StatusForbidden)
+			return
+		}
+		user = u
+	}
+	opts := securexml.QueryOptions{
+		Pruned:             q.Get("pruned") != "",
+		DisablePathSummary: q.Get("nopathsummary") != "",
+	}
+	if q.Get("admin") != "" {
+		if !tok.Admin {
+			http.Error(w, "token may not run unrestricted queries", http.StatusForbidden)
+			return
+		}
+		opts.Unrestricted = true
+	}
+	if lim := q.Get("limit"); lim != "" {
+		fmt.Sscanf(lim, "%d", &opts.Limit)
+	}
+	mode := q.Get("mode")
+	if mode == "" {
+		mode = "read"
+	}
+	if tok.Tenant == "" {
+		http.Error(w, "no tenant specified", http.StatusBadRequest)
+		return
+	}
+	h, err := s.reg.Acquire(tok.Tenant)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer h.Close()
+	ms, err := h.Store().QueryCtx(r.Context(), user, mode, q.Get("xpath"), opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(ms)
+}
+
+// Shutdown stops admitting requests, waits for in-flight ones (bounded by
+// DrainTimeout), then closes the registry so every open store flushes and
+// its WAL checkpoint lands. Stragglers past the deadline are reported but
+// their stores still close when their last handle does (drain semantics).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	deadline := time.NewTimer(s.opts.DrainTimeout)
+	defer deadline.Stop()
+	var drainErr error
+	select {
+	case <-drained:
+	case <-deadline.C:
+		drainErr = fmt.Errorf("registry: shutdown drain deadline exceeded")
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+	}
+	if err := s.reg.Close(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}

@@ -181,9 +181,9 @@ type Store struct {
 	// first snapshot (whose cache captures them) and registered in initObs.
 	maskHits   *obs.Counter
 	maskMisses *obs.Counter
-	snapPins     *obs.Counter
-	snapUnpins   *obs.Counter
-	snapPinUs    *obs.Histogram
+	snapPins   *obs.Counter
+	snapUnpins *obs.Counter
+	snapPinUs  *obs.Histogram
 	// slowMu serializes slow-query and slow-pin reports: queries finish
 	// concurrently, and the log writers (bytes.Buffer, log files) need not
 	// be goroutine-safe.
@@ -931,7 +931,7 @@ type Stats struct {
 	// driving path routing.
 	PathSummaryBytes int
 	Pool             storage.PoolStats
-	IO           storage.IOStats
+	IO               storage.IOStats
 	// DecodeCache reports the decoded-block cache's counters.
 	DecodeCache CacheStats
 }
@@ -998,6 +998,34 @@ func (s *Store) Stats() (Stats, error) {
 // PoolStats returns the buffer pool's counters without touching any page —
 // safe to sample before and after a query to measure its physical reads.
 func (s *Store) PoolStats() storage.PoolStats { return s.pool.Stats() }
+
+// PageSize returns the store's page size in bytes.
+func (s *Store) PageSize() int { return s.opts.PageSize }
+
+// PoolBufferedBytes returns the bytes currently held by the buffer pool
+// (buffered frames × page size). The tenant registry samples it to enforce
+// a global byte budget across stores.
+func (s *Store) PoolBufferedBytes() int64 {
+	return int64(s.pool.Buffered()) * int64(s.opts.PageSize)
+}
+
+// PoolPinned returns the number of outstanding page pins — zero once every
+// query, cursor and snapshot against the store has finished.
+func (s *Store) PoolPinned() int { return s.pool.Pinned() }
+
+// SetPoolCapacity re-budgets the buffer pool to at most frames pages,
+// evicting (and writing back) LRU frames immediately. The tenant registry
+// uses it to divide one global byte budget across however many stores are
+// open; it is safe to call while queries and updates run.
+func (s *Store) SetPoolCapacity(frames int) error {
+	return s.pool.SetCapacity(frames)
+}
+
+// SetDecodeCacheBudget re-budgets the decoded-block cache at runtime; ≤ 0
+// disables decode caching and drops the current contents.
+func (s *Store) SetDecodeCacheBudget(budget int64) {
+	s.ss.Store().SetDecodeCacheBudget(budget)
+}
 
 // DecodeCacheStats returns the decoded-block cache's counters without
 // touching any page.
