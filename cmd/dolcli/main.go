@@ -7,12 +7,14 @@
 //	dolcli query -store DIR -admin -xpath '//item'
 //	dolcli query -store DIR -user NAME -xpath '//item' -limit 10 -timeout 5s
 //	dolcli query -store DIR -user NAME -xpath '//item' -stats [-no-summaries]
+//	dolcli query -store DIR -user NAME -xpath '//item' -analyze
+//	dolcli explain -store DIR -user NAME -xpath '//item' [-analyze] [-json]
 //	dolcli grant  -store DIR -subject NAME -mode read -xpath '//x' [-node-only] [-durability grouped]
 //	dolcli revoke -store DIR -subject NAME -mode read -xpath '//x' [-node-only] [-durability grouped]
 //	dolcli export -store DIR -user NAME -mode read [-o view.xml]
 //	dolcli stats -store DIR
-//	dolcli serve -store DIR -addr 127.0.0.1:9464 [-slow 100ms] [-snapshot-log 1s]
-//	dolcli serve -root TENANTS_DIR [-max-open 16] [-pool-budget 67108864] [-tokens tokens.json] [-rate 50]
+//	dolcli serve -store DIR -addr 127.0.0.1:9464 [-slow 100ms] [-snapshot-log 1s] [-recorder 30s] [-access-log -]
+//	dolcli serve -root TENANTS_DIR [-max-open 16] [-pool-budget 67108864] [-tokens tokens.json] [-rate 50] [-access-log access.jsonl]
 //
 // The policy file is line-oriented:
 //
@@ -42,6 +44,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -59,6 +62,8 @@ func main() {
 		err = build(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "explain":
+		err = explain(os.Args[2:])
 	case "grant":
 		err = setAccess(os.Args[2:], true)
 	case "revoke":
@@ -79,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dolcli {build|query|grant|revoke|export|stats|serve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dolcli {build|query|explain|grant|revoke|export|stats|serve} [flags]")
 	os.Exit(2)
 }
 
@@ -200,6 +205,7 @@ func runQuery(args []string) error {
 	noSummaries := fs.Bool("no-summaries", false, "disable structure-aware page skipping")
 	noPathSummary := fs.Bool("no-pathsummary", false, "disable path-summary routing (empty-query detection, path-class candidate filtering, pre-resolved access)")
 	showStats := fs.Bool("stats", false, "print page-read and cache statistics for the query")
+	analyze := fs.Bool("analyze", false, "trace the query and print per-operator attribution (pages, skips, probes, time) to stderr")
 	fs.Parse(args)
 	if *storeDir == "" || *xpath == "" {
 		return fmt.Errorf("query requires -store and -xpath")
@@ -224,6 +230,12 @@ func runQuery(args []string) error {
 		Limit:              *limit,
 		DisableSummarySkip: *noSummaries,
 		DisablePathSummary: *noPathSummary,
+	}
+	if *analyze {
+		if *showStats {
+			return fmt.Errorf("-analyze and -stats are mutually exclusive (analyze reports per-operator stats)")
+		}
+		opts.Analyze = &securexml.QueryAnalysis{}
 	}
 	var matches []securexml.Match
 	before := s.MetricsSnapshot()
@@ -288,7 +300,69 @@ func runQuery(args []string) error {
 			d("query_path_empty_total"), d("query_path_classes_preresolved"))
 		fmt.Fprintf(os.Stderr, "decode cache:     %d hits, %d misses (ratio %.2f)\n", decHits, decMisses, decRatio)
 	}
+	if opts.Analyze.Ready() {
+		if err := opts.Analyze.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// explain prints a query's compiled plan without executing it; with
+// -analyze it executes once and annotates the plan with per-operator
+// attribution.
+func explain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	user := fs.String("user", "", "querying user")
+	mode := fs.String("mode", "read", "action mode")
+	xpath := fs.String("xpath", "", "twig query")
+	admin := fs.Bool("admin", false, "bypass access control")
+	pruned := fs.Bool("pruned", false, "use the pruned-subtree (Gabillon-Bruno) semantics")
+	limit := fs.Int("limit", 0, "plan with an answer limit (0 = all)")
+	noSummaries := fs.Bool("no-summaries", false, "disable structure-aware page skipping")
+	noPathSummary := fs.Bool("no-pathsummary", false, "disable path-summary routing")
+	analyze := fs.Bool("analyze", false, "execute the query once and annotate the plan with per-operator attribution")
+	asJSON := fs.Bool("json", false, "emit JSON instead of the text report")
+	fs.Parse(args)
+	if *storeDir == "" || *xpath == "" {
+		return fmt.Errorf("explain requires -store and -xpath")
+	}
+	if !*admin && *user == "" {
+		return fmt.Errorf("explain requires -user (or -admin)")
+	}
+	s, err := securexml.Open(*storeDir, securexml.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	opts := securexml.QueryOptions{
+		Pruned:             *pruned,
+		Unrestricted:       *admin,
+		Limit:              *limit,
+		DisableSummarySkip: *noSummaries,
+		DisablePathSummary: *noPathSummary,
+	}
+	ctx := context.Background()
+	if *analyze {
+		an := &securexml.QueryAnalysis{}
+		opts.Analyze = an
+		if _, err := s.QueryCtx(ctx, *user, *mode, *xpath, opts); err != nil {
+			return err
+		}
+		if *asJSON {
+			return an.WriteJSON(os.Stdout)
+		}
+		return an.WriteText(os.Stdout)
+	}
+	plan, err := s.Explain(ctx, *user, *mode, *xpath, opts)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return plan.WriteJSON(os.Stdout)
+	}
+	return plan.WriteText(os.Stdout)
 }
 
 func serve(args []string) error {
@@ -305,9 +379,22 @@ func serve(args []string) error {
 	rate := fs.Float64("rate", 0, "multi-tenant: sustained per-principal queries/sec (token bucket; 0 = unlimited)")
 	burst := fs.Int("burst", 0, "multi-tenant: rate-limit burst depth (default ~rate)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown: in-flight drain deadline after SIGTERM/SIGINT")
+	recorder := fs.Duration("recorder", 0, "single-tenant: dump the flight-recorder report to stderr at this interval (0 = off; /debug/queries always serves it on demand)")
+	accessLogPath := fs.String("access-log", "", "write one JSON line per /query and /explain request to this file (\"-\" = stderr)")
 	fs.Parse(args)
 	if (*storeDir == "") == (*root == "") {
 		return fmt.Errorf("serve requires exactly one of -store or -root")
+	}
+	var accessLog *os.File
+	if *accessLogPath == "-" {
+		accessLog = os.Stderr
+	} else if *accessLogPath != "" {
+		var err error
+		accessLog, err = os.OpenFile(*accessLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer accessLog.Close()
 	}
 
 	// SIGTERM/SIGINT begins a graceful shutdown: stop accepting, drain
@@ -342,12 +429,16 @@ func serve(args []string) error {
 				return fmt.Errorf("parsing %s: %w", *tokensFile, err)
 			}
 		}
-		srv := registry.NewServer(reg, registry.ServerOptions{
+		sopts := registry.ServerOptions{
 			Tokens:       tokens,
 			RatePerSec:   *rate,
 			Burst:        *burst,
 			DrainTimeout: *drain,
-		})
+		}
+		if accessLog != nil {
+			sopts.AccessLog = accessLog
+		}
+		srv := registry.NewServer(reg, sopts)
 		handler = srv
 		shutdown = srv.Shutdown
 	} else {
@@ -358,16 +449,22 @@ func serve(args []string) error {
 		if err != nil {
 			return err
 		}
+		var logger *accessLogger
+		if accessLog != nil {
+			logger = &accessLogger{w: accessLog}
+		}
 		mux := http.NewServeMux()
-		// DebugHandler carries /debug/vars (JSON) and /metrics (Prometheus).
+		// DebugHandler carries /debug/vars (JSON), /metrics (Prometheus) and
+		// /debug/queries (the flight recorder).
 		mux.Handle("/debug/vars", s.DebugHandler())
 		mux.Handle("/metrics", s.DebugHandler())
+		mux.Handle("/debug/queries", s.DebugHandler())
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
-		mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		parseOpts := func(r *http.Request) (user, mode string, opts securexml.QueryOptions) {
 			q := r.URL.Query()
-			opts := securexml.QueryOptions{
+			opts = securexml.QueryOptions{
 				Unrestricted:       q.Get("admin") != "",
 				Pruned:             q.Get("pruned") != "",
 				DisablePathSummary: q.Get("nopathsummary") != "",
@@ -375,20 +472,81 @@ func serve(args []string) error {
 			if lim := q.Get("limit"); lim != "" {
 				fmt.Sscanf(lim, "%d", &opts.Limit)
 			}
-			mode := q.Get("mode")
+			mode = q.Get("mode")
 			if mode == "" {
 				mode = "read"
 			}
-			ms, err := s.QueryCtx(r.Context(), q.Get("user"), mode, q.Get("xpath"), opts)
+			return q.Get("user"), mode, opts
+		}
+		mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+			user, mode, opts := parseOpts(r)
+			var qt *securexml.QueryTrace
+			if logger != nil {
+				// The log line reports pages pinned; the counting trace
+				// provides them without retaining an event log.
+				qt = securexml.NewCountingQueryTrace()
+				opts.Trace = qt
+			}
+			start := time.Now()
+			ms, err := s.QueryCtx(r.Context(), user, mode, r.URL.Query().Get("xpath"), opts)
 			if err != nil {
+				logger.log("/query", user, r.URL.Query().Get("xpath"), opts, http.StatusBadRequest, time.Since(start), qt, 0)
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
+			logger.log("/query", user, r.URL.Query().Get("xpath"), opts, http.StatusOK, time.Since(start), qt, len(ms))
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", " ")
 			enc.Encode(ms)
 		})
+		mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+			user, mode, opts := parseOpts(r)
+			q := r.URL.Query()
+			asText := q.Get("format") == "text"
+			if q.Get("analyze") != "" {
+				an := &securexml.QueryAnalysis{}
+				opts.Analyze = an
+				if _, err := s.QueryCtx(r.Context(), user, mode, q.Get("xpath"), opts); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				if asText {
+					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+					an.WriteText(w)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				an.WriteJSON(w)
+				return
+			}
+			plan, err := s.Explain(r.Context(), user, mode, q.Get("xpath"), opts)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if asText {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				plan.WriteText(w)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			plan.WriteJSON(w)
+		})
+		if *recorder > 0 {
+			t := time.NewTicker(*recorder)
+			go func() {
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+						s.WriteRecorderText(os.Stderr)
+					}
+				}
+			}()
+		}
 		handler = mux
 		shutdown = func(context.Context) error { return s.Close() }
 	}
@@ -407,7 +565,7 @@ func serve(args []string) error {
 	httpSrv := &http.Server{Handler: outer}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "dolcli: serving on http://%s (/debug/vars, /metrics, /query, /healthz, /debug/pprof/)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "dolcli: serving on http://%s (/debug/vars, /metrics, /query, /explain, /debug/queries, /healthz, /debug/pprof/)\n", ln.Addr())
 
 	select {
 	case err := <-errc:
@@ -423,6 +581,51 @@ func serve(args []string) error {
 		fmt.Fprintf(os.Stderr, "dolcli: http drain: %v\n", err)
 	}
 	return shutdown(sctx)
+}
+
+// accessLogger serializes single-store serve's access-log lines: one JSON
+// line per request, each a single Write.
+type accessLogger struct {
+	mu sync.Mutex
+	w  *os.File
+}
+
+// log emits one line; a nil logger is a no-op so handlers call it
+// unconditionally.
+func (l *accessLogger) log(endpoint, user, xpath string, opts securexml.QueryOptions, status int, elapsed time.Duration, qt *securexml.QueryTrace, answers int) {
+	if l == nil {
+		return
+	}
+	fp, _ := securexml.QueryFingerprint(xpath, opts)
+	line := struct {
+		At          string `json:"at"`
+		Endpoint    string `json:"endpoint"`
+		Subject     string `json:"subject"`
+		XPath       string `json:"xpath"`
+		Status      int    `json:"status"`
+		LatencyUs   int64  `json:"latency_us"`
+		Pages       int64  `json:"pages"`
+		Answers     int    `json:"answers"`
+		Fingerprint string `json:"fingerprint,omitempty"`
+	}{
+		At:          time.Now().UTC().Format(time.RFC3339Nano),
+		Endpoint:    endpoint,
+		Subject:     user,
+		XPath:       xpath,
+		Status:      status,
+		LatencyUs:   elapsed.Microseconds(),
+		Pages:       qt.PageReads(),
+		Answers:     answers,
+		Fingerprint: fp,
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
 }
 
 // setAccess applies an accessibility update to a persisted store: the

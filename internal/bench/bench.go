@@ -210,7 +210,7 @@ var Experiments = []string{
 	"fig4a", "fig4b", "fig5", "fig6", "storage", "fig7", "joins",
 	"updates", "worstcase", "ablation", "modes", "parallel", "streaming",
 	"pageskip", "pathsummary", "wal", "writeload", "obs",
-	"codebook", "multitenant",
+	"codebook", "multitenant", "explain",
 }
 
 // Run executes the named experiment and returns its tables, each stamped
@@ -269,6 +269,8 @@ func run(name string, cfg Config) ([]*Table, error) {
 		return []*Table{CodebookScaling(cfg)}, nil
 	case "multitenant":
 		return Multitenant(cfg), nil
+	case "explain":
+		return Explain(cfg), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

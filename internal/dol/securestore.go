@@ -108,16 +108,17 @@ func (ss *SecureStore) WillMutate() {
 // reads them off its current snapshot so exports never race an update.
 func (ss *SecureStore) RegisterMetrics(reg *obs.Registry, prefix string) error {
 	for _, m := range []struct {
-		name string
-		c    *obs.Counter
+		name, help string
+		c          *obs.Counter
 	}{
-		{"checks", &ss.stats.checks},
-		{"decisions_computed", &ss.stats.decisions},
-		{"bitmap_builds", &ss.stats.bitmapBuilds},
+		{"checks", "Node accessibility checks answered.", &ss.stats.checks},
+		{"decisions_computed", "Access decisions computed from the codebook.", &ss.stats.decisions},
+		{"bitmap_builds", "Page deny-bitmaps materialized.", &ss.stats.bitmapBuilds},
 	} {
 		if err := reg.RegisterCounter(prefix+"_"+m.name, m.c); err != nil {
 			return err
 		}
+		reg.SetHelp(prefix+"_"+m.name, m.help)
 	}
 	return nil
 }

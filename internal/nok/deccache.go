@@ -172,28 +172,30 @@ func (s *Store) DecodeCacheStats() DecodeCacheStats { return s.dec.stats() }
 func (s *Store) RegisterMetrics(reg *obs.Registry, prefix string) error {
 	c := s.dec
 	for _, m := range []struct {
-		name string
-		ctr  *obs.Counter
+		name, help string
+		ctr        *obs.Counter
 	}{
-		{"hits", &c.hits},
-		{"misses", &c.misses},
-		{"evictions", &c.evictions},
+		{"hits", "Block decodes served from the cache.", &c.hits},
+		{"misses", "Block decodes that had to run.", &c.misses},
+		{"evictions", "Decoded blocks evicted under the byte budget.", &c.evictions},
 	} {
 		if err := reg.RegisterCounter(prefix+"_"+m.name, m.ctr); err != nil {
 			return err
 		}
+		reg.SetHelp(prefix+"_"+m.name, m.help)
 	}
 	for _, g := range []struct {
-		name string
-		fn   obs.Gauge
+		name, help string
+		fn         obs.Gauge
 	}{
-		{"entries", func() int64 { return int64(c.stats().Entries) }},
-		{"bytes", func() int64 { return c.stats().Bytes }},
-		{"budget_bytes", func() int64 { return c.stats().Budget }},
+		{"entries", "Decoded blocks resident in the cache.", func() int64 { return int64(c.stats().Entries) }},
+		{"bytes", "Bytes held by resident decoded blocks.", func() int64 { return c.stats().Bytes }},
+		{"budget_bytes", "Configured decode-cache byte budget.", func() int64 { return c.stats().Budget }},
 	} {
 		if err := reg.RegisterGauge(prefix+"_"+g.name, g.fn); err != nil {
 			return err
 		}
+		reg.SetHelp(prefix+"_"+g.name, g.help)
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"math/bits"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -137,6 +138,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -145,7 +147,34 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]Gauge{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
+}
+
+// SetHelp records the help text exported on the metric family's # HELP
+// line. Registration sites call it right next to the metric registration;
+// names without help get a generated fallback so the exposition always
+// carries a HELP line per family.
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// helpFor returns the help text for name, falling back to a generated
+// sentence. Callers hold at least the read lock.
+func (r *Registry) helpFor(name string) string {
+	if h, ok := r.help[name]; ok && h != "" {
+		return h
+	}
+	return strings.ReplaceAll(name, "_", " ") + "."
+}
+
+// escapeHelp escapes backslashes and newlines per the Prometheus text
+// exposition format's HELP rules.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // register validates the name and its uniqueness across all metric kinds.
@@ -308,12 +337,25 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WritePrometheus writes every metric in the Prometheus text exposition
 // format, each name prefixed with prefix_ (pass "" for none). Counters
 // become counters, gauges gauges, and histograms native Prometheus
-// histograms with cumulative power-of-two le buckets.
+// histograms with cumulative power-of-two le buckets. Every family gets a
+// # HELP line (registered via SetHelp, generated otherwise) ahead of its
+// # TYPE line, so scrapes pass promtool-style lint.
 func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 	if prefix != "" {
 		prefix += "_"
 	}
 	s := r.Snapshot()
+	r.mu.RLock()
+	help := make(map[string]string, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for _, m := range []map[string]int64{s.Counters, s.Gauges} {
+		for n := range m {
+			help[n] = r.helpFor(n)
+		}
+	}
+	for n := range s.Histograms {
+		help[n] = r.helpFor(n)
+	}
+	r.mu.RUnlock()
 	var err error
 	p := func(format string, args ...any) {
 		if err == nil {
@@ -321,10 +363,12 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 		}
 	}
 	for _, n := range sortedKeys(s.Counters) {
-		p("# TYPE %s%s counter\n%s%s %d\n", prefix, n, prefix, n, s.Counters[n])
+		p("# HELP %s%s %s\n# TYPE %s%s counter\n%s%s %d\n",
+			prefix, n, escapeHelp(help[n]), prefix, n, prefix, n, s.Counters[n])
 	}
 	for _, n := range sortedKeys(s.Gauges) {
-		p("# TYPE %s%s gauge\n%s%s %d\n", prefix, n, prefix, n, s.Gauges[n])
+		p("# HELP %s%s %s\n# TYPE %s%s gauge\n%s%s %d\n",
+			prefix, n, escapeHelp(help[n]), prefix, n, prefix, n, s.Gauges[n])
 	}
 	hnames := make([]string, 0, len(s.Histograms))
 	for n := range s.Histograms {
@@ -333,7 +377,7 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 	sort.Strings(hnames)
 	for _, n := range hnames {
 		h := s.Histograms[n]
-		p("# TYPE %s%s histogram\n", prefix, n)
+		p("# HELP %s%s %s\n# TYPE %s%s histogram\n", prefix, n, escapeHelp(help[n]), prefix, n)
 		bounds := make([]int64, 0, len(h.Buckets))
 		for b := range h.Buckets {
 			bounds = append(bounds, b)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,6 +71,11 @@ type TraceEvent struct {
 	At time.Duration `json:"at_us"`
 	// Kind classifies the event.
 	Kind EventKind `json:"kind"`
+	// Op names the plan operator that recorded the event ("" when the
+	// event was recorded outside any operator — facade work such as
+	// parsing or answer conversion). Stamped by handles from ForOp; the
+	// ANALYZE fold partitions events into per-operator buckets by it.
+	Op string `json:"op,omitempty"`
 	// Page is the page touched or skipped (-1 when not page-related).
 	Page int64 `json:"page,omitempty"`
 	// Node is the data node involved (-1 when not node-related).
@@ -92,12 +98,30 @@ const DefaultTraceLimit = 1 << 20
 // match workers and the consumer append through one mutex. A nil *Trace is
 // valid and records nothing, so call sites need no guards beyond the usual
 // pointer check when building events is itself costly.
+//
+// Two cheap derived forms exist. ForOp returns a handle sharing the same
+// event log that stamps every event it records with an operator label, so
+// page pins performed under an operator's context attribute to that
+// operator. NewCountingTrace returns a trace that keeps only atomic
+// page/skip/emit counters and records no events — the always-on flight
+// recorder's per-query accounting without per-event cost.
 type Trace struct {
 	mu      sync.Mutex
 	start   time.Time
 	limit   int
 	events  []TraceEvent
 	dropped int64
+	// dropCt, when set, is incremented once per dropped event so drops
+	// surface in the metrics registry, not only inside the dump.
+	dropCt *Counter
+	// root is non-nil on ForOp handles and points at the trace owning the
+	// event log; op is the label such a handle stamps on its events.
+	root *Trace
+	op   string
+	// counting switches the trace to counter-only mode: add keeps the
+	// atomic tallies below and discards the event itself.
+	counting                             bool
+	cPins, cHits, cSkipA, cSkipS, cEmits atomic.Int64
 }
 
 // NewTrace returns an empty trace starting now.
@@ -105,21 +129,93 @@ func NewTrace() *Trace {
 	return &Trace{start: time.Now(), limit: DefaultTraceLimit}
 }
 
+// NewTraceWithLimit returns an empty trace that drops events past limit —
+// for tests exercising the drop path without recording a million events.
+func NewTraceWithLimit(limit int) *Trace {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Trace{start: time.Now(), limit: limit}
+}
+
+// NewCountingTrace returns a trace in counter-only mode: page pins, hits,
+// skips and emits are tallied atomically but no events are retained.
+// Events, WriteTo and Dropped see an empty trace; the count accessors
+// (PageReads, PageHits, PageSkips, Emits, Counts) read the tallies.
+func NewCountingTrace() *Trace {
+	return &Trace{start: time.Now(), counting: true}
+}
+
+// base returns the trace owning the event log (itself, or the root of a
+// ForOp handle).
+func (t *Trace) base() *Trace {
+	if t.root != nil {
+		return t.root
+	}
+	return t
+}
+
+// ForOp returns a handle over the same trace that stamps op on every event
+// it records. Handles are cheap (one allocation) and safe to share; a nil
+// receiver returns nil.
+func (t *Trace) ForOp(op string) *Trace {
+	if t == nil || op == "" {
+		return t
+	}
+	return &Trace{root: t.base(), op: op}
+}
+
+// SetDropCounter arranges for c to be incremented once per event dropped
+// past the trace limit, surfacing drops in the metrics registry.
+func (t *Trace) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	b := t.base()
+	b.mu.Lock()
+	b.dropCt = c
+	b.mu.Unlock()
+}
+
 // add appends one event, stamping it.
 func (t *Trace) add(e TraceEvent) {
 	if t == nil {
 		return
 	}
-	now := time.Since(t.start)
-	t.mu.Lock()
-	if len(t.events) >= t.limit {
-		t.dropped++
-		t.mu.Unlock()
+	b := t.base()
+	if b.counting {
+		switch e.Kind {
+		case EvPagePin:
+			b.cPins.Add(1)
+			if e.Hit {
+				b.cHits.Add(1)
+			}
+		case EvPageSkipAccess:
+			b.cSkipA.Add(1)
+		case EvPageSkipStruct:
+			b.cSkipS.Add(1)
+		case EvEmit:
+			b.cEmits.Add(1)
+		}
+		return
+	}
+	if t.op != "" {
+		e.Op = t.op
+	}
+	now := time.Since(b.start)
+	b.mu.Lock()
+	if len(b.events) >= b.limit {
+		b.dropped++
+		c := b.dropCt
+		b.mu.Unlock()
+		if c != nil {
+			c.Inc()
+		}
 		return
 	}
 	e.At = now
-	t.events = append(t.events, e)
-	t.mu.Unlock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
 }
 
 // Mark records a point event.
@@ -197,10 +293,11 @@ func (t *Trace) Events() []TraceEvent {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]TraceEvent, len(t.events))
-	copy(out, t.events)
+	b := t.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TraceEvent, len(b.events))
+	copy(out, b.events)
 	return out
 }
 
@@ -210,18 +307,65 @@ func (t *Trace) Dropped() int64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
+	b := t.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
 }
 
 // PageReads counts page-pin events — one per buffer-pool Get the traced
 // work performed.
-func (t *Trace) PageReads() int64 { return t.countKinds(EvPagePin) }
+func (t *Trace) PageReads() int64 {
+	if t == nil {
+		return 0
+	}
+	if b := t.base(); b.counting {
+		return b.cPins.Load()
+	}
+	return t.countKinds(EvPagePin)
+}
+
+// PageHits counts page-pin events served from the pool without physical
+// I/O.
+func (t *Trace) PageHits() int64 {
+	if t == nil {
+		return 0
+	}
+	b := t.base()
+	if b.counting {
+		return b.cHits.Load()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n int64
+	for _, e := range b.events {
+		if e.Kind == EvPagePin && e.Hit {
+			n++
+		}
+	}
+	return n
+}
 
 // PageSkips counts page-skip events of both causes.
 func (t *Trace) PageSkips() int64 {
+	if t == nil {
+		return 0
+	}
+	if b := t.base(); b.counting {
+		return b.cSkipA.Load() + b.cSkipS.Load()
+	}
 	return t.countKinds(EvPageSkipAccess, EvPageSkipStruct)
+}
+
+// Emits counts answers that left the pipeline.
+func (t *Trace) Emits() int64 {
+	if t == nil {
+		return 0
+	}
+	if b := t.base(); b.counting {
+		return b.cEmits.Load()
+	}
+	return t.countKinds(EvEmit)
 }
 
 // PagesConsidered counts every page decision in the trace: pins plus skips
@@ -229,17 +373,55 @@ func (t *Trace) PageSkips() int64 {
 // PageReads + PageSkips == PagesConsidered against the registry's
 // independently maintained counters.
 func (t *Trace) PagesConsidered() int64 {
+	if t == nil {
+		return 0
+	}
+	if b := t.base(); b.counting {
+		return b.cPins.Load() + b.cSkipA.Load() + b.cSkipS.Load()
+	}
 	return t.countKinds(EvPagePin, EvPageSkipAccess, EvPageSkipStruct)
+}
+
+// Counts returns the trace's page accounting in one pass: pins, pool
+// hits, skips by cause, and emits. It works in both event and counting
+// mode and is what the flight recorder folds into a query digest.
+func (t *Trace) Counts() (pins, hits, skipAccess, skipStruct, emits int64) {
+	if t == nil {
+		return
+	}
+	b := t.base()
+	if b.counting {
+		return b.cPins.Load(), b.cHits.Load(), b.cSkipA.Load(), b.cSkipS.Load(), b.cEmits.Load()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.events {
+		switch e.Kind {
+		case EvPagePin:
+			pins++
+			if e.Hit {
+				hits++
+			}
+		case EvPageSkipAccess:
+			skipAccess++
+		case EvPageSkipStruct:
+			skipStruct++
+		case EvEmit:
+			emits++
+		}
+	}
+	return
 }
 
 func (t *Trace) countKinds(kinds ...EventKind) int64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	b := t.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var n int64
-	for _, e := range t.events {
+	for _, e := range b.events {
 		for _, k := range kinds {
 			if e.Kind == k {
 				n++
@@ -256,11 +438,13 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	if t == nil {
 		return 0, nil
 	}
-	t.mu.Lock()
-	events := make([]TraceEvent, len(t.events))
-	copy(events, t.events)
-	dropped := t.dropped
-	t.mu.Unlock()
+	b := t.base()
+	b.mu.Lock()
+	events := make([]TraceEvent, len(b.events))
+	copy(events, b.events)
+	dropped := b.dropped
+	limit := b.limit
+	b.mu.Unlock()
 	var total int64
 	p := func(format string, args ...any) error {
 		n, err := fmt.Fprintf(w, format, args...)
@@ -270,6 +454,9 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	for _, e := range events {
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "%10.1fus %-18s", float64(e.At.Nanoseconds())/1e3, e.Kind)
+		if e.Op != "" {
+			fmt.Fprintf(&sb, " op=%s", e.Op)
+		}
 		if e.Page >= 0 {
 			fmt.Fprintf(&sb, " page=%d", e.Page)
 		}
@@ -290,7 +477,7 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	if dropped > 0 {
-		if err := p("(%d events dropped past the %d-event limit)\n", dropped, t.limit); err != nil {
+		if err := p("(%d events dropped past the %d-event limit)\n", dropped, limit); err != nil {
 			return total, err
 		}
 	}

@@ -205,6 +205,12 @@ func newParallelMatchCursor(parent context.Context, ev *Evaluator, m *matcher, s
 				}
 			}()
 		}
+		// Merge events attribute to this scan's operator when the pipeline
+		// stamped one on the producer context, else to the plain trace.
+		mergeTr := obs.TraceFromContext(ctx)
+		if mergeTr == nil {
+			mergeTr = m.trace
+		}
 		for k := 0; k < chunks; k++ {
 			var res chunkRes
 			select {
@@ -216,7 +222,7 @@ func newParallelMatchCursor(parent context.Context, ev *Evaluator, m *matcher, s
 				sendMsg(ctx, out, matchMsg{err: res.err})
 				return
 			}
-			m.trace.MergeChunk(k, len(res.ms))
+			mergeTr.MergeChunk(k, len(res.ms))
 			for _, sm := range res.ms {
 				if !sendMsg(ctx, out, matchMsg{t: ev.tupleFrom(subs, i, sm)}) {
 					return
@@ -237,6 +243,12 @@ type pathFilterCursor struct {
 	ev   *Evaluator
 	view *dol.SubjectView
 	in   Cursor
+	// tr is the operator's trace handle; the filter's own page reads run
+	// under a context stamped with it (cached per incoming context so the
+	// per-tuple path does not allocate).
+	tr      *obs.Trace
+	inCtx   context.Context
+	wrapped context.Context
 
 	opened        bool
 	eps           *join.EpsJoiner
@@ -245,7 +257,20 @@ type pathFilterCursor struct {
 	lastPass      bool
 }
 
+// opCtx returns ctx stamped with the filter's operator handle.
+func (pc *pathFilterCursor) opCtx(ctx context.Context) context.Context {
+	if pc.tr == nil {
+		return ctx
+	}
+	if ctx != pc.inCtx {
+		pc.inCtx = ctx
+		pc.wrapped = obs.WithTrace(ctx, pc.tr)
+	}
+	return pc.wrapped
+}
+
 func (pc *pathFilterCursor) Next(ctx context.Context) (Tuple, error) {
+	fctx := pc.opCtx(ctx)
 	for {
 		t, err := pc.in.Next(ctx)
 		if err != nil || t == nil {
@@ -259,13 +284,13 @@ func (pc *pathFilterCursor) Next(ctx context.Context) (Tuple, error) {
 		case root.node == 0:
 			// The document root itself, when matched, is valid iff
 			// accessible (it has no proper-ancestor path to check).
-			pass, err = pc.view.AccessibleCtx(ctx, 0)
+			pass, err = pc.view.AccessibleCtx(fctx, 0)
 			if err != nil {
 				return nil, err
 			}
 		default:
 			if !pc.opened {
-				rootEnd, err := pc.ev.store.SubtreeEndCtx(ctx, 0)
+				rootEnd, err := pc.ev.store.SubtreeEndCtx(fctx, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -273,11 +298,11 @@ func (pc *pathFilterCursor) Next(ctx context.Context) (Tuple, error) {
 					[]join.Item{{Node: 0, End: rootEnd, Level: 0}})
 				pc.opened = true
 			}
-			end, err := pc.ev.store.SubtreeEndCtx(ctx, root.node)
+			end, err := pc.ev.store.SubtreeEndCtx(fctx, root.node)
 			if err != nil {
 				return nil, err
 			}
-			pairs, err := pc.eps.Probe(ctx, join.Item{Node: root.node, End: end, Level: root.level})
+			pairs, err := pc.eps.Probe(fctx, join.Item{Node: root.node, End: end, Level: root.level})
 			if err != nil {
 				return nil, err
 			}
@@ -308,6 +333,12 @@ type joinCursor struct {
 	linkSlot int
 	base     int
 	nSlots   int
+	// tr is the operator's trace handle; the join's own page reads (the
+	// ancestor and right-root SubtreeEnd lookups, the ε-STD page pass) run
+	// under a context stamped with it.
+	tr      *obs.Trace
+	inCtx   context.Context
+	wrapped context.Context
 
 	opened      bool
 	leftTuples  []Tuple
@@ -325,8 +356,21 @@ type joinCursor struct {
 	rightDone bool
 }
 
+// opCtx returns ctx stamped with the join's operator handle.
+func (jc *joinCursor) opCtx(ctx context.Context) context.Context {
+	if jc.tr == nil {
+		return ctx
+	}
+	if ctx != jc.inCtx {
+		jc.inCtx = ctx
+		jc.wrapped = obs.WithTrace(ctx, jc.tr)
+	}
+	return jc.wrapped
+}
+
 func (jc *joinCursor) open(ctx context.Context) error {
-	defer jc.opts.Trace.Span(obs.EvJoinOpen)()
+	defer jc.tr.Span(obs.EvJoinOpen)()
+	jctx := jc.opCtx(ctx)
 	jc.opened = true
 	for {
 		t, err := jc.left.Next(ctx)
@@ -352,7 +396,7 @@ func (jc *joinCursor) open(ctx context.Context) error {
 		if _, ok := ancSet[b.node]; ok {
 			continue
 		}
-		end, err := jc.ev.store.SubtreeEndCtx(ctx, b.node)
+		end, err := jc.ev.store.SubtreeEndCtx(jctx, b.node)
 		if err != nil {
 			return err
 		}
@@ -397,21 +441,22 @@ func (jc *joinCursor) Next(ctx context.Context) (Tuple, error) {
 		}
 		root := rt[jc.base]
 		if !jc.lastRootValid || root.node != jc.lastRoot {
-			end, err := jc.ev.store.SubtreeEndCtx(ctx, root.node)
+			jctx := jc.opCtx(ctx)
+			end, err := jc.ev.store.SubtreeEndCtx(jctx, root.node)
 			if err != nil {
 				return nil, err
 			}
 			d := join.Item{Node: root.node, End: end, Level: root.level}
 			var pairs []join.Pair
 			if jc.eps != nil {
-				pairs, err = jc.eps.Probe(ctx, d)
+				pairs, err = jc.eps.Probe(jctx, d)
 				if err != nil {
 					return nil, err
 				}
 			} else {
 				pairs = jc.std.Probe(d)
 			}
-			jc.opts.Trace.JoinProbe(int64(root.node), len(pairs))
+			jc.tr.JoinProbe(int64(root.node), len(pairs))
 			jc.lastRoot, jc.lastRootValid = root.node, true
 			jc.lastAncs = jc.lastAncs[:0]
 			for _, p := range pairs {

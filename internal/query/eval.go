@@ -269,6 +269,23 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 		sm = fuseMask(ev.store, t, shape, opts.View, accessSkip)
 		if sm != nil {
 			sm.trace = opts.Trace
+			// Per-node operator handles: a page skipped while scanning for
+			// pattern node p attributes to p's subtree's scan operator.
+			// Resolved here, before prepare captures the scan closures.
+			if opts.Trace != nil {
+				sm.nodeTrace = make(map[*PatternNode]*obs.Trace, t.Len())
+				for i := range subs {
+					h := opts.Trace.ForOp(opScan(i))
+					var walk func(p *PatternNode)
+					walk = func(p *PatternNode) {
+						sm.nodeTrace[p] = h
+						for _, c := range nokChildren(p) {
+							walk(c)
+						}
+					}
+					walk(subs[i].Root)
+				}
+			}
 		}
 		endCompile()
 	}
@@ -297,7 +314,16 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 	var cur Cursor
 	var pathCands int64
 	for i := range subs {
-		cands, err := ev.candidates(pctx, t, subs[i], i == 0)
+		// Stamp this subtree's scan operator on every page pin its
+		// candidate lookup and match producers perform: the anchored top
+		// candidate, streaming matches, and parallel chunk workers all run
+		// under sctx.
+		scanTr := opts.Trace.ForOp(opScan(i))
+		sctx := pctx
+		if scanTr != nil {
+			sctx = obs.WithTrace(pctx, scanTr)
+		}
+		cands, err := ev.candidates(sctx, t, subs[i], i == 0)
 		if err != nil {
 			cancel()
 			if cur != nil {
@@ -316,20 +342,21 @@ func (ev *Evaluator) Open(ctx context.Context, t *PatternTree, opts Options) (*A
 					continue
 				}
 				pathCands++
-				opts.Trace.CandidateReject(int64(c.Node), sm.pageIDOf(ev.store.PageIndexOf(c.Node)))
+				scanTr.CandidateReject(int64(c.Node), sm.pageIDOf(ev.store.PageIndexOf(c.Node)))
 			}
 			cands = kept
 		}
-		rc := newMatchCursor(pctx, ev, m, subs, i, cands, workers)
+		rc := newMatchCursor(sctx, ev, m, subs, i, cands, workers)
 		if i == 0 {
 			if opts.View != nil && opts.Semantics == SemanticsPrunedSubtree {
-				rc = &pathFilterCursor{ev: ev, view: opts.View, in: rc}
+				rc = &pathFilterCursor{ev: ev, view: opts.View, in: rc, tr: opts.Trace.ForOp(opFilter)}
 			}
 			cur = rc
 		} else {
 			cur = &joinCursor{
 				ev:       ev,
 				opts:     opts,
+				tr:       opts.Trace.ForOp(opJoin(i)),
 				left:     cur,
 				right:    rc,
 				linkSlot: ev.slotOf(subs, subs[i].Parent, subs[i].Link),

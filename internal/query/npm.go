@@ -462,7 +462,13 @@ func (m *matcher) matchCandidate(ctx context.Context, sub NoKSubtree, c btree.Po
 	if m.masks != nil {
 		if pi := m.store.PageIndexOf(c.Node); m.masks.pageDenied(pi) {
 			m.masks.candCt.Inc()
-			m.trace.CandidateReject(int64(c.Node), m.masks.pageIDOf(pi))
+			// Attribute the reject to the operator stamped on ctx (the
+			// owning scan) when the pipeline provided one.
+			tr := obs.TraceFromContext(ctx)
+			if tr == nil {
+				tr = m.trace
+			}
+			tr.CandidateReject(int64(c.Node), m.masks.pageIDOf(pi))
 			return false, nil
 		}
 	}

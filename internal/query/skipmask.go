@@ -60,6 +60,11 @@ type skipMask struct {
 	// candidate-reject event per pre-I/O rejection (set from Options.Trace
 	// at Open).
 	trace *obs.Trace
+	// nodeTrace, when populated, maps each pattern node to the ForOp
+	// handle of its subtree's scan operator so skips attribute
+	// per-operator; scanSkipFn resolves it once per closure, falling back
+	// to trace.
+	nodeTrace map[*PatternNode]*obs.Trace
 
 	accessCt obs.Counter
 	structCt obs.Counter
@@ -117,6 +122,10 @@ func (sm *skipMask) scanSkipFn(p *PatternNode) func(int) bool {
 		return nil
 	}
 	access := sm.access
+	tr := sm.nodeTrace[p]
+	if tr == nil {
+		tr = sm.trace
+	}
 	return func(i int) bool {
 		if i < 0 || i>>6 >= len(bits) {
 			return false
@@ -131,8 +140,8 @@ func (sm *skipMask) scanSkipFn(p *PatternNode) func(int) bool {
 		} else {
 			sm.structCt.Inc()
 		}
-		if sm.trace != nil {
-			sm.trace.PageSkip(sm.pageIDOf(i), byAccess)
+		if tr != nil {
+			tr.PageSkip(sm.pageIDOf(i), byAccess)
 		}
 		return true
 	}

@@ -334,18 +334,19 @@ func (bp *BufferPool) ResetStats() {
 // pool_hits, …).
 func (bp *BufferPool) RegisterMetrics(reg *obs.Registry, prefix string) error {
 	for _, m := range []struct {
-		name string
-		c    *obs.Counter
+		name, help string
+		c          *obs.Counter
 	}{
-		{"gets", &bp.gets},
-		{"hits", &bp.hits},
-		{"misses", &bp.misses},
-		{"evictions", &bp.evictions},
-		{"flushes", &bp.flushes},
+		{"gets", "Page pins served by the buffer pool.", &bp.gets},
+		{"hits", "Page pins satisfied without a pager read.", &bp.hits},
+		{"misses", "Page pins that required a pager read.", &bp.misses},
+		{"evictions", "Frames evicted to make room.", &bp.evictions},
+		{"flushes", "Dirty frames written back on eviction or flush.", &bp.flushes},
 	} {
 		if err := reg.RegisterCounter(prefix+"_"+m.name, m.c); err != nil {
 			return err
 		}
+		reg.SetHelp(prefix+"_"+m.name, m.help)
 	}
 	if err := reg.RegisterGauge(prefix+"_pinned", func() int64 { return int64(bp.Pinned()) }); err != nil {
 		return err
@@ -353,7 +354,13 @@ func (bp *BufferPool) RegisterMetrics(reg *obs.Registry, prefix string) error {
 	if err := reg.RegisterGauge(prefix+"_buffered", func() int64 { return int64(bp.Buffered()) }); err != nil {
 		return err
 	}
-	return reg.RegisterGauge(prefix+"_capacity", func() int64 { return int64(bp.Capacity()) })
+	if err := reg.RegisterGauge(prefix+"_capacity", func() int64 { return int64(bp.Capacity()) }); err != nil {
+		return err
+	}
+	reg.SetHelp(prefix+"_pinned", "Outstanding page pins across all frames.")
+	reg.SetHelp(prefix+"_buffered", "Frames currently holding a page.")
+	reg.SetHelp(prefix+"_capacity", "Configured frame capacity of the pool.")
+	return nil
 }
 
 // Pinned returns the total number of outstanding pins across all frames.

@@ -582,29 +582,36 @@ func (w *WALPager) applyImages(finalPages int, order []PageID, images map[PageID
 // commit_wait_us (seal-to-durable latency per batch).
 func (w *WALPager) RegisterMetrics(reg *obs.Registry, prefix string) error {
 	for _, m := range []struct {
-		name string
-		c    *obs.Counter
+		name, help string
+		c          *obs.Counter
 	}{
-		{"begins", &w.begins},
-		{"commits", &w.commits},
-		{"rollbacks", &w.rollbacks},
-		{"fsyncs", &w.fsyncs},
-		{"log_appends", &w.logAppends},
-		{"log_bytes", &w.logBytes},
+		{"begins", "Transactions begun against the WAL.", &w.begins},
+		{"commits", "Transactions committed durably.", &w.commits},
+		{"rollbacks", "Transactions rolled back.", &w.rollbacks},
+		{"fsyncs", "fsync calls issued by the WAL.", &w.fsyncs},
+		{"log_appends", "Records appended to the log.", &w.logAppends},
+		{"log_bytes", "Bytes appended to the log.", &w.logBytes},
 	} {
 		if err := reg.RegisterCounter(prefix+"_"+m.name, m.c); err != nil {
 			return err
 		}
+		reg.SetHelp(prefix+"_"+m.name, m.help)
 	}
 	if err := reg.RegisterHistogram(prefix+"_group_size", &w.groupSize); err != nil {
 		return err
 	}
+	reg.SetHelp(prefix+"_group_size", "Commit batches coalesced per group flush.")
 	if err := reg.RegisterGauge(prefix+"_pending_batches", func() int64 {
 		return int64(w.PendingBatches())
 	}); err != nil {
 		return err
 	}
-	return reg.RegisterHistogram("commit_wait_us", &w.commitWait)
+	reg.SetHelp(prefix+"_pending_batches", "Sealed commit batches awaiting flush.")
+	if err := reg.RegisterHistogram("commit_wait_us", &w.commitWait); err != nil {
+		return err
+	}
+	reg.SetHelp("commit_wait_us", "Seal-to-durable commit latency in microseconds.")
+	return nil
 }
 
 func encodeBegin(seq uint64, basePages int) []byte {

@@ -42,6 +42,13 @@ type QueryOptions struct {
 	// checks) when unset, unless StoreOptions.SlowQueryThreshold forces an
 	// internal trace.
 	Trace *QueryTrace
+	// Analyze, when set, turns the query into ANALYZE: a full event trace
+	// is forced on (even without Trace), and after execution the analysis
+	// is filled with the compiled plan plus per-operator attribution —
+	// pages, pool hits, skips, rejects, probes and span time per plan
+	// operator, reconciling exactly with the pool's pin delta. Ignored by
+	// QueryCursor (a streaming drain has no single completion point).
+	Analyze *QueryAnalysis
 	// Snapshot, when set, evaluates the query against that pinned
 	// repeatable-read state (see Store.Snapshot) instead of the current
 	// one: a sequence of queries sharing a Snapshot sees one committed
@@ -76,9 +83,11 @@ type QueryCursor struct {
 	// tr is the effective trace (the caller's, or the slow-query log's
 	// internal one); it must ride every ctx handed to the pipeline so page
 	// pins during Next are attributed to this query.
-	tr     *obs.Trace
-	xpath  string
-	finish func(xpath string, err error)
+	tr      *obs.Trace
+	xpath   string
+	fp      string
+	answers int64
+	finish  func(fp, xpath string, answers int64, err error)
 }
 
 // QueryCursor opens a streaming cursor for the XPath expression as the
@@ -92,18 +101,19 @@ func (s *Store) QueryCursor(ctx context.Context, user, mode, xpath string, opts 
 		DisablePathSummary: opts.DisablePathSummary,
 		Trace:              opts.Trace.inner(),
 	}
-	tr, finish := s.startQuery(&qo)
+	tr, finish := s.startQuery(&qo, false)
 	ctx = obs.WithTrace(ctx, tr)
 	endParse := tr.Span(obs.EvParse)
 	pt, err := query.Parse(xpath)
 	endParse()
 	if err != nil {
-		finish(xpath, err)
+		finish("", xpath, 0, err)
 		return nil, err
 	}
+	fp := fingerprintFor(pt, opts)
 	r, err := s.acquireFor(opts)
 	if err != nil {
-		finish(xpath, err)
+		finish(fp, xpath, 0, err)
 		return nil, err
 	}
 	sn := r.sn
@@ -111,7 +121,7 @@ func (s *Store) QueryCursor(ctx context.Context, user, mode, xpath string, opts 
 	fail := func(err error) (*QueryCursor, error) {
 		tr.SnapshotUnpin(sn.seq, time.Since(r.at))
 		s.release(r)
-		finish(xpath, err)
+		finish(fp, xpath, 0, err)
 		return nil, err
 	}
 	if !opts.Unrestricted {
@@ -131,7 +141,7 @@ func (s *Store) QueryCursor(ctx context.Context, user, mode, xpath string, opts 
 	if err != nil {
 		return fail(err)
 	}
-	return &QueryCursor{s: s, ref: r, a: a, tr: tr, xpath: xpath, finish: finish}, nil
+	return &QueryCursor{s: s, ref: r, a: a, tr: tr, xpath: xpath, fp: fp, finish: finish}, nil
 }
 
 // Next returns the next answer; ok is false once the stream is exhausted
@@ -144,6 +154,7 @@ func (c *QueryCursor) Next(ctx context.Context) (m Match, ok bool, err error) {
 		return Match{}, false, err
 	}
 	c.s.queryAnswers.Inc()
+	c.answers++
 	return c.s.matchAt(ctx, c.ref.sn.st, n)
 }
 
@@ -180,7 +191,7 @@ func (c *QueryCursor) Close() error {
 	c.tr.SnapshotUnpin(c.ref.sn.seq, time.Since(c.ref.at))
 	c.s.release(c.ref)
 	c.tr.Mark(obs.EvDone)
-	c.finish(c.xpath, err)
+	c.finish(c.fp, c.xpath, c.answers, err)
 	return err
 }
 

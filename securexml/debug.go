@@ -75,10 +75,20 @@ func (s *Store) WriteMetricsPrometheusAs(w io.Writer, prefix string) error {
 	return s.reg.WritePrometheus(w, prefix)
 }
 
+// WriteRecorderJSON writes the flight recorder's snapshot — recent query
+// digests, per-fingerprint aggregates, slowest retained queries — as
+// indented JSON (the /debug/queries payload).
+func (s *Store) WriteRecorderJSON(w io.Writer) error { return s.rec.WriteJSON(w) }
+
+// WriteRecorderText renders the flight recorder's snapshot as an aligned
+// text report.
+func (s *Store) WriteRecorderText(w io.Writer) error { return s.rec.WriteText(w) }
+
 // DebugHandler serves the store's live metrics over HTTP:
 //
-//	/debug/vars  — the registry as JSON (expvar-style)
-//	/metrics     — the same registry in Prometheus text format
+//	/debug/vars     — the registry as JSON (expvar-style)
+//	/metrics        — the same registry in Prometheus text format
+//	/debug/queries  — the flight recorder (JSON; ?format=text for the report)
 //
 // Both endpoints read the same registry the in-process accessors do, so
 // scraped numbers always agree with MetricsSnapshot. The handler holds no
@@ -95,6 +105,19 @@ func (s *Store) DebugHandler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.WriteMetricsPrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := s.WriteRecorderText(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := s.WriteRecorderJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -3,6 +3,7 @@ package securexml
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -96,6 +97,81 @@ func (s *Store) initObs() error {
 	s.pathEmpties = s.reg.Counter("query_path_empty_total")
 	s.pathClasses = s.reg.Counter("query_path_classes_preresolved")
 	s.queryLatency = s.reg.Histogram("query_latency_us")
+	// The flight recorder and its spill counter: every query — traced or
+	// not — leaves a digest in the bounded ring, and any event a full
+	// trace had to drop past its limit is counted store-wide.
+	s.rec = obs.NewRecorder(0, 0, 0)
+	s.traceDropped = s.reg.Counter("query_trace_dropped_total")
+	if err := s.reg.RegisterGauge("recorder_queries", func() int64 {
+		return s.rec.Total()
+	}); err != nil {
+		return err
+	}
+	if err := s.reg.RegisterGauge("recorder_fingerprints", func() int64 {
+		return int64(s.rec.Fingerprints())
+	}); err != nil {
+		return err
+	}
+	// Per-store SLO accounting: the objective is a latency bound; the burn
+	// rate compares the observed over-objective fraction with the error
+	// budget (1 - target), in permille — 1000 means burning the budget
+	// exactly as fast as the SLO allows.
+	s.sloFinished = s.reg.Counter("slo_queries_total")
+	s.sloOver = s.reg.Counter("slo_queries_over_objective")
+	if err := s.reg.RegisterGauge("slo_latency_objective_us", func() int64 {
+		if d := s.opts.SLOLatency; d > 0 {
+			return d.Microseconds()
+		}
+		return 0
+	}); err != nil {
+		return err
+	}
+	if err := s.reg.RegisterGauge("slo_burn_rate_permille", func() int64 {
+		return sloBurnPermille(s.sloOver.Load(), s.sloFinished.Load(), s.opts.SLOTarget)
+	}); err != nil {
+		return err
+	}
+	for name, help := range map[string]string{
+		"query_total":                    "Queries started.",
+		"query_errors":                   "Queries that finished with an error.",
+		"query_slow_total":               "Queries at or over the slow-query threshold.",
+		"query_answers_total":            "Answer nodes returned across all queries.",
+		"query_matches_total":            "Combined pattern-match tuples consumed.",
+		"query_pages_skipped_access":     "Pages skipped because the access mask proved them dead.",
+		"query_pages_skipped_struct":     "Pages skipped because the structure summary proved them dead.",
+		"query_candidates_rejected":      "Candidate nodes rejected before matching.",
+		"query_candidates_rejected_path": "Candidates rejected by path-class filtering.",
+		"query_path_empty_total":         "Queries proven empty by the path summary alone.",
+		"query_path_classes_preresolved": "Uniform path classes whose access verdict was preresolved.",
+		"query_latency_us":               "Query latency in microseconds.",
+		"query_trace_dropped_total":      "Trace events discarded past a trace's event limit.",
+		"recorder_queries":               "Queries recorded by the flight recorder since open.",
+		"recorder_fingerprints":          "Distinct query fingerprints the recorder currently tracks.",
+		"slo_queries_total":              "Queries counted against the latency SLO.",
+		"slo_queries_over_objective":     "Queries that finished over the SLO latency objective.",
+		"slo_latency_objective_us":       "Configured SLO latency objective in microseconds (0 when unset).",
+		"slo_burn_rate_permille":         "Error-budget burn rate in permille; 1000 burns the budget exactly at the SLO rate.",
+		"skipmask_compile_hits":          "Skip-mask compilations served from the mask cache.",
+		"skipmask_compile_misses":        "Skip-mask compilations that had to run.",
+		"snapshot_pins":                  "Snapshot pins taken by queries and cursors.",
+		"snapshot_unpins":                "Snapshot pins released.",
+		"snapshot_pin_us":                "Snapshot pin hold time in microseconds.",
+		"snapshot_versions_live":         "Live store versions (1 when quiescent).",
+		"snapshot_oldest_pin_age_us":     "Age of the oldest pinned snapshot in microseconds.",
+		"path_summary_bytes":             "Serialized path-summary size in bytes.",
+		"io_reads":                       "Physical page reads issued by the pager.",
+		"io_writes":                      "Physical page writes issued by the pager.",
+		"io_allocs":                      "Pages allocated by the pager.",
+		"store_nodes":                    "Nodes in the current store snapshot.",
+		"store_pages":                    "Pages in the current store snapshot.",
+		"directory_bytes":                "In-memory page directory size in bytes.",
+		"summary_bytes":                  "In-memory structure summary size in bytes.",
+		"codebook_bytes":                 "In-memory access codebook size in bytes.",
+		"codebook_entries":               "Distinct transition codes in the codebook.",
+		"codebook_subjects":              "Subjects covered by the codebook.",
+	} {
+		s.reg.SetHelp(name, help)
+	}
 	// The mask-compilation counters predate the registry (the first
 	// snapshot's MaskCache captures them in initSnapshot); register the
 	// existing counters rather than minting fresh ones.
@@ -129,24 +205,65 @@ func (s *Store) recordSkips(sk query.SkipStats) {
 	s.pathClasses.Add(sk.PathClasses)
 }
 
+// sloBurnPermille computes the error-budget burn rate: the observed
+// over-objective fraction divided by the budget (1 - target), in
+// permille. 0 before any query finishes or when the target leaves no
+// budget to divide by.
+func sloBurnPermille(over, finished int64, target float64) int64 {
+	if finished == 0 {
+		return 0
+	}
+	budget := 1 - target
+	if budget <= 0 {
+		return 0
+	}
+	return int64(math.Round(float64(over) / float64(finished) / budget * 1000))
+}
+
 // startQuery prepares one query's observability state: it resolves the
-// effective trace (the caller's, or an internal one when the slow-query
-// log is armed), stamps the start time, and returns the finish hook that
-// records latency, error and slow-query metrics.
-func (s *Store) startQuery(qo *query.Options) (tr *obs.Trace, finish func(xpath string, err error)) {
+// effective trace — the caller's; a forced full trace when the slow-query
+// log is armed or the query is an ANALYZE; otherwise the always-on
+// counting trace that feeds the flight recorder without retaining events
+// — stamps the start time, and returns the finish hook that records
+// latency, error, SLO and slow-query metrics and files the query's
+// digest with the recorder.
+func (s *Store) startQuery(qo *query.Options, analyze bool) (tr *obs.Trace, finish func(fp, xpath string, answers int64, err error)) {
 	tr = qo.Trace
 	slow := s.opts.SlowQueryThreshold
-	if tr == nil && slow > 0 {
-		// The slow-query log needs the trace that explains the offending
-		// query, so the threshold forces tracing on.
-		tr = obs.NewTrace()
+	if tr == nil {
+		if slow > 0 || analyze {
+			// The slow-query log and ANALYZE both need the full event log
+			// that explains the query, so they force tracing on.
+			tr = obs.NewTrace()
+		} else {
+			tr = obs.NewCountingTrace()
+		}
 		qo.Trace = tr
 	}
+	tr.SetDropCounter(s.traceDropped)
 	start := time.Now()
 	s.queryTotal.Inc()
-	return tr, func(xpath string, err error) {
+	return tr, func(fp, xpath string, answers int64, err error) {
 		elapsed := time.Since(start)
-		s.queryLatency.Observe(elapsed.Microseconds())
+		us := elapsed.Microseconds()
+		s.queryLatency.Observe(us)
+		s.sloFinished.Inc()
+		if obj := s.opts.SLOLatency; obj > 0 && elapsed > obj {
+			s.sloOver.Inc()
+		}
+		pins, hits, skipA, skipS, _ := tr.Counts()
+		d := obs.QueryDigest{
+			Fingerprint:   fp,
+			XPath:         xpath,
+			LatencyUs:     us,
+			Pages:         pins,
+			Hits:          hits,
+			SkippedAccess: skipA,
+			SkippedStruct: skipS,
+			Answers:       answers,
+		}
+		d.Err = err != nil
+		s.rec.Record(d, tr)
 		if err != nil {
 			s.queryErrors.Inc()
 			return

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dolxml/internal/obs"
 	"dolxml/securexml"
@@ -46,6 +47,13 @@ type Options struct {
 	// Store is the template for per-tenant StoreOptions. Path, PageSize,
 	// PoolPages and DecodeCacheBytes are overridden per tenant.
 	Store securexml.StoreOptions
+	// SLOLatencyByTenant overrides Store.SLOLatency for specific tenants:
+	// each tenant's store opens with its own latency objective, and its
+	// slo_* gauges (burn rate included) export under that tenant's metrics
+	// prefix. Tenants not in the map use Store.SLOLatency (default 250ms
+	// when serving through a registry, so burn-rate gauges are meaningful
+	// out of the box; set Store.SLOLatency negative to disable).
+	SLOLatencyByTenant map[string]time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinPoolPages < 1 {
 		o.MinPoolPages = 8
+	}
+	if o.Store.SLOLatency == 0 {
+		o.Store.SLOLatency = 250 * time.Millisecond
 	}
 	return o
 }
@@ -138,36 +149,38 @@ func New(opts Options) (*Registry, error) {
 		lru:     list.New(),
 	}
 	for _, c := range []struct {
-		name string
-		ctr  *obs.Counter
+		name, help string
+		ctr        *obs.Counter
 	}{
-		{"acquires_total", &r.acquires},
-		{"opens_total", &r.opens},
-		{"evictions_total", &r.evictions},
-		{"drains_total", &r.drains},
-		{"revives_total", &r.revives},
-		{"overage_admissions_total", &r.overages},
+		{"acquires_total", "Tenant handle acquisitions.", &r.acquires},
+		{"opens_total", "Tenant stores opened from disk.", &r.opens},
+		{"evictions_total", "Tenants evicted from the open set.", &r.evictions},
+		{"drains_total", "Evicted tenants fully drained and closed.", &r.drains},
+		{"revives_total", "Draining tenants revived by a new acquire.", &r.revives},
+		{"overage_admissions_total", "Opens admitted past the pool byte budget.", &r.overages},
 	} {
 		if err := r.reg.RegisterCounter(c.name, c.ctr); err != nil {
 			return nil, err
 		}
+		r.reg.SetHelp(c.name, c.help)
 	}
 	for _, g := range []struct {
-		name string
-		fn   obs.Gauge
+		name, help string
+		fn         obs.Gauge
 	}{
-		{"tenants_open", func() int64 { r.mu.Lock(); defer r.mu.Unlock(); return int64(r.lru.Len()) }},
-		{"tenants_draining", func() int64 {
+		{"tenants_open", "Tenant stores currently open.", func() int64 { r.mu.Lock(); defer r.mu.Unlock(); return int64(r.lru.Len()) }},
+		{"tenants_draining", "Evicted tenants still draining handles.", func() int64 {
 			r.mu.Lock()
 			defer r.mu.Unlock()
 			return int64(len(r.tenants) - r.lru.Len())
 		}},
-		{"pool_budget_bytes", func() int64 { return r.opts.PoolBytes }},
-		{"pool_bytes_in_use", r.PoolBytesInUse},
+		{"pool_budget_bytes", "Configured aggregate buffer-pool byte budget.", func() int64 { return r.opts.PoolBytes }},
+		{"pool_bytes_in_use", "Buffer-pool bytes in use across open tenants.", r.PoolBytesInUse},
 	} {
 		if err := r.reg.RegisterGauge(g.name, g.fn); err != nil {
 			return nil, err
 		}
+		r.reg.SetHelp(g.name, g.help)
 	}
 	return r, nil
 }
@@ -239,6 +252,9 @@ func (r *Registry) Acquire(id string) (*Handle, error) {
 	}
 
 	opts := r.opts.Store
+	if d, ok := r.opts.SLOLatencyByTenant[id]; ok {
+		opts.SLOLatency = d
+	}
 	share := r.shareLocked(len(r.tenants) + 1)
 	opts.DecodeCacheBytes = share.decodeBytes
 	// PoolPages needs the page size, which lives in the store's meta; open

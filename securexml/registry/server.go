@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -39,6 +40,12 @@ type ServerOptions struct {
 	// DrainTimeout bounds how long Shutdown waits for in-flight requests
 	// (default 10s).
 	DrainTimeout time.Duration
+	// AccessLog, when set, receives one JSON line per /query and /explain
+	// request: timestamp, tenant, subject, HTTP status, latency, pages
+	// pinned, answers and the normalized query fingerprint. Lines are
+	// single Writes serialized by the server, so the writer need not be
+	// goroutine-safe.
+	AccessLog io.Writer
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -79,6 +86,8 @@ func (b *bucket) allow(rate float64, burst int, now time.Time) bool {
 // Server fronts a Registry over HTTP:
 //
 //	/query       — evaluate an XPath under a subject's view (auth-scoped)
+//	/explain     — the query's compiled plan; analyze=1 executes once and
+//	               adds per-operator attribution (same auth as /query)
 //	/metrics     — registry metrics + per-tenant store metrics (Prometheus)
 //	/debug/vars  — registry metrics as JSON
 //	/tenants     — open/draining tenant list as JSON
@@ -98,6 +107,8 @@ type Server struct {
 
 	bmu     sync.Mutex
 	buckets map[string]*bucket
+
+	logMu sync.Mutex
 }
 
 // NewServer wraps reg in the multi-tenant HTTP front end.
@@ -112,6 +123,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.reg.WriteMetricsPrometheus(w); err != nil {
@@ -195,28 +207,39 @@ func (s *Server) allow(key string) bool {
 	return b.allow(s.opts.RatePerSec, s.opts.Burst, time.Now())
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// queryRequest is one authenticated, parsed /query or /explain request.
+type queryRequest struct {
+	tok   Token
+	user  string
+	mode  string
+	xpath string
+	opts  securexml.QueryOptions
+}
+
+// parseQuery authenticates and parses the request's query parameters. On
+// failure it writes the error response and returns ok == false.
+func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request) (req queryRequest, ok bool) {
 	tok, key, err := s.identity(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnauthorized)
-		return
+		return req, false
 	}
 	if !s.allow(key) {
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
-		return
+		return req, false
 	}
 	q := r.URL.Query()
 	// The token binds the identity: explicit parameters may restate it but
 	// not change it. (Open mode issues a fully trusted token above.)
 	if t := q.Get("tenant"); t != "" && t != tok.Tenant {
 		http.Error(w, "token is not valid for this tenant", http.StatusForbidden)
-		return
+		return req, false
 	}
 	user := tok.Subject
 	if u := q.Get("user"); u != "" {
 		if u != tok.Subject && !tok.Admin {
 			http.Error(w, "token is not valid for this subject", http.StatusForbidden)
-			return
+			return req, false
 		}
 		user = u
 	}
@@ -227,7 +250,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if q.Get("admin") != "" {
 		if !tok.Admin {
 			http.Error(w, "token may not run unrestricted queries", http.StatusForbidden)
-			return
+			return req, false
 		}
 		opts.Unrestricted = true
 	}
@@ -240,23 +263,135 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if tok.Tenant == "" {
 		http.Error(w, "no tenant specified", http.StatusBadRequest)
+		return req, false
+	}
+	return queryRequest{tok: tok, user: user, mode: mode, xpath: q.Get("xpath"), opts: opts}, true
+}
+
+// logAccess emits one access-log line (a single serialized Write).
+func (s *Server) logAccess(req queryRequest, endpoint string, status int, elapsed time.Duration, qt *securexml.QueryTrace, answers int) {
+	w := s.opts.AccessLog
+	if w == nil {
 		return
 	}
-	h, err := s.reg.Acquire(tok.Tenant)
+	fp, _ := securexml.QueryFingerprint(req.xpath, req.opts)
+	line := struct {
+		At          string `json:"at"`
+		Endpoint    string `json:"endpoint"`
+		Tenant      string `json:"tenant"`
+		Subject     string `json:"subject"`
+		XPath       string `json:"xpath"`
+		Status      int    `json:"status"`
+		LatencyUs   int64  `json:"latency_us"`
+		Pages       int64  `json:"pages"`
+		Answers     int    `json:"answers"`
+		Fingerprint string `json:"fingerprint,omitempty"`
+	}{
+		At:          time.Now().UTC().Format(time.RFC3339Nano),
+		Endpoint:    endpoint,
+		Tenant:      req.tok.Tenant,
+		Subject:     req.user,
+		XPath:       req.xpath,
+		Status:      status,
+		LatencyUs:   elapsed.Microseconds(),
+		Pages:       qt.PageReads(),
+		Answers:     answers,
+		Fingerprint: fp,
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.logMu.Lock()
+	w.Write(buf)
+	s.logMu.Unlock()
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.parseQuery(w, r)
+	if !ok {
+		return
+	}
+	h, err := s.reg.Acquire(req.tok.Tenant)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
 	defer h.Close()
-	ms, err := h.Store().QueryCtx(r.Context(), user, mode, q.Get("xpath"), opts)
+	var qt *securexml.QueryTrace
+	if s.opts.AccessLog != nil && req.opts.Trace == nil {
+		// The log line reports pages pinned; the counting trace provides
+		// them without retaining an event log.
+		qt = securexml.NewCountingQueryTrace()
+		req.opts.Trace = qt
+	}
+	start := time.Now()
+	ms, err := h.Store().QueryCtx(r.Context(), req.user, req.mode, req.xpath, req.opts)
 	if err != nil {
+		s.logAccess(req, "/query", http.StatusBadRequest, time.Since(start), qt, 0)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.logAccess(req, "/query", http.StatusOK, time.Since(start), qt, len(ms))
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	enc.Encode(ms)
+}
+
+// handleExplain serves the compiled query plan without executing the
+// query; with analyze=1 it executes once and returns the plan annotated
+// with per-operator attribution. format=text renders either as a report.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.parseQuery(w, r)
+	if !ok {
+		return
+	}
+	h, err := s.reg.Acquire(req.tok.Tenant)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer h.Close()
+	q := r.URL.Query()
+	asText := q.Get("format") == "text"
+	start := time.Now()
+	if q.Get("analyze") != "" {
+		an := &securexml.QueryAnalysis{}
+		req.opts.Analyze = an
+		_, err := h.Store().QueryCtx(r.Context(), req.user, req.mode, req.xpath, req.opts)
+		if err != nil {
+			s.logAccess(req, "/explain", http.StatusBadRequest, time.Since(start), nil, 0)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.logAccess(req, "/explain", http.StatusOK, time.Since(start), nil, 0)
+		writeExplain(w, asText, an.WriteText, an.WriteJSON)
+		return
+	}
+	plan, err := h.Store().Explain(r.Context(), req.user, req.mode, req.xpath, req.opts)
+	if err != nil {
+		s.logAccess(req, "/explain", http.StatusBadRequest, time.Since(start), nil, 0)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.logAccess(req, "/explain", http.StatusOK, time.Since(start), nil, 0)
+	writeExplain(w, asText, plan.WriteText, plan.WriteJSON)
+}
+
+func writeExplain(w http.ResponseWriter, asText bool, text, js func(io.Writer) error) {
+	if asText {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := text(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := js(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // Shutdown stops admitting requests, waits for in-flight ones (bounded by

@@ -71,6 +71,16 @@ type StoreOptions struct {
 	// SlowPinLog receives slow-pin reports (default os.Stderr), serialized
 	// like SlowQueryLog.
 	SlowPinLog io.Writer
+	// SLOLatency, when positive, sets the store's per-query latency
+	// objective: every query slower than it burns error budget. The
+	// objective and the burn accounting are exported through the metrics
+	// registry (slo_latency_objective_us, slo_queries_over_objective,
+	// slo_burn_rate_permille).
+	SLOLatency time.Duration
+	// SLOTarget is the availability target the error budget is measured
+	// against (default 0.999: one query in a thousand may miss the
+	// objective before the burn rate exceeds 1000 permille).
+	SLOTarget float64
 }
 
 // Durability selects when an update commit becomes durable relative to the
@@ -106,6 +116,9 @@ func (o *StoreOptions) defaults() {
 	}
 	if o.FillPercent == 0 {
 		o.FillPercent = 90
+	}
+	if o.SLOTarget == 0 {
+		o.SLOTarget = 0.999
 	}
 }
 
@@ -184,6 +197,15 @@ type Store struct {
 	snapPins   *obs.Counter
 	snapUnpins *obs.Counter
 	snapPinUs  *obs.Histogram
+	// rec is the always-on query flight recorder: every query — traced or
+	// not — folds a digest into it (a counting trace supplies the page
+	// accounting when the caller attached no trace). traceDropped counts
+	// events any query trace discarded past its limit; sloFinished/sloOver
+	// drive the error-budget burn gauges.
+	rec          *obs.Recorder
+	traceDropped *obs.Counter
+	sloFinished  *obs.Counter
+	sloOver      *obs.Counter
 	// slowMu serializes slow-query and slow-pin reports: queries finish
 	// concurrently, and the log writers (bytes.Buffer, log files) need not
 	// be goroutine-safe.
@@ -376,8 +398,9 @@ func (s *Store) run(ctx context.Context, user, mode, xpath string, opts QueryOpt
 		DisablePathSummary: opts.DisablePathSummary,
 		Trace:              opts.Trace.inner(),
 	}
-	tr, finish := s.startQuery(&qo)
-	defer func() { finish(xpath, err) }()
+	tr, finish := s.startQuery(&qo, opts.Analyze != nil)
+	fp := ""
+	defer func() { finish(fp, xpath, int64(len(ms)), err) }()
 	ctx = obs.WithTrace(ctx, tr)
 	endParse := tr.Span(obs.EvParse)
 	pt, err := query.Parse(xpath)
@@ -385,6 +408,7 @@ func (s *Store) run(ctx context.Context, user, mode, xpath string, opts QueryOpt
 	if err != nil {
 		return nil, err
 	}
+	fp = fingerprintFor(pt, opts)
 	r, err := s.acquireFor(opts)
 	if err != nil {
 		return nil, err
@@ -415,8 +439,21 @@ func (s *Store) run(ctx context.Context, user, mode, xpath string, opts QueryOpt
 	s.queryAnswers.Add(int64(len(res.Nodes)))
 	s.queryMatches.Add(int64(res.Matches))
 	s.recordSkips(res.Skips)
-	ms, err = s.matches(ctx, sn.st, res.Nodes)
+	// Match materialization re-reads answer pages; under ANALYZE those pins
+	// must land in their own attribution bucket, not an operator's.
+	ms, err = s.matches(obs.WithTrace(ctx, tr.ForOp(query.OpOutput)), sn.st, res.Nodes)
 	tr.Mark(obs.EvDone)
+	if err == nil && opts.Analyze != nil {
+		// Fold the forced trace into per-operator attribution against the
+		// plan Explain computes from the same snapshot — compile state is
+		// deterministic, so the plan matches what EvaluateCtx just built.
+		qo.Trace = nil
+		plan, perr := evaluatorAt(sn).Explain(ctx, pt, qo)
+		if perr != nil {
+			return nil, perr
+		}
+		opts.Analyze.an = query.AnalyzeTrace(plan, tr.Events(), tr.Dropped())
+	}
 	return ms, err
 }
 

@@ -22,6 +22,13 @@ type QueryTrace struct {
 // NewQueryTrace returns an empty trace starting now.
 func NewQueryTrace() *QueryTrace { return &QueryTrace{t: obs.NewTrace()} }
 
+// NewCountingQueryTrace returns a trace that keeps only atomic counters —
+// page pins, pool hits, skips by cause, emits — and retains no events.
+// It is what the store attaches to untraced queries for the flight
+// recorder; attach one explicitly to observe a query's page accounting
+// with event-log cost excluded.
+func NewCountingQueryTrace() *QueryTrace { return &QueryTrace{t: obs.NewCountingTrace()} }
+
 // inner returns the wrapped trace (nil-safe).
 func (qt *QueryTrace) inner() *obs.Trace {
 	if qt == nil {
@@ -34,8 +41,15 @@ func (qt *QueryTrace) inner() *obs.Trace {
 // the traced query performed.
 func (qt *QueryTrace) PageReads() int64 { return qt.inner().PageReads() }
 
+// PageHits counts the page pins served from the buffer pool's resident
+// set — the hit share of PageReads.
+func (qt *QueryTrace) PageHits() int64 { return qt.inner().PageHits() }
+
 // PageSkips counts pages the query skipped without I/O, both causes.
 func (qt *QueryTrace) PageSkips() int64 { return qt.inner().PageSkips() }
+
+// Emits counts answers emitted by the traced query's pipeline.
+func (qt *QueryTrace) Emits() int64 { return qt.inner().Emits() }
 
 // PagesConsidered counts every page decision: reads plus skips.
 func (qt *QueryTrace) PagesConsidered() int64 { return qt.inner().PagesConsidered() }
@@ -58,6 +72,9 @@ type TraceEvent struct {
 	// page_pin, page_decode, page_skip_access, page_skip_struct,
 	// candidate_reject, join_open, join_probe, merge_chunk, emit, done.
 	Kind string `json:"kind"`
+	// Op names the plan operator the event belongs to (scan0, join1,
+	// filter, dedup, limit, output); empty for query-level events.
+	Op string `json:"op,omitempty"`
 	// Page is the page touched or skipped (-1 when not page-related).
 	Page int64 `json:"page,omitempty"`
 	// Node is the data node involved (-1 when not node-related).
@@ -78,6 +95,7 @@ func (qt *QueryTrace) Events() []TraceEvent {
 		out[i] = TraceEvent{
 			AtMicros:  e.At.Microseconds(),
 			Kind:      string(e.Kind),
+			Op:        e.Op,
 			Page:      e.Page,
 			Node:      e.Node,
 			Hit:       e.Hit,
